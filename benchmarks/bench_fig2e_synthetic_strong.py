@@ -1,0 +1,71 @@
+"""Figure 2e — synthetic dataset, strong scaling.
+
+Paper setup: m=32M, n=10k, element probability p=0.01; cores 32 ->
+2,048 (nodes 1 -> 64); batch size doubles with node count (batches: 64
+at 1 node down to 1 at 64 nodes).  Observed: total time decreases in
+proportion to the node count ("the total time decreases in proportion
+to the node count, although the time per batch slightly increases"),
+e.g. 117.9 s/batch x 1 batch at 64 nodes vs 73.8 s x 32 at 2 nodes.
+
+Scaled reproduction: m=128k, n=320, density 0.01, ranks 1 -> 64.
+"""
+
+from benchmarks.conftest import format_table
+from repro import jaccard_similarity
+from repro.core.indicator import SyntheticSource
+from repro.runtime import Machine, stampede2_knl
+from repro.util.units import format_time
+
+M_ROWS = 128_000
+N_SAMPLES = 320
+DENSITY = 0.01
+SWEEP = [  # (ranks, batch count): halve batches as ranks double
+    (1, 32),
+    (2, 16),
+    (4, 8),
+    (8, 4),
+    (16, 2),
+    (32, 1),
+]
+
+
+def run_point(ranks: int, batches: int):
+    source = SyntheticSource(m=M_ROWS, n=N_SAMPLES, density=DENSITY, seed=5)
+    machine = Machine(stampede2_knl(max(1, ranks // 4),
+                                    ranks_per_node=min(ranks, 4)))
+    return jaccard_similarity(
+        source, machine=machine, batch_count=batches, gather_result=False
+    )
+
+
+def test_fig2e_synthetic_strong_scaling(benchmark, emit):
+    rows = []
+    totals = []
+    for ranks, batches in SWEEP:
+        result = run_point(ranks, batches)
+        total = sum(b.simulated_seconds for b in result.batches)
+        totals.append(total)
+        rows.append(
+            [
+                ranks,
+                batches,
+                format_time(result.mean_batch_seconds),
+                format_time(total),
+                f"{totals[0] / total:.1f}x",
+            ]
+        )
+    emit(
+        "fig2e_synthetic_strong",
+        f"Fig. 2e -- synthetic strong scaling (m={M_ROWS}, n={N_SAMPLES}, "
+        f"density={DENSITY})",
+        format_table(
+            ["ranks", "#batches", "time/batch", "total", "speedup"], rows
+        ),
+    )
+    # Shape: total time decreases with rank count, near-proportionally.
+    assert all(b <= a * 1.05 for a, b in zip(totals, totals[1:])), totals
+    speedup = totals[0] / totals[-1]
+    assert speedup > 8.0, f"expected >8x at 32 ranks, got {speedup:.1f}x"
+    benchmark.pedantic(
+        run_point, args=SWEEP[3], rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,85 @@
+"""Figure 2f — synthetic dataset, weak scaling.
+
+Paper setup: the matrix grows with the core count — (100k k-mers, 1k
+samples) on 1 core up to (3.2M, 32k) on 4,096 cores, density 0.01; both
+dimensions double per 4x core-count step, so the *work per processor*
+grows 64x over the sweep while measured time grows only 35.3x — "a
+1.81x efficiency improvement" (bigger batches amortize latency better).
+
+Scaled reproduction: ranks 1 -> 64 with (m, n) doubling per 4x step.
+"""
+
+from benchmarks.conftest import format_table
+from repro import jaccard_similarity
+from repro.core.indicator import SyntheticSource
+from repro.runtime import Machine, stampede2_knl
+from repro.util.units import format_time
+
+DENSITY = 0.01
+SWEEP = [  # (ranks, m, n): m and n double per 4x rank step
+    (1, 25_000, 128),
+    (4, 50_000, 256),
+    (16, 100_000, 512),
+    (64, 200_000, 1024),
+]
+
+
+def work_per_rank(m: int, n: int, ranks: int) -> float:
+    """Modelled Gram work: word-rows x n^2, split over ranks."""
+    return (m / 64.0) * n * n / ranks
+
+
+def run_point(ranks: int, m: int, n: int):
+    source = SyntheticSource(m=m, n=n, density=DENSITY, seed=6)
+    machine = Machine(stampede2_knl(max(1, ranks // 4),
+                                    ranks_per_node=min(ranks, 4)))
+    # The distributed ("transpose") filter is the variant the paper's
+    # scaling analysis assumes: per-rank filter cost Theta(nnz / p).
+    # The replicated allgather filter costs Theta(nnz) per rank, which
+    # cannot weak-scale (see bench_ablations for the comparison).
+    return jaccard_similarity(
+        source, machine=machine, batch_count=2, gather_result=False,
+        filter_strategy="transpose",
+    )
+
+
+def test_fig2f_synthetic_weak_scaling(benchmark, emit):
+    rows = []
+    times = []
+    works = []
+    for ranks, m, n in SWEEP:
+        result = run_point(ranks, m, n)
+        total = sum(b.simulated_seconds for b in result.batches)
+        times.append(total)
+        works.append(work_per_rank(m, n, ranks))
+        rows.append(
+            [
+                ranks,
+                f"{m // 1000}k",
+                n,
+                f"{works[-1] / works[0]:.0f}x",
+                format_time(total),
+                f"{total / times[0]:.1f}x",
+            ]
+        )
+    emit(
+        "fig2f_synthetic_weak",
+        "Fig. 2f -- synthetic weak scaling (paper: 64x work/proc, 35.3x "
+        "time => 1.81x efficiency gain)",
+        format_table(
+            ["ranks", "m", "n", "work/proc", "total time", "time ratio"],
+            rows,
+        ),
+    )
+    # Shape: time grows strictly slower than work-per-processor —
+    # efficiency improves with scale.
+    work_ratio = works[-1] / works[0]
+    time_ratio = times[-1] / times[0]
+    assert time_ratio < work_ratio, (
+        f"time grew {time_ratio:.1f}x vs work/proc {work_ratio:.1f}x"
+    )
+    efficiency_gain = work_ratio / time_ratio
+    assert efficiency_gain > 1.2, f"efficiency gain {efficiency_gain:.2f}x"
+    benchmark.pedantic(
+        run_point, args=SWEEP[1], rounds=1, iterations=1, warmup_rounds=0
+    )

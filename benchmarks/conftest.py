@@ -1,0 +1,54 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench module regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4).  Sweeps run on the simulated machine and
+produce paper-shaped series; each bench also times one representative
+computation through pytest-benchmark so ``--benchmark-only`` reports
+real wall-clock numbers for the kernels involved.
+
+Series are printed *and* written to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(headers: list[str], rows: list[list], widths=None) -> str:
+    """Fixed-width table rendering for bench reports."""
+    if widths is None:
+        widths = []
+        for i, h in enumerate(headers):
+            cell_width = max(
+                [len(str(h))] + [len(str(r[i])) for r in rows] if rows else
+                [len(str(h))]
+            )
+            widths.append(cell_width + 2)
+    lines = ["".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * sum(widths))
+    for row in rows:
+        lines.append("".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def emit():
+    """Print a named report and persist it under benchmarks/results/."""
+
+    def _emit(name: str, title: str, body: str) -> None:
+        text = f"== {title} ==\n{body}\n"
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return _emit
+
+
+def run_once(fn):
+    """Adapter for benchmark.pedantic with a zero-arg callable."""
+    return fn()

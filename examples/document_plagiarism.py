@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Information-retrieval framing: document similarity and plagiarism.
+
+The paper's SII-G: documents become indicator-matrix columns (one row
+per word or shingle), and the same distributed algorithm that compares
+genomes compares documents.  This example builds a small corpus with a
+planted near-copy and finds it.
+
+Run:  python examples/document_plagiarism.py
+"""
+
+from repro.analytics import document_similarity, plagiarism_candidates
+
+CORPUS = [
+    # 0: the original abstract
+    "we design and implement the first communication efficient "
+    "distributed algorithm for computing the jaccard similarity among "
+    "pairs of large datasets using sparse matrix multiplication",
+    # 1: a light paraphrase (plagiarism suspect)
+    "we design and implement the first communication efficient "
+    "distributed algorithm for computing jaccard similarity among "
+    "pairs of very large datasets via sparse matrix products",
+    # 2: same topic, honest rewrite
+    "a scalable approach to set similarity uses algebraic formulations "
+    "and processor grids to minimize data movement on supercomputers",
+    # 3: unrelated
+    "the recipe requires two eggs a cup of flour and a pinch of salt "
+    "whisked gently before baking at medium heat",
+    # 4: another unrelated text
+    "migratory birds navigate using the earth magnetic field and "
+    "landmarks learned on previous journeys",
+]
+
+
+def main() -> None:
+    print("corpus of", len(CORPUS), "documents")
+
+    # Word-set similarity: topical overlap.
+    words = document_similarity(CORPUS).similarity
+    print("\nword-set Jaccard similarity (topical):")
+    for i in range(len(CORPUS)):
+        print("  " + " ".join(f"{words[i, j]:.2f}" for j in range(len(CORPUS))))
+
+    # Shingle similarity: shared phrasing - the plagiarism signal.
+    shingles = document_similarity(CORPUS, shingle_width=3).similarity
+    print("\n3-word-shingle Jaccard similarity (phrasing):")
+    for i in range(len(CORPUS)):
+        print(
+            "  " + " ".join(f"{shingles[i, j]:.2f}" for j in range(len(CORPUS)))
+        )
+
+    hits = plagiarism_candidates(CORPUS, threshold=0.3, shingle_width=3)
+    print("\nplagiarism candidates (shingle similarity >= 0.30):")
+    for i, j, score in hits:
+        print(f"  documents {i} and {j}: {score:.2f}")
+    if hits and hits[0][:2] == (0, 1):
+        print("  -> the planted near-copy (0, 1) was found first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Why exact Jaccard matters: MinHash error at the similarity extremes.
+
+The paper's motivation (SI): MinHash approximations "often lead to
+inaccurate approximations of d_J for highly similar pairs of sequence
+sets, and tend to be ineffective ... between highly dissimilar sets
+unless very large sketch sizes are used".  This example measures that:
+for pairs of controlled true similarity, it compares the exact value
+(SimilarityAtScale is always exact) against MinHash estimates across
+sketch sizes.
+
+Run:  python examples/minhash_vs_exact.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    jaccard_estimate,
+    make_pair_with_jaccard,
+    mash_distance,
+    sketch,
+)
+from repro.baselines.exact import jaccard_pairwise_sorted
+
+SET_SIZE = 20_000
+UNIVERSE = 2_000_000
+SKETCH_SIZES = (128, 1024, 8192)
+TRUE_J = (0.02, 0.10, 0.50, 0.90, 0.98)
+REPETITIONS = 5
+
+
+def main() -> None:
+    print(f"pairs of {SET_SIZE}-element sets, "
+          f"{REPETITIONS} repetitions per cell\n")
+    header = f"{'true J':>8} {'exact':>8}" + "".join(
+        f"  s={s:<6}" for s in SKETCH_SIZES
+    )
+    print(header)
+    print("-" * len(header))
+    for target in TRUE_J:
+        errors = {s: [] for s in SKETCH_SIZES}
+        exact_vals = []
+        for rep in range(REPETITIONS):
+            rng = np.random.default_rng(hash((target, rep)) % 2**32)
+            a, b = make_pair_with_jaccard(rng, UNIVERSE, SET_SIZE, target)
+            true = jaccard_pairwise_sorted([a, b])[0, 1]
+            exact_vals.append(true)
+            for size in SKETCH_SIZES:
+                est = jaccard_estimate(
+                    sketch(a, size, seed=rep), sketch(b, size, seed=rep), size
+                )
+                errors[size].append(abs(est - true))
+        row = f"{target:>8.2f} {np.mean(exact_vals):>8.3f}"
+        for size in SKETCH_SIZES:
+            row += f"  {np.mean(errors[size]):>7.4f}"
+        print(row + "   (mean |estimate - true|)")
+
+    print("\nrelative error on the Mash *distance* scale (k=21), true J=0.98:")
+    rng = np.random.default_rng(7)
+    a, b = make_pair_with_jaccard(rng, UNIVERSE, SET_SIZE, 0.98)
+    true = jaccard_pairwise_sorted([a, b])[0, 1]
+    d_true = mash_distance(true, 21)
+    for size in SKETCH_SIZES:
+        est = jaccard_estimate(sketch(a, size), sketch(b, size), size)
+        d_est = mash_distance(max(est, 1e-9), 21)
+        rel = abs(d_est - d_true) / max(d_true, 1e-12)
+        print(f"  sketch {size:>5}: d_est={d_est:.5f} vs d_true={d_true:.5f} "
+              f"({rel:.0%} relative error)")
+    print("\nhighly similar pairs have tiny distances, so even small "
+          "absolute J errors blow up relative distance error -- the "
+          "paper's case for exact, scalable Jaccard.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Clustering and anomaly detection with the Jaccard distance (§II-C/D).
+
+d_J is a proper metric, so it drops into centroid/medoid clustering,
+hierarchical clustering, and proximity-based outlier detection over
+categorical data — data "that does not consist of numbers but rather
+attributes that may be present or absent".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import jaccard_similarity
+from repro.runtime.engine import Machine
+from repro.util.prng import rng_for
+
+
+def _distance_matrix(samples, machine: Machine | None) -> np.ndarray:
+    result = jaccard_similarity(list(samples), machine=machine)
+    return result.distance
+
+
+def jaccard_kmedoids(
+    samples,
+    n_clusters: int,
+    machine: Machine | None = None,
+    max_iter: int = 50,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """k-medoids under the Jaccard distance (the §II-C use case).
+
+    A medoid variant of the k-means loop the paper cites [37]: medoids
+    are actual samples, so only the distance matrix is needed — the
+    natural formulation for categorical data.  Returns
+    ``(labels, medoid_indices)``.
+    """
+    samples = list(samples)
+    n = len(samples)
+    if not 1 <= n_clusters <= n:
+        raise ValueError(
+            f"n_clusters must be in [1, {n}], got {n_clusters}"
+        )
+    d = _distance_matrix(samples, machine)
+    rng = rng_for(seed, "kmedoids")
+    medoids = rng.choice(n, size=n_clusters, replace=False)
+    labels = np.argmin(d[:, medoids], axis=1)
+    for _ in range(max_iter):
+        new_medoids = medoids.copy()
+        for c in range(n_clusters):
+            members = np.flatnonzero(labels == c)
+            if members.size == 0:
+                continue
+            within = d[np.ix_(members, members)].sum(axis=1)
+            new_medoids[c] = members[np.argmin(within)]
+        new_labels = np.argmin(d[:, new_medoids], axis=1)
+        if np.array_equal(new_medoids, medoids) and np.array_equal(
+            new_labels, labels
+        ):
+            break
+        medoids, labels = new_medoids, new_labels
+    return labels, medoids
+
+
+def hierarchical_clusters(
+    samples,
+    n_clusters: int,
+    linkage: str = "average",
+    machine: Machine | None = None,
+) -> np.ndarray:
+    """Agglomerative clustering under d_J (§II-C, [33]).
+
+    Supports single / complete / average linkage; returns cluster labels.
+    """
+    if linkage not in ("single", "complete", "average"):
+        raise ValueError(
+            f"linkage must be single/complete/average, got {linkage!r}"
+        )
+    samples = list(samples)
+    n = len(samples)
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+    d = _distance_matrix(samples, machine).copy()
+    np.fill_diagonal(d, np.inf)
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+    while len(clusters) > n_clusters:
+        keys = sorted(clusters)
+        best = (np.inf, -1, -1)
+        for ai, a in enumerate(keys):
+            for b in keys[ai + 1 :]:
+                block = d[np.ix_(clusters[a], clusters[b])]
+                if linkage == "single":
+                    val = block.min()
+                elif linkage == "complete":
+                    val = block.max()
+                else:
+                    val = block.mean()
+                if val < best[0]:
+                    best = (val, a, b)
+        _, a, b = best
+        clusters[a] = clusters[a] + clusters.pop(b)
+    labels = np.zeros(n, dtype=np.int64)
+    for label, members in enumerate(clusters.values()):
+        labels[members] = label
+    return labels
+
+
+def proximity_outliers(
+    samples,
+    k_neighbors: int = 3,
+    threshold: float | None = None,
+    machine: Machine | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Proximity-based outlier detection (§II-D, [55]).
+
+    Scores each sample by its mean Jaccard distance to its ``k``
+    nearest neighbors; samples above ``threshold`` (default: mean + 2
+    standard deviations) are flagged.  Returns ``(scores, outlier_mask)``.
+    """
+    samples = list(samples)
+    n = len(samples)
+    if not 1 <= k_neighbors < max(n, 2):
+        raise ValueError(
+            f"k_neighbors must be in [1, {n - 1}], got {k_neighbors}"
+        )
+    d = _distance_matrix(samples, machine).copy()
+    np.fill_diagonal(d, np.inf)
+    nearest = np.sort(d, axis=1)[:, :k_neighbors]
+    scores = nearest.mean(axis=1)
+    if threshold is None:
+        threshold = float(scores.mean() + 2.0 * scores.std())
+    return scores, scores > threshold

@@ -1,0 +1,119 @@
+"""Information retrieval: document similarity and plagiarism (§II-G).
+
+"J(X, Y) can be defined as the ratio of the counts of common and unique
+words in sets X and Y that model two documents."  Documents map to the
+indicator matrix with one row per word (or shingle) and one column per
+document (Table III).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core.config import SimilarityConfig
+from repro.core.indicator import SetSource
+from repro.core.result import SimilarityResult
+from repro.core.similarity import SimilarityAtScale
+from repro.runtime.engine import Machine
+
+_TOKEN = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (alphanumerics and apostrophes)."""
+    return _TOKEN.findall(text.lower())
+
+
+def word_set(text: str, vocabulary: dict[str, int]) -> set[int]:
+    """The document's word-id set, growing ``vocabulary`` as needed."""
+    out = set()
+    for token in tokenize(text):
+        if token not in vocabulary:
+            vocabulary[token] = len(vocabulary)
+        out.add(vocabulary[token])
+    return out
+
+
+def shingle_set(
+    text: str, width: int, vocabulary: dict[tuple, int]
+) -> set[int]:
+    """The document's ``width``-word shingle-id set.
+
+    Shingles (contiguous word windows) capture phrasing, not just
+    vocabulary — the standard representation for plagiarism detection.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    tokens = tokenize(text)
+    out = set()
+    for i in range(len(tokens) - width + 1):
+        shingle = tuple(tokens[i : i + width])
+        if shingle not in vocabulary:
+            vocabulary[shingle] = len(vocabulary)
+        out.add(vocabulary[shingle])
+    return out
+
+
+def document_similarity(
+    documents: list[str],
+    shingle_width: int | None = None,
+    machine: Machine | None = None,
+    config: SimilarityConfig | None = None,
+) -> SimilarityResult:
+    """All-pairs document Jaccard similarity.
+
+    With ``shingle_width=None`` documents are compared as word sets;
+    otherwise as ``shingle_width``-word shingle sets.
+    """
+    if not documents:
+        raise ValueError("need at least one document")
+    vocab: dict = {}
+    if shingle_width is None:
+        sets = [word_set(d, vocab) for d in documents]
+    else:
+        sets = [shingle_set(d, shingle_width, vocab) for d in documents]
+    source = SetSource(sets, m=max(len(vocab), 1))
+    return SimilarityAtScale(machine=machine, config=config).run(source)
+
+
+def plagiarism_candidates(
+    documents: list[str],
+    threshold: float = 0.35,
+    shingle_width: int = 3,
+    machine: Machine | None = None,
+) -> list[tuple[int, int, float]]:
+    """Document pairs whose shingle similarity exceeds the threshold.
+
+    Returns ``(i, j, similarity)`` sorted by decreasing similarity —
+    the pairs a plagiarism reviewer should look at first.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    result = document_similarity(
+        documents, shingle_width=shingle_width, machine=machine
+    )
+    s = result.similarity
+    n = len(documents)
+    hits = [
+        (float(s[i, j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if s[i, j] >= threshold
+    ]
+    hits.sort(reverse=True)
+    return [(i, j, v) for v, i, j in hits]
+
+
+def vocabulary_report(documents: list[str]) -> dict[str, float]:
+    """Corpus statistics useful when sizing the indicator matrix."""
+    vocab: dict[str, int] = {}
+    lengths = []
+    for d in documents:
+        lengths.append(len(word_set(d, vocab)))
+    return {
+        "documents": float(len(documents)),
+        "vocabulary": float(len(vocab)),
+        "mean_distinct_words": float(np.mean(lengths)) if lengths else 0.0,
+    }

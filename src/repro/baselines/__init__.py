@@ -1,0 +1,40 @@
+"""Baselines the paper compares against (Table II and §I).
+
+* :mod:`~repro.baselines.exact` — serial exact all-pairs Jaccard
+  (the single-node DSM-like comparator);
+* :mod:`~repro.baselines.minhash` — bottom-k MinHash sketching and the
+  Mash distance [63], including the sketch-size/accuracy trade-off the
+  paper's introduction criticizes;
+* :mod:`~repro.baselines.cosine` — cosine similarity over k-mer counts
+  (the Libra-like comparator [29]);
+* :mod:`~repro.baselines.mapreduce` — a MapReduce-style distributed
+  Jaccard on the same simulated machine, exhibiting the
+  allreduce-over-reducers communication pattern the paper identifies as
+  asymptotically more expensive (§I, [47]).
+"""
+
+from repro.baselines.cosine import cosine_similarity_matrix
+from repro.baselines.exact import (
+    jaccard_pairwise_sets,
+    jaccard_pairwise_sorted,
+)
+from repro.baselines.mapreduce import mapreduce_jaccard
+from repro.baselines.minhash import (
+    MinHashIndex,
+    jaccard_estimate,
+    make_pair_with_jaccard,
+    mash_distance,
+    sketch,
+)
+
+__all__ = [
+    "cosine_similarity_matrix",
+    "jaccard_pairwise_sets",
+    "jaccard_pairwise_sorted",
+    "mapreduce_jaccard",
+    "MinHashIndex",
+    "jaccard_estimate",
+    "make_pair_with_jaccard",
+    "mash_distance",
+    "sketch",
+]

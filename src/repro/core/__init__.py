@@ -1,0 +1,42 @@
+"""SimilarityAtScale — the paper's primary contribution.
+
+The distributed Jaccard pipeline (paper Listing 1):
+
+1. read one batch of the indicator matrix ``A`` (Eq. 3),
+2. filter zero rows with the distributed filter vector ``f`` and its
+   prefix sum (Eq. 5-6) — :mod:`repro.core.filtering`,
+3. compress row segments into ``b``-bit words (Eq. 7) and scatter the
+   packed blocks onto the processor grid — :mod:`repro.core.bitmask`,
+4. accumulate ``B += R^T R`` (popcount SUMMA / 2.5D) and the column
+   sums ``a-hat`` — :mod:`repro.sparse.summa`,
+5. after the last batch derive ``C = a-hat_i + a-hat_j - B`` and
+   ``S = B / C``, ``D = 1 - S`` (Eq. 2) — :mod:`repro.core.similarity`.
+
+:func:`repro.core.similarity.jaccard_similarity` is the one-call entry
+point; :class:`repro.core.similarity.SimilarityAtScale` is the
+configurable driver.
+"""
+
+from repro.core.config import SimilarityConfig
+from repro.core.indicator import (
+    CooSource,
+    FileSource,
+    IndicatorSource,
+    SetSource,
+    SyntheticSource,
+)
+from repro.core.result import BatchStats, SimilarityResult
+from repro.core.similarity import SimilarityAtScale, jaccard_similarity
+
+__all__ = [
+    "SimilarityConfig",
+    "IndicatorSource",
+    "SetSource",
+    "CooSource",
+    "FileSource",
+    "SyntheticSource",
+    "BatchStats",
+    "SimilarityResult",
+    "SimilarityAtScale",
+    "jaccard_similarity",
+]

@@ -1,0 +1,160 @@
+"""Bitmask compression and grid distribution of a filtered batch.
+
+After filtering, each reader rank holds coordinates in the compacted row
+space ``[0, n_nonzero_rows)``.  This module performs the §III-B step 3:
+segments of ``b`` consecutive compacted rows become one ``b``-bit word,
+and every packed word lands on its owning grid rank.
+
+The row space is carved hierarchically, always on word boundaries:
+first into ``c`` replication-layer slices (each layer contributes
+``1/c`` of the batch's rows, per §III-C), then into ``q`` word-row
+blocks within the layer's face.  A single all-to-all over the active
+communicator moves every coordinate to its destination; each owner then
+packs its block locally with an ``OR``-scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.comm import Communicator
+from repro.runtime.topology import ProcessorGrid
+from repro.sparse.bitmatrix import BitMatrix
+from repro.sparse.coo import CooMatrix
+from repro.sparse.distributed import DistWordMatrix, word_aligned_row_bounds
+from repro.util.partition import block_bounds
+
+
+def distribute_and_pack(
+    comm: Communicator,
+    grid: ProcessorGrid,
+    chunks: list[CooMatrix],
+    n_rows: int,
+    n_cols: int,
+    bit_width: int = 64,
+) -> list[DistWordMatrix]:
+    """Scatter compacted coordinates onto the grid and bit-pack them.
+
+    Returns one :class:`DistWordMatrix` per replication layer; layer
+    ``l`` covers a word-aligned slice of the compacted batch rows
+    (re-indexed to start at 0 within the layer).
+    """
+    if len(chunks) != comm.size:
+        raise ValueError(
+            f"need one chunk per active rank ({comm.size}), got {len(chunks)}"
+        )
+    if comm.size != grid.rows * grid.cols * grid.layers:
+        raise ValueError("communicator size does not match grid")
+    q = grid.rows
+    layers = grid.layers
+
+    layer_bounds = word_aligned_row_bounds(n_rows, layers, bit_width)
+    layer_his = np.array([hi for _, hi in layer_bounds], dtype=np.int64)
+    # Per-layer face blocking, in rows relative to the layer start.
+    face_row_bounds = [
+        word_aligned_row_bounds(hi - lo, q, bit_width) for lo, hi in layer_bounds
+    ]
+    col_bounds = [block_bounds(n_cols, grid.cols, t) for t in range(grid.cols)]
+    col_his = np.array([hi for _, hi in col_bounds], dtype=np.int64)
+
+    send: list[list[np.ndarray | None]] = []
+    for chunk in chunks:
+        row_msgs: list[np.ndarray | None] = [None] * comm.size
+        if chunk.nnz:
+            layer_ids = np.searchsorted(layer_his, chunk.rows, side="right")
+            rel_rows = chunk.rows - np.array(
+                [lo for lo, _ in layer_bounds], dtype=np.int64
+            )[layer_ids]
+            block_ids = np.empty(chunk.nnz, dtype=np.int64)
+            for l in range(layers):
+                sel = layer_ids == l
+                if not np.any(sel):
+                    continue
+                his = np.array([hi for _, hi in face_row_bounds[l]], dtype=np.int64)
+                block_ids[sel] = np.searchsorted(his, rel_rows[sel], side="right")
+            col_ids = np.searchsorted(col_his, chunk.cols, side="right")
+            dests = layer_ids * q * grid.cols + block_ids * grid.cols + col_ids
+            for d in np.unique(dests):
+                sel = dests == d
+                row_msgs[int(d)] = np.stack([rel_rows[sel], chunk.cols[sel]])
+        send.append(row_msgs)
+    comm.charge_compute([float(c.nnz) for c in chunks])
+    received = comm.alltoallv(send)
+
+    matrices: list[DistWordMatrix] = []
+    pack_flops: list[float] = [0.0] * comm.size
+    for l in range(layers):
+        mat = DistWordMatrix(
+            grid=grid,
+            layer=l,
+            row_bounds=face_row_bounds[l],
+            col_bounds=col_bounds,
+            bit_width=bit_width,
+        )
+        for s in range(q):
+            rlo, rhi = face_row_bounds[l][s]
+            for t in range(grid.cols):
+                clo, chi = col_bounds[t]
+                local_rank = grid.local_rank(s, t, l)
+                parts = [a for a in received[local_rank] if a is not None]
+                if parts:
+                    coords = np.concatenate(parts, axis=1)
+                    rows = coords[0] - rlo
+                    cols = coords[1] - clo
+                else:
+                    rows = np.empty(0, dtype=np.int64)
+                    cols = np.empty(0, dtype=np.int64)
+                mat.blocks[(s, t)] = BitMatrix.from_coo(
+                    rows, cols, rhi - rlo, chi - clo, bit_width
+                )
+                pack_flops[local_rank] = float(rows.size)
+        matrices.append(mat)
+    comm.charge_compute(pack_flops)
+    return matrices
+
+
+def distribute_and_pack_1d(
+    comm: Communicator,
+    chunks: list[CooMatrix],
+    n_rows: int,
+    n_cols: int,
+    bit_width: int = 64,
+) -> list[BitMatrix]:
+    """1-D variant for the all-reduce strawman: full-width row slices.
+
+    Every rank receives one word-aligned row slice spanning *all*
+    columns; the Gram step then needs a full ``n x n`` all-reduce.
+    """
+    if len(chunks) != comm.size:
+        raise ValueError(
+            f"need one chunk per rank ({comm.size}), got {len(chunks)}"
+        )
+    bounds = word_aligned_row_bounds(n_rows, comm.size, bit_width)
+    his = np.array([hi for _, hi in bounds], dtype=np.int64)
+    send: list[list[np.ndarray | None]] = []
+    for chunk in chunks:
+        row_msgs: list[np.ndarray | None] = [None] * comm.size
+        if chunk.nnz:
+            dests = np.searchsorted(his, chunk.rows, side="right")
+            for d in np.unique(dests):
+                sel = dests == d
+                row_msgs[int(d)] = np.stack([chunk.rows[sel], chunk.cols[sel]])
+        send.append(row_msgs)
+    comm.charge_compute([float(c.nnz) for c in chunks])
+    received = comm.alltoallv(send)
+    blocks = []
+    flops = []
+    for r in range(comm.size):
+        rlo, rhi = bounds[r]
+        parts = [a for a in received[r] if a is not None]
+        if parts:
+            coords = np.concatenate(parts, axis=1)
+            rows = coords[0] - rlo
+            cols = coords[1]
+        else:
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+        blocks.append(BitMatrix.from_coo(rows, cols, rhi - rlo, n_cols, bit_width))
+        flops.append(float(rows.size))
+    comm.charge_compute(flops)
+    return blocks

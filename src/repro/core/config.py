@@ -1,0 +1,90 @@
+"""Configuration of the SimilarityAtScale driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bits import SUPPORTED_WIDTHS
+
+FILTER_STRATEGIES = ("allgather", "transpose", "off")
+GRAM_ALGORITHMS = ("summa", "1d_allreduce")
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Tuning knobs of the distributed Jaccard computation.
+
+    Attributes
+    ----------
+    bit_width:
+        Segment size ``b`` of the bitmask compression (Eq. 7).  The paper
+        recommends 32 or 64; 8/16 exist for the ablation bench.
+    batch_count:
+        Number of row batches ``r`` (Eq. 3).  ``None`` lets the planner
+        pick the smallest count whose per-rank footprint fits in memory
+        (the paper's "pick the batch size to use all available memory").
+    replication:
+        Output replication factor ``c`` of the 2.5D scheme.  ``None``
+        applies the paper's rule ``c = Theta(min(p, M p / n^2))`` subject
+        to grid feasibility.
+    filter_strategy:
+        ``"allgather"`` — replicate the filter vector on all ranks and
+        prefix-sum locally (what the paper's implementation does, §IV-A);
+        ``"transpose"`` — the fully distributed variant from the
+        algorithm description (§III-C); ``"off"`` — skip filtering (ablation;
+        every batch row, zero or not, is packed).
+    gram_algorithm:
+        ``"summa"`` — the communication-avoiding 2-D/2.5D product;
+        ``"1d_allreduce"`` — the dense-allreduce strawman (ablation).
+    reduce_every_batch:
+        When ``True``, replication layers reduce their partial ``B`` after
+        every batch (as in the paper's Listing 1 accumulation order);
+        when ``False`` (default) each layer accumulates locally and a
+        single fiber reduction runs after the last batch — functionally
+        identical, strictly less communication.
+    gather_result:
+        Gather the distributed ``S``/``D`` blocks to a dense array in the
+        result (on by default; turn off for communication-volume studies
+        where only the cost ledger matters).
+    compute_distance:
+        Also derive the Jaccard distance matrix ``D = 1 - S``.
+    validate:
+        Run extra internal consistency checks (symmetry, value ranges)
+        after every batch; for tests and debugging.
+    """
+
+    bit_width: int = 64
+    batch_count: int | None = None
+    replication: int | None = None
+    filter_strategy: str = "allgather"
+    gram_algorithm: str = "summa"
+    reduce_every_batch: bool = False
+    gather_result: bool = True
+    compute_distance: bool = True
+    validate: bool = False
+    memory_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.bit_width not in SUPPORTED_WIDTHS:
+            raise ValueError(
+                f"bit_width must be one of {SUPPORTED_WIDTHS}, "
+                f"got {self.bit_width}"
+            )
+        if self.batch_count is not None and self.batch_count <= 0:
+            raise ValueError(f"batch_count must be positive, got {self.batch_count}")
+        if self.replication is not None and self.replication <= 0:
+            raise ValueError(f"replication must be positive, got {self.replication}")
+        if self.filter_strategy not in FILTER_STRATEGIES:
+            raise ValueError(
+                f"filter_strategy must be one of {FILTER_STRATEGIES}, "
+                f"got {self.filter_strategy!r}"
+            )
+        if self.gram_algorithm not in GRAM_ALGORITHMS:
+            raise ValueError(
+                f"gram_algorithm must be one of {GRAM_ALGORITHMS}, "
+                f"got {self.gram_algorithm!r}"
+            )
+        if not 0.0 < self.memory_fraction <= 1.0:
+            raise ValueError(
+                f"memory_fraction must be in (0, 1], got {self.memory_fraction}"
+            )

@@ -1,0 +1,129 @@
+"""Result objects of a SimilarityAtScale run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SimilarityConfig
+from repro.runtime.cost import CostLedger
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Per-batch bookkeeping (mirrors the paper's time-per-batch plots)."""
+
+    index: int
+    row_lo: int
+    row_hi: int
+    nnz: int
+    nonzero_rows: int
+    simulated_seconds: float
+
+    @property
+    def rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def fill(self) -> float:
+        """Post-filter survivor fraction of this batch's rows."""
+        return self.nonzero_rows / self.rows if self.rows else 0.0
+
+
+@dataclass
+class SimilarityResult:
+    """Everything a SimilarityAtScale run produces.
+
+    ``similarity``/``distance``/``intersections`` are dense ``n x n``
+    arrays when ``config.gather_result`` is on, else ``None`` (the run
+    still happened; only the final gather was skipped).  ``cost`` holds
+    the charges of *this run only*, even when several runs share one
+    machine.
+    """
+
+    n: int
+    m: int
+    config: SimilarityConfig
+    machine_name: str
+    p: int
+    grid_q: int
+    grid_c: int
+    cost: CostLedger
+    batches: list[BatchStats] = field(default_factory=list)
+    similarity: np.ndarray | None = None
+    distance: np.ndarray | None = None
+    intersections: np.ndarray | None = None
+    sample_sizes: np.ndarray | None = None
+
+    @property
+    def active_ranks(self) -> int:
+        return self.grid_q * self.grid_q * self.grid_c
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batches)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled distributed runtime of the whole computation."""
+        return self.cost.simulated_seconds
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        """Average modelled time per batch (the paper's headline metric).
+
+        Like the paper (§V-B), startup effects are excluded when enough
+        batches exist: with more than three batches the first is dropped.
+        """
+        if not self.batches:
+            return 0.0
+        usable = self.batches[1:] if len(self.batches) > 3 else self.batches
+        return float(np.mean([b.simulated_seconds for b in usable]))
+
+    def projected_total_seconds(self, total_batches: int | None = None) -> float:
+        """Batch-time extrapolation, as in the paper's Fig. 2 y-axes.
+
+        The paper runs a handful of batches and projects the full-dataset
+        runtime as ``mean batch time x number of batches``.
+        """
+        r = total_batches if total_batches is not None else self.batch_count
+        return self.mean_batch_seconds * r
+
+    def top_pairs(self, top: int = 10) -> list[tuple[int, int, float]]:
+        """Most similar sample pairs ``(i, j, s_ij)``, descending.
+
+        The "similar sample discovery" application of paper Fig. 1 (Ł),
+        generic over domains.  Requires a gathered similarity matrix.
+        """
+        if self.similarity is None:
+            raise ValueError(
+                "similarity was not gathered (config.gather_result=False)"
+            )
+        s = self.similarity
+        pairs = [
+            (float(s[i, j]), i, j)
+            for i in range(self.n)
+            for j in range(i + 1, self.n)
+        ]
+        pairs.sort(reverse=True)
+        return [(i, j, v) for v, i, j in pairs[:top]]
+
+    def summary(self) -> str:
+        from repro.util.units import format_count, format_time
+
+        lines = [
+            f"SimilarityAtScale: n={self.n} samples, m={format_count(self.m)} "
+            f"attribute values",
+            f"machine={self.machine_name} p={self.p} "
+            f"grid={self.grid_q}x{self.grid_q}x{self.grid_c} "
+            f"(active {self.active_ranks}/{self.p})",
+            f"batches={self.batch_count} bit_width={self.config.bit_width} "
+            f"filter={self.config.filter_strategy} "
+            f"gram={self.config.gram_algorithm}",
+            f"simulated time: {format_time(self.simulated_seconds)} "
+            f"(mean/batch {format_time(self.mean_batch_seconds)})",
+            "",
+            self.cost.report(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Command-line interface: ``genome-at-scale``.
+
+Runs the full pipeline on a directory of FASTA files against a
+configurable simulated machine and writes the similarity/distance
+matrices, a PHYLIP export, a Newick tree, and the BSP cost report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SimilarityConfig
+from repro.genomics.phylogeny import tree_to_newick
+from repro.genomics.pipeline import GenomeAtScale
+from repro.runtime.engine import Machine
+from repro.runtime.machine import laptop, stampede2_knl
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genome-at-scale",
+        description=(
+            "Distributed Jaccard genetic distances over FASTA samples "
+            "(SimilarityAtScale on a simulated BSP machine)."
+        ),
+    )
+    parser.add_argument(
+        "inputs", nargs="+", type=Path,
+        help="FASTA files, or a single directory of .fasta/.fa files",
+    )
+    parser.add_argument("-o", "--output", type=Path, required=True,
+                        help="output directory")
+    parser.add_argument("-k", type=int, default=31,
+                        help="k-mer length (odd; default 31)")
+    parser.add_argument("--min-count", type=int, default=1,
+                        help="k-mer abundance threshold (default 1)")
+    parser.add_argument("--machine", choices=["laptop", "stampede2"],
+                        default="laptop", help="machine model preset")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="node count for the stampede2 preset")
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="rank count for the laptop preset")
+    parser.add_argument("--batches", type=int, default=None,
+                        help="batch count (default: memory-driven)")
+    parser.add_argument("--bit-width", type=int, default=64,
+                        choices=[8, 16, 32, 64], help="bitmask width b")
+    parser.add_argument("--tree", choices=["nj", "upgma", "none"],
+                        default="nj", help="phylogeny method")
+    return parser
+
+
+def collect_inputs(inputs: list[Path]) -> list[Path]:
+    if len(inputs) == 1 and inputs[0].is_dir():
+        found = sorted(
+            p for p in inputs[0].iterdir()
+            if p.suffix in (".fasta", ".fa", ".fna")
+        )
+        if not found:
+            raise SystemExit(f"no FASTA files found in {inputs[0]}")
+        return found
+    missing = [p for p in inputs if not p.exists()]
+    if missing:
+        raise SystemExit(f"missing input files: {missing}")
+    return inputs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    fasta_paths = collect_inputs(args.inputs)
+    if args.machine == "stampede2":
+        spec = stampede2_knl(args.nodes)
+    else:
+        spec = laptop(args.ranks)
+    machine = Machine(spec)
+    config = SimilarityConfig(
+        batch_count=args.batches, bit_width=args.bit_width
+    )
+    tool = GenomeAtScale(
+        machine=machine, config=config, k=args.k, min_count=args.min_count
+    )
+    args.output.mkdir(parents=True, exist_ok=True)
+    result = tool.run_fasta(fasta_paths, args.output)
+
+    np.save(args.output / "similarity.npy", result.similarity)
+    np.save(args.output / "distance.npy", result.distance)
+    result.to_phylip(args.output / "distance.phylip")
+    (args.output / "cost_report.txt").write_text(
+        result.similarity_result.summary() + "\n"
+    )
+    if args.tree != "none":
+        tree = result.tree(method=args.tree)
+        (args.output / f"tree_{args.tree}.nwk").write_text(
+            tree_to_newick(tree) + "\n"
+        )
+    print(result.similarity_result.summary())
+    print(f"\nwrote results for {result.n_samples} samples to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""FASTA / FASTQ parsing and writing.
+
+GenomeAtScale maintains compatibility with the standard bioinformatics
+formats (§I, §V-A2: "All input data is provided in the FASTA format").
+The reader is line-streaming and tolerant of multi-line sequences,
+blank lines, and gzip-compressed files (suffix ``.gz``).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.genomics.sequence import SequenceRecord
+
+
+def _open_text(path: str | Path) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt")
+    return open(path, "r")
+
+
+def iter_fasta(path: str | Path) -> Iterator[SequenceRecord]:
+    """Stream records from a FASTA file."""
+    name: str | None = None
+    parts: list[str] = []
+    with _open_text(path) as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield SequenceRecord(name=name, sequence="".join(parts))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                parts = []
+            else:
+                if name is None:
+                    raise ValueError(
+                        f"{path}: sequence data before the first '>' header"
+                    )
+                parts.append(line)
+        if name is not None:
+            yield SequenceRecord(name=name, sequence="".join(parts))
+
+
+def read_fasta(path: str | Path) -> list[SequenceRecord]:
+    """Read an entire FASTA file into memory."""
+    records = list(iter_fasta(path))
+    if not records:
+        raise ValueError(f"{path}: no FASTA records found")
+    return records
+
+
+def write_fasta(
+    path: str | Path, records: list[SequenceRecord], line_width: int = 70
+) -> None:
+    """Write records as FASTA with wrapped sequence lines."""
+    if line_width <= 0:
+        raise ValueError(f"line_width must be positive, got {line_width}")
+    path = Path(path)
+    opener = gzip.open(path, "wt") if path.suffix == ".gz" else open(path, "w")
+    with opener as fh:
+        for rec in records:
+            fh.write(f">{rec.name}\n")
+            seq = rec.sequence
+            for i in range(0, len(seq), line_width):
+                fh.write(seq[i : i + line_width] + "\n")
+
+
+def iter_fastq(path: str | Path) -> Iterator[SequenceRecord]:
+    """Stream records from a FASTQ file (4-line records)."""
+    with _open_text(path) as fh:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"{path}: expected '@' header, got {header!r}")
+            seq = fh.readline().strip()
+            plus = fh.readline().strip()
+            qual = fh.readline().strip()
+            if not plus.startswith("+"):
+                raise ValueError(f"{path}: malformed FASTQ separator {plus!r}")
+            yield SequenceRecord(
+                name=header[1:].split()[0], sequence=seq, quality=qual
+            )
+
+
+def read_fastq(path: str | Path) -> list[SequenceRecord]:
+    """Read an entire FASTQ file into memory."""
+    records = list(iter_fastq(path))
+    if not records:
+        raise ValueError(f"{path}: no FASTQ records found")
+    return records

@@ -1,0 +1,166 @@
+"""GenomeAtScale: the end-to-end tool (paper §IV and Fig. 1).
+
+Connects the genomics front end (FASTA -> cleaned canonical k-mer sets
+-> sorted numeric sample files) to the SimilarityAtScale back end
+(batched distributed Jaccard) and the downstream analyses (distance
+export, phylogenies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from repro.core.config import SimilarityConfig
+from repro.core.result import SimilarityResult
+from repro.core.similarity import SimilarityAtScale
+from repro.genomics.counting import CleaningReport, clean_sample
+from repro.genomics.fasta import read_fasta
+from repro.genomics.phylogeny import jaccard_tree
+from repro.genomics.samples import SampleStore
+from repro.runtime.engine import Machine
+
+
+@dataclass
+class GenomeAtScaleResult:
+    """Genetic distances plus everything needed to interpret them."""
+
+    names: list[str]
+    k: int
+    similarity_result: SimilarityResult
+    cleaning: list[CleaningReport]
+
+    @property
+    def similarity(self) -> np.ndarray:
+        return self.similarity_result.similarity
+
+    @property
+    def distance(self) -> np.ndarray:
+        return self.similarity_result.distance
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.names)
+
+    def tree(self, method: str = "nj") -> nx.Graph:
+        """Phylogeny from the Jaccard distances (Fig. 1 part ¼/Ł)."""
+        return jaccard_tree(self.distance, self.names, method=method)
+
+    def to_phylip(self, path: str | Path) -> None:
+        """Write the distance matrix in PHYLIP format for external tools."""
+        d = self.distance
+        lines = [f"{self.n_samples}"]
+        for name, row in zip(self.names, d):
+            label = name[:10].ljust(10)
+            lines.append(label + " ".join(f"{v:.6f}" for v in row))
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    def most_similar_pairs(self, top: int = 10) -> list[tuple[str, str, float]]:
+        """Highest-similarity sample pairs (similar-sample discovery, Ł)."""
+        s = self.similarity
+        n = self.n_samples
+        pairs = [
+            (s[i, j], i, j) for i in range(n) for j in range(i + 1, n)
+        ]
+        pairs.sort(reverse=True)
+        return [
+            (self.names[i], self.names[j], float(v))
+            for v, i, j in pairs[:top]
+        ]
+
+
+class GenomeAtScale:
+    """Distributed genetic-distance tool.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine to run the distributed phase on.
+    config:
+        SimilarityAtScale tuning knobs.
+    k:
+        k-mer length; must be odd (§V-A2).  Paper values: 19 (Kingsford),
+        31 (BIGSI).
+    canonical:
+        Use canonical (strand-independent) k-mers.
+    min_count:
+        k-mer abundance threshold for noise cleaning.  ``None`` applies
+        the size-based Kingsford rule; 1 keeps everything (appropriate
+        for assembled genomes).
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        config: SimilarityConfig | None = None,
+        k: int = 31,
+        canonical: bool = True,
+        min_count: int | None = 1,
+    ):
+        if k % 2 == 0:
+            raise ValueError(f"k must be odd (paper §V-A2), got {k}")
+        self.machine = machine
+        self.config = config
+        self.k = k
+        self.canonical = canonical
+        self.min_count = min_count
+
+    # ---- part I: building the sample representation --------------------
+
+    def build_store(
+        self,
+        fasta_paths: list[str | Path],
+        store_dir: str | Path,
+        names: list[str] | None = None,
+    ) -> tuple[SampleStore, list[CleaningReport]]:
+        """FASTA files -> sorted numeric sample store (Fig. 1, ¹)."""
+        paths = [Path(p) for p in fasta_paths]
+        if not paths:
+            raise ValueError("need at least one FASTA file")
+        if names is None:
+            names = [p.stem for p in paths]
+        if len(names) != len(paths):
+            raise ValueError(
+                f"{len(names)} names for {len(paths)} FASTA files"
+            )
+        store = SampleStore.create(store_dir, k=self.k, canonical=self.canonical)
+        reports = []
+        for name, path in zip(names, paths):
+            records = read_fasta(path)
+            codes, report = clean_sample(
+                records, self.k, min_count=self.min_count,
+                canonical=self.canonical,
+            )
+            store.add_sample(name, codes)
+            reports.append(report)
+        return store, reports
+
+    # ---- parts II + III: distributed distances -------------------------
+
+    def run_store(
+        self, store: SampleStore, cleaning: list[CleaningReport] | None = None
+    ) -> GenomeAtScaleResult:
+        """Compute all-pairs genetic distances over a sample store."""
+        engine = SimilarityAtScale(machine=self.machine, config=self.config)
+        result = engine.run(store.as_source())
+        return GenomeAtScaleResult(
+            names=list(store.names),
+            k=store.k,
+            similarity_result=result,
+            cleaning=cleaning if cleaning is not None else [],
+        )
+
+    def run_fasta(
+        self,
+        fasta_paths: list[str | Path],
+        workdir: str | Path,
+        names: list[str] | None = None,
+    ) -> GenomeAtScaleResult:
+        """End to end: FASTA files -> distance matrix."""
+        store, reports = self.build_store(
+            fasta_paths, Path(workdir) / "samples", names
+        )
+        return self.run_store(store, cleaning=reports)

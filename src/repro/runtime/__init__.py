@@ -1,0 +1,46 @@
+"""Simulated BSP distributed-memory runtime.
+
+This package is the substitute for the paper's MPI + Cyclops execution
+substrate (see DESIGN.md §2).  It provides:
+
+* :class:`~repro.runtime.machine.MachineSpec` — the machine model
+  (ranks, nodes, latency ``alpha``, bandwidth ``beta``, compute ``gamma``,
+  per-rank memory, cache behaviour, I/O bandwidth), with a preset mirroring
+  the paper's Stampede2 KNL configuration;
+* :class:`~repro.runtime.engine.Machine` — the execution engine holding a
+  cost ledger and a local-compute executor;
+* :class:`~repro.runtime.comm.Communicator` — the SPMD communication
+  façade: MPI-like collectives whose *functional* result is computed
+  exactly and whose *cost* is charged to the ledger under the Bulk
+  Synchronous Parallel model used by the paper's §III-C analysis;
+* :class:`~repro.runtime.topology.ProcessorGrid` — 2-D and 3-D
+  (``sqrt(p/c) x sqrt(p/c) x c``) processor grids with row/column/layer
+  sub-communicators, as used by SUMMA and the 2.5D replication scheme.
+
+Programs written against :class:`Communicator` are deterministic and
+produce bit-identical results to a serial computation; the ledger's
+``simulated_seconds`` gives the modelled distributed runtime.
+"""
+
+from repro.runtime.comm import Communicator
+from repro.runtime.cost import CostLedger, PhaseCost
+from repro.runtime.engine import Machine
+from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
+from repro.runtime.machine import CacheModel, MachineSpec, laptop, stampede2_knl
+from repro.runtime.topology import ProcessorGrid, choose_grid_2d, choose_grid_3d
+
+__all__ = [
+    "Communicator",
+    "CostLedger",
+    "PhaseCost",
+    "Machine",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "CacheModel",
+    "MachineSpec",
+    "laptop",
+    "stampede2_knl",
+    "ProcessorGrid",
+    "choose_grid_2d",
+    "choose_grid_3d",
+]

@@ -1,0 +1,208 @@
+"""The SPMD communication façade.
+
+A :class:`Communicator` represents a group of simulated ranks, analogous
+to an ``MPI_Comm``.  Algorithms written against it look like coordinator
+code: per-rank local state lives in Python lists indexed by group-local
+rank, local kernels run through :meth:`run_local` (optionally on a thread
+pool), and data exchange goes through the collective methods, which
+produce exact functional results while charging BSP costs to the machine's
+ledger.
+
+Example
+-------
+>>> from repro.runtime import Machine, laptop
+>>> mach = Machine(laptop(4))
+>>> comm = mach.world
+>>> partials = comm.run_local(lambda rank: rank + 1)
+>>> comm.allreduce(partials, op="sum")[0]
+10
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.runtime import collectives as coll
+from repro.runtime.collectives import ReduceOp, payload_nbytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import Machine
+
+
+class Communicator:
+    """A group of simulated ranks with MPI-like collectives."""
+
+    def __init__(self, machine: "Machine", ranks: Sequence[int] | None = None):
+        self.machine = machine
+        if ranks is None:
+            ranks = range(machine.spec.p)
+        self.ranks: tuple[int, ...] = tuple(int(r) for r in ranks)
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError("communicator ranks must be distinct")
+        for r in self.ranks:
+            if not 0 <= r < machine.spec.p:
+                raise IndexError(f"rank {r} out of range for p={machine.spec.p}")
+
+    # ---- group structure ----------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def spec(self):
+        return self.machine.spec
+
+    @property
+    def ledger(self):
+        return self.machine.ledger
+
+    def sub(self, local_indices: Sequence[int]) -> "Communicator":
+        """Sub-communicator from group-local indices."""
+        return Communicator(self.machine, [self.ranks[i] for i in local_indices])
+
+    def split(self, colors: Sequence[int]) -> dict[int, "Communicator"]:
+        """MPI_Comm_split: one sub-communicator per distinct color."""
+        if len(colors) != self.size:
+            raise ValueError(
+                f"need one color per rank ({self.size}), got {len(colors)}"
+            )
+        groups: dict[int, list[int]] = {}
+        for i, c in enumerate(colors):
+            groups.setdefault(int(c), []).append(i)
+        return {c: self.sub(idx) for c, idx in groups.items()}
+
+    def _check_values(self, values: Sequence, what: str) -> list:
+        if len(values) != self.size:
+            raise ValueError(
+                f"{what} expects one value per rank ({self.size}), "
+                f"got {len(values)}"
+            )
+        return list(values)
+
+    # ---- local compute --------------------------------------------------
+
+    def run_local(self, fn: Callable[..., Any], *per_rank_args: Sequence) -> list:
+        """Run ``fn(local_rank, *args_i)`` for every rank in the group.
+
+        Results are returned as a list indexed by group-local rank.  Pure
+        execution — charge modelled compute separately via
+        :meth:`charge_compute` with the kernel's operation count.
+        """
+        for args in per_rank_args:
+            self._check_values(args, "run_local")
+        return self.machine.executor.map(fn, range(self.size), *per_rank_args)
+
+    def charge_compute(
+        self,
+        flops: float | Sequence[float],
+        working_set_bytes: float = 0.0,
+    ) -> None:
+        """Charge local compute; each rank's clock advances independently."""
+        if isinstance(flops, (int, float, np.integer, np.floating)):
+            seq = [float(flops)] * self.size
+        else:
+            seq = [float(f) for f in flops]
+            self._check_values(seq, "charge_compute")
+        per_rank = [
+            self.spec.compute_seconds(f, working_set_bytes) for f in seq
+        ]
+        self.ledger.charge_compute(
+            max(per_rank, default=0.0),
+            flops=sum(seq),
+            ranks=self.ranks,
+            per_rank_seconds=per_rank,
+        )
+
+    def charge_io(self, bytes_per_rank: float | Sequence[float]) -> None:
+        """Charge file I/O; each rank's clock advances independently."""
+        if isinstance(bytes_per_rank, (int, float, np.integer, np.floating)):
+            seq = [float(bytes_per_rank)] * self.size
+        else:
+            seq = [float(b) for b in bytes_per_rank]
+            self._check_values(seq, "charge_io")
+        per_rank = [self.spec.io_seconds(b) for b in seq]
+        self.ledger.charge_io(
+            max(per_rank, default=0.0),
+            ranks=self.ranks,
+            per_rank_seconds=per_rank,
+        )
+
+    # ---- collectives -----------------------------------------------------
+
+    def barrier(self) -> None:
+        coll.barrier_charge(self.spec, self.ranks).apply(self.ledger, self.ranks)
+
+    def bcast(self, values: Sequence, root: int = 0) -> list:
+        vals = self._check_values(values, "bcast")
+        out, charge = coll.bcast(self.spec, self.ranks, vals, root)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def bcast_from(self, value: Any, root: int = 0) -> list:
+        """Broadcast a single root-held value (sugar over :meth:`bcast`)."""
+        vals: list = [None] * self.size
+        vals[root] = value
+        return self.bcast(vals, root=root)
+
+    def reduce(self, values: Sequence, op: str | ReduceOp, root: int = 0) -> list:
+        vals = self._check_values(values, "reduce")
+        out, charge = coll.reduce(self.spec, self.ranks, vals, op, root)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def allreduce(
+        self, values: Sequence, op: str | ReduceOp, algorithm: str = "auto"
+    ) -> list:
+        vals = self._check_values(values, "allreduce")
+        out, charge = coll.allreduce(self.spec, self.ranks, vals, op, algorithm)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def allgather(self, values: Sequence) -> list[list]:
+        vals = self._check_values(values, "allgather")
+        out, charge = coll.allgather(self.spec, self.ranks, vals)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def alltoallv(self, chunks: Sequence[Sequence]) -> list[list]:
+        rows = [list(row) for row in chunks]
+        self._check_values(rows, "alltoallv")
+        out, charge = coll.alltoallv(self.spec, self.ranks, rows)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def gatherv(self, values: Sequence, root: int = 0) -> list:
+        vals = self._check_values(values, "gatherv")
+        out, charge = coll.gatherv(self.spec, self.ranks, vals, root)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def scatterv(self, parts: Sequence, root: int = 0) -> list:
+        out, charge = coll.scatterv(self.spec, self.ranks, list(parts), root)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def scan(self, values: Sequence, op: str | ReduceOp) -> list:
+        vals = self._check_values(values, "scan")
+        out, charge = coll.scan(self.spec, self.ranks, vals, op, exclusive=False)
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    def exscan(self, values: Sequence, op: str | ReduceOp, identity: Any) -> list:
+        vals = self._check_values(values, "exscan")
+        out, charge = coll.scan(
+            self.spec, self.ranks, vals, op, exclusive=True, identity=identity
+        )
+        charge.apply(self.ledger, self.ranks)
+        return out
+
+    # ---- convenience -----------------------------------------------------
+
+    def payload_nbytes(self, obj: Any) -> int:
+        return payload_nbytes(obj)
+
+    def __repr__(self) -> str:
+        return f"Communicator(size={self.size}, machine={self.spec.name!r})"

@@ -1,0 +1,325 @@
+"""BSP cost accounting with per-rank simulated clocks.
+
+Timing model
+------------
+Every rank carries a simulated clock.  Local work (compute, file I/O)
+advances each participating rank's clock independently; a collective
+first synchronizes its group (each member's clock jumps to the group
+max — the BSP superstep barrier) and then adds the collective's cost.
+The **makespan** — the maximum clock — is the modelled runtime.  This
+makes concurrency fall out naturally: operations on disjoint rank
+groups (different grid columns, different replication layers) overlap,
+while operations sharing ranks serialize, exactly as on a real machine.
+
+Volume accounting
+-----------------
+Independently of the clocks, every charge also accumulates *volume*
+statistics per phase (supersteps, bytes, messages, flops, and
+serialized per-component seconds).  These answer "how much data moved
+in the filter phase?" regardless of overlap.  Phase ``wall_seconds``
+records how much the makespan advanced while the phase was active —
+the number to read for per-phase time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated cost of one phase.
+
+    ``wall_seconds`` is the makespan advance attributed to the phase;
+    the ``*_seconds`` components are serialized sums of the individual
+    charges (useful as upper bounds and for volume ratios).
+    """
+
+    supersteps: int = 0
+    wall_seconds: float = 0.0
+    alpha_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    io_seconds: float = 0.0
+    total_bytes: float = 0.0
+    max_rank_bytes: float = 0.0
+    messages: int = 0
+    total_flops: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Phase time: the makespan advance when clock-tracked, else the
+        serialized sum of the charge components."""
+        if self.wall_seconds > 0.0:
+            return self.wall_seconds
+        return (
+            self.alpha_seconds
+            + self.comm_seconds
+            + self.compute_seconds
+            + self.io_seconds
+        )
+
+    def merge(self, other: "PhaseCost") -> None:
+        """Fold another phase's charges into this one."""
+        self.supersteps += other.supersteps
+        self.wall_seconds += other.wall_seconds
+        self.alpha_seconds += other.alpha_seconds
+        self.comm_seconds += other.comm_seconds
+        self.compute_seconds += other.compute_seconds
+        self.io_seconds += other.io_seconds
+        self.total_bytes += other.total_bytes
+        self.max_rank_bytes += other.max_rank_bytes
+        self.messages += other.messages
+        self.total_flops += other.total_flops
+
+
+@dataclass
+class CostLedger:
+    """Accumulates BSP costs for one simulated program run.
+
+    With ``n_ranks`` set (the normal case — every
+    :class:`~repro.runtime.engine.Machine` does this), per-rank clocks
+    drive :attr:`simulated_seconds`.  A bare ledger falls back to
+    serialized sums, which is convenient for unit tests of the
+    accounting itself.
+    """
+
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+    n_ranks: int | None = None
+    _phase_stack: list[str] = field(default_factory=list)
+    _clocks: np.ndarray | None = field(default=None, repr=False)
+    _makespan_override: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_ranks is not None:
+            self._clocks = np.zeros(self.n_ranks, dtype=np.float64)
+
+    # ---- clock timeline --------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Current simulated time: the furthest rank clock."""
+        if self._makespan_override is not None:
+            return self._makespan_override
+        if self._clocks is not None and self._clocks.size:
+            return float(self._clocks.max())
+        return self.total.seconds
+
+    def sync_advance(self, ranks: Sequence[int], seconds: float) -> None:
+        """Synchronize a group, then advance it (a collective's timing)."""
+        if self._clocks is None:
+            return
+        idx = np.asarray(list(ranks), dtype=np.int64)
+        if idx.size == 0:
+            return
+        start = self._clocks[idx].max()
+        self._clocks[idx] = start + seconds
+
+    def local_advance(
+        self, ranks: Sequence[int], seconds: float | Sequence[float]
+    ) -> None:
+        """Advance ranks independently (local compute / file I/O)."""
+        if self._clocks is None:
+            return
+        idx = np.asarray(list(ranks), dtype=np.int64)
+        if idx.size == 0:
+            return
+        self._clocks[idx] += np.asarray(seconds, dtype=np.float64)
+
+    # ---- phases ------------------------------------------------------------
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else "default"
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseCost]:
+        """Attribute charges (and makespan advance) to ``name``.
+
+        Nested phases attribute volume to the innermost label; wall time
+        is attributed to every frame on the stack, so use flat phases
+        for clean breakdowns.
+        """
+        self._phase_stack.append(name)
+        entered = self.makespan if self._clocks is not None else 0.0
+        try:
+            yield self._get(name)
+        finally:
+            self._phase_stack.pop()
+            if self._clocks is not None:
+                self._get(name).wall_seconds += self.makespan - entered
+
+    def _get(self, name: str | None = None) -> PhaseCost:
+        key = name if name is not None else self.current_phase
+        if key not in self.phases:
+            self.phases[key] = PhaseCost()
+        return self.phases[key]
+
+    # ---- charging API -------------------------------------------------
+
+    def charge_superstep(
+        self,
+        *,
+        alpha_seconds: float,
+        comm_seconds: float = 0.0,
+        compute_seconds: float = 0.0,
+        total_bytes: float = 0.0,
+        max_rank_bytes: float = 0.0,
+        messages: int = 0,
+        total_flops: float = 0.0,
+        rounds: int = 1,
+        phase: str | None = None,
+        ranks: Sequence[int] | None = None,
+    ) -> None:
+        """Charge one logical communication step (possibly multi-round)."""
+        pc = self._get(phase)
+        pc.supersteps += rounds
+        pc.alpha_seconds += alpha_seconds
+        pc.comm_seconds += comm_seconds
+        pc.compute_seconds += compute_seconds
+        pc.total_bytes += total_bytes
+        pc.max_rank_bytes += max_rank_bytes
+        pc.messages += messages
+        pc.total_flops += total_flops
+        if ranks is not None:
+            self.sync_advance(
+                ranks, alpha_seconds + comm_seconds + compute_seconds
+            )
+
+    def charge_compute(
+        self,
+        seconds: float,
+        flops: float = 0.0,
+        phase: str | None = None,
+        ranks: Sequence[int] | None = None,
+        per_rank_seconds: Sequence[float] | None = None,
+    ) -> None:
+        """Charge local computation.
+
+        ``seconds`` is the slowest rank's time (volume stat);
+        ``per_rank_seconds`` (with ``ranks``) drives the clocks.
+        """
+        pc = self._get(phase)
+        pc.compute_seconds += seconds
+        pc.total_flops += flops
+        if ranks is not None:
+            self.local_advance(
+                ranks,
+                per_rank_seconds if per_rank_seconds is not None else seconds,
+            )
+
+    def charge_io(
+        self,
+        seconds: float,
+        phase: str | None = None,
+        ranks: Sequence[int] | None = None,
+        per_rank_seconds: Sequence[float] | None = None,
+    ) -> None:
+        """Charge file-system time."""
+        pc = self._get(phase)
+        pc.io_seconds += seconds
+        if ranks is not None:
+            self.local_advance(
+                ranks,
+                per_rank_seconds if per_rank_seconds is not None else seconds,
+            )
+
+    # ---- aggregate views ----------------------------------------------
+
+    @property
+    def total(self) -> PhaseCost:
+        agg = PhaseCost()
+        for pc in self.phases.values():
+            agg.merge(pc)
+        return agg
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Modelled makespan of everything charged so far."""
+        return self.makespan
+
+    @property
+    def communication_bytes(self) -> float:
+        """Total bytes moved over the network (all ranks, all phases)."""
+        return self.total.total_bytes
+
+    @property
+    def supersteps(self) -> int:
+        return self.total.supersteps
+
+    def snapshot(self) -> dict:
+        """State marker for later :meth:`diff` (phases + makespan)."""
+        out: dict[str, PhaseCost] = {}
+        for name, pc in self.phases.items():
+            copy = PhaseCost()
+            copy.merge(pc)
+            out[name] = copy
+        return {"phases": out, "makespan": self.makespan}
+
+    def reset(self) -> None:
+        self.phases.clear()
+        if self._clocks is not None:
+            self._clocks[:] = 0.0
+        self._makespan_override = None
+
+    def diff(self, before: dict) -> "CostLedger":
+        """A ledger holding only the charges accrued since ``before``."""
+        prev_phases: dict[str, PhaseCost] = before.get("phases", {})
+        out = CostLedger()
+        for name, pc in self.phases.items():
+            prev = prev_phases.get(name, PhaseCost())
+            delta = PhaseCost(
+                supersteps=pc.supersteps - prev.supersteps,
+                wall_seconds=pc.wall_seconds - prev.wall_seconds,
+                alpha_seconds=pc.alpha_seconds - prev.alpha_seconds,
+                comm_seconds=pc.comm_seconds - prev.comm_seconds,
+                compute_seconds=pc.compute_seconds - prev.compute_seconds,
+                io_seconds=pc.io_seconds - prev.io_seconds,
+                total_bytes=pc.total_bytes - prev.total_bytes,
+                max_rank_bytes=pc.max_rank_bytes - prev.max_rank_bytes,
+                messages=pc.messages - prev.messages,
+                total_flops=pc.total_flops - prev.total_flops,
+            )
+            if (
+                delta.supersteps
+                or delta.seconds
+                or delta.total_bytes
+                or delta.total_flops
+            ):
+                out.phases[name] = delta
+        out._makespan_override = self.makespan - before.get("makespan", 0.0)
+        return out
+
+    def report(self) -> str:
+        """Tabular per-phase breakdown, for logs and EXPERIMENTS.md."""
+        from repro.util.units import format_bytes, format_time
+
+        header = (
+            f"{'phase':<18}{'steps':>8}{'time':>12}{'comm':>12}"
+            f"{'compute':>12}{'io':>12}{'bytes':>14}{'flops':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.phases):
+            pc = self.phases[name]
+            lines.append(
+                f"{name:<18}{pc.supersteps:>8}{format_time(pc.seconds):>12}"
+                f"{format_time(pc.comm_seconds):>12}"
+                f"{format_time(pc.compute_seconds):>12}"
+                f"{format_time(pc.io_seconds):>12}"
+                f"{format_bytes(pc.total_bytes):>14}{pc.total_flops:>12.3g}"
+            )
+        tot = self.total
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'TOTAL':<18}{tot.supersteps:>8}"
+            f"{format_time(self.simulated_seconds):>12}"
+            f"{format_time(tot.comm_seconds):>12}"
+            f"{format_time(tot.compute_seconds):>12}"
+            f"{format_time(tot.io_seconds):>12}"
+            f"{format_bytes(tot.total_bytes):>14}{tot.total_flops:>12.3g}"
+        )
+        return "\n".join(lines)

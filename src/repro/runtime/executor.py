@@ -1,0 +1,50 @@
+"""Local-compute executors.
+
+The simulated machine runs each rank's *local* kernel as ordinary Python.
+The :class:`SequentialExecutor` runs ranks one after another (fully
+deterministic, best for debugging); the :class:`ThreadedExecutor` runs
+them on a thread pool — NumPy kernels release the GIL, so rank-local work
+genuinely overlaps, giving real wall-clock speedups for large problems
+without changing any result (kernels are pure functions of their rank's
+inputs).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SequentialExecutor:
+    """Runs per-rank kernels one at a time, in rank order."""
+
+    def map(self, fn: Callable[..., R], *iterables: Iterable) -> list[R]:
+        return [fn(*args) for args in zip(*iterables)]
+
+    def shutdown(self) -> None:  # symmetry with ThreadedExecutor
+        pass
+
+
+class ThreadedExecutor:
+    """Runs per-rank kernels concurrently on a bounded thread pool."""
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[..., R], *iterables: Sequence) -> list[R]:
+        return list(self._pool.map(fn, *iterables))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

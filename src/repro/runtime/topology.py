@@ -1,0 +1,159 @@
+"""Processor grids and grid sub-communicators.
+
+SimilarityAtScale computes ``B = A^T A`` on a ``sqrt(p/c) x sqrt(p/c) x c``
+processor grid (§III-C): each of the ``c`` replication layers owns a copy
+of the output and a slice of the input rows; within a layer, a 2-D SUMMA
+runs over the ``sqrt(p/c) x sqrt(p/c)`` face.  This module maps ranks to
+grid coordinates and builds the row / column / layer / fiber
+sub-communicators those algorithms need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.runtime.comm import Communicator
+
+
+def factor_near_square(p: int) -> tuple[int, int]:
+    """Factor ``p = a * b`` with ``a <= b`` and ``b - a`` minimal."""
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    a = int(math.isqrt(p))
+    while a > 1 and p % a != 0:
+        a -= 1
+    return a, p // a
+
+
+def choose_grid_2d(p: int) -> tuple[int, int]:
+    """A near-square 2-D grid ``(rows, cols)`` with ``rows * cols == p``."""
+    a, b = factor_near_square(p)
+    return a, b
+
+
+def choose_grid_3d(p: int, c: int | None = None, memory_words: float | None = None,
+                   n: int | None = None) -> tuple[int, int, int]:
+    """A ``(rows, cols, layers)`` grid with ``rows*cols*layers == p``.
+
+    If ``c`` is given it is clamped to the largest divisor of ``p`` not
+    exceeding it.  Otherwise, when ``memory_words`` (per-rank words ``M``)
+    and the sample count ``n`` are supplied, replication is chosen per the
+    paper's rule ``c = Theta(min(p, M p / n^2))`` — replicate the output as
+    much as memory allows; with neither given, ``c = 1``.
+    """
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    if c is None:
+        if memory_words is not None and n is not None and n > 0:
+            c = max(1, min(p, int(memory_words * p / float(n) ** 2)))
+        else:
+            c = 1
+    c = max(1, min(int(c), p))
+    while p % c != 0:
+        c -= 1
+    rows, cols = choose_grid_2d(p // c)
+    return rows, cols, c
+
+
+@dataclass(frozen=True)
+class GridCoords:
+    """Coordinates of one rank on a 3-D processor grid."""
+
+    row: int
+    col: int
+    layer: int
+
+
+class ProcessorGrid:
+    """A 3-D (rows x cols x layers) view over a communicator's ranks.
+
+    A 2-D grid is the special case ``layers == 1``.  Rank mapping is
+    layer-major, then row-major within a layer, so that a layer's face is
+    a contiguous rank range (replication layers map naturally to node
+    subsets).
+    """
+
+    def __init__(self, comm: Communicator, rows: int, cols: int, layers: int = 1):
+        if rows <= 0 or cols <= 0 or layers <= 0:
+            raise ValueError(
+                f"grid dims must be positive, got {rows}x{cols}x{layers}"
+            )
+        if rows * cols * layers != comm.size:
+            raise ValueError(
+                f"grid {rows}x{cols}x{layers} needs {rows * cols * layers} "
+                f"ranks but communicator has {comm.size}"
+            )
+        self.comm = comm
+        self.rows = rows
+        self.cols = cols
+        self.layers = layers
+        self._cache: dict[tuple, Communicator] = {}
+
+    @classmethod
+    def build_2d(cls, comm: Communicator) -> "ProcessorGrid":
+        r, c = choose_grid_2d(comm.size)
+        return cls(comm, r, c, 1)
+
+    @classmethod
+    def build_3d(
+        cls,
+        comm: Communicator,
+        c: int | None = None,
+        memory_words: float | None = None,
+        n: int | None = None,
+    ) -> "ProcessorGrid":
+        r, q, layers = choose_grid_3d(comm.size, c, memory_words, n)
+        return cls(comm, r, q, layers)
+
+    # ---- rank <-> coordinates -------------------------------------------
+
+    def coords(self, local_rank: int) -> GridCoords:
+        if not 0 <= local_rank < self.comm.size:
+            raise IndexError(f"rank {local_rank} out of range")
+        face = self.rows * self.cols
+        layer, rem = divmod(local_rank, face)
+        row, col = divmod(rem, self.cols)
+        return GridCoords(row=row, col=col, layer=layer)
+
+    def local_rank(self, row: int, col: int, layer: int = 0) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols and 0 <= layer < self.layers):
+            raise IndexError(
+                f"coords ({row},{col},{layer}) out of range for "
+                f"{self.rows}x{self.cols}x{self.layers}"
+            )
+        return layer * self.rows * self.cols + row * self.cols + col
+
+    # ---- sub-communicators ------------------------------------------------
+
+    def _cached(self, key: tuple, indices: list[int]) -> Communicator:
+        if key not in self._cache:
+            self._cache[key] = self.comm.sub(indices)
+        return self._cache[key]
+
+    def row_comm(self, row: int, layer: int = 0) -> Communicator:
+        """Ranks sharing ``row`` within ``layer`` (varies over columns)."""
+        idx = [self.local_rank(row, c, layer) for c in range(self.cols)]
+        return self._cached(("row", row, layer), idx)
+
+    def col_comm(self, col: int, layer: int = 0) -> Communicator:
+        """Ranks sharing ``col`` within ``layer`` (varies over rows)."""
+        idx = [self.local_rank(r, col, layer) for r in range(self.rows)]
+        return self._cached(("col", col, layer), idx)
+
+    def layer_comm(self, layer: int) -> Communicator:
+        """All ranks of one replication layer (a 2-D face)."""
+        idx = [
+            self.local_rank(r, c, layer)
+            for r in range(self.rows)
+            for c in range(self.cols)
+        ]
+        return self._cached(("layer", layer), idx)
+
+    def fiber_comm(self, row: int, col: int) -> Communicator:
+        """Ranks sharing a face position across layers (the reduce fiber)."""
+        idx = [self.local_rank(row, col, layer) for layer in range(self.layers)]
+        return self._cached(("fiber", row, col), idx)
+
+    def __repr__(self) -> str:
+        return f"ProcessorGrid({self.rows}x{self.cols}x{self.layers})"

@@ -1,0 +1,53 @@
+"""Sparse / bit-packed matrix substrate (the Cyclops-CTF substitute).
+
+The paper's implementation uses Cyclops for (a) distributed sparse vector
+writes with algebraic accumulation, (b) semiring sparse-matrix products
+with dense output (the popcount kernel of Eq. 7), and (c) processor-grid
+data distribution.  This package re-implements that subset:
+
+* :mod:`~repro.sparse.semiring` — monoid/semiring abstraction, including
+  the ``(max, x)`` structure used for the filter vector and the
+  popcount-AND structure used for the compressed product;
+* :mod:`~repro.sparse.coo`, :mod:`~repro.sparse.csr` — minimal boolean /
+  integer sparse formats tailored to hypersparse indicator matrices;
+* :mod:`~repro.sparse.bitmatrix` — the b-bit packed column-block format
+  of §III-B technique (3);
+* :mod:`~repro.sparse.spgemm` — local Gram kernels ``B = A^T A``
+  (dense-word popcount and hypersparse row-outer-product variants);
+* :mod:`~repro.sparse.distributed` — block-distributed matrices over
+  processor grids, with redistribution;
+* :mod:`~repro.sparse.summa` — communication-avoiding distributed Gram:
+  2-D SUMMA and the 2.5D replicated variant of §III-C.
+"""
+
+from repro.sparse.bitmatrix import BitMatrix
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.semiring import (
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_TIMES,
+    POPCOUNT_AND,
+    Semiring,
+)
+from repro.sparse.spgemm import (
+    colsum_bitpacked,
+    colsum_csr,
+    gram_bitpacked,
+    gram_csr_outer,
+)
+
+__all__ = [
+    "BitMatrix",
+    "CooMatrix",
+    "CsrMatrix",
+    "Semiring",
+    "ARITHMETIC",
+    "BOOLEAN",
+    "MAX_TIMES",
+    "POPCOUNT_AND",
+    "gram_bitpacked",
+    "gram_csr_outer",
+    "colsum_bitpacked",
+    "colsum_csr",
+]

@@ -1,0 +1,162 @@
+"""Bit-packed column-block matrices (paper §III-B, technique 3).
+
+After zero-row filtering, SimilarityAtScale packs segments of ``b``
+consecutive rows of each column into one ``b``-bit word, turning the
+boolean matrix ``A-bar`` of shape ``m-tilde x n`` into a word matrix
+``A-hat`` of shape ``(m-tilde / b) x n`` over ``S = {0, ..., 2^b - 1}``.
+The Gram product then runs over the popcount-AND semiring (Eq. 7):
+
+    s_ij = sum_k popcount(a_ki AND a_kj)
+
+:class:`BitMatrix` stores the packed words *densely* per column — the
+right layout for the post-filter batches, whose word-rows are dense by
+construction (every surviving row segment contains at least one set bit;
+columns are the samples being compared).  The dense-word layout is what
+makes the popcount kernel a contiguous, vectorizable sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.bits import WORD_DTYPES, unpack_bits, words_needed
+
+
+@dataclass
+class BitMatrix:
+    """A boolean matrix packed ``bit_width`` rows per word.
+
+    ``words`` has shape ``(n_word_rows, n_cols)``; bit ``k`` of
+    ``words[w, j]`` is row ``w * bit_width + k`` of column ``j``.
+    """
+
+    words: np.ndarray
+    n_rows: int
+    bit_width: int
+
+    def __post_init__(self) -> None:
+        if self.bit_width not in WORD_DTYPES:
+            raise ValueError(f"unsupported bit width {self.bit_width}")
+        expect_dtype = WORD_DTYPES[self.bit_width]
+        self.words = np.ascontiguousarray(self.words, dtype=expect_dtype)
+        if self.words.ndim != 2:
+            raise ValueError(f"words must be 2-D, got shape {self.words.shape}")
+        need = words_needed(self.n_rows, self.bit_width)
+        if self.words.shape[0] != need:
+            raise ValueError(
+                f"expected {need} word rows for {self.n_rows} bit rows at "
+                f"b={self.bit_width}, got {self.words.shape[0]}"
+            )
+
+    # ---- constructors ---------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n_rows: int, n_cols: int, bit_width: int = 64) -> "BitMatrix":
+        dtype = WORD_DTYPES[bit_width]
+        shape = (words_needed(n_rows, bit_width), n_cols)
+        return cls(np.zeros(shape, dtype=dtype), n_rows, bit_width)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        n_rows: int,
+        n_cols: int,
+        bit_width: int = 64,
+    ) -> "BitMatrix":
+        """Pack coordinates; duplicates collapse through the OR."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row index out of bounds")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column index out of bounds")
+        out = cls.zeros(n_rows, n_cols, bit_width)
+        if rows.size:
+            word_rows = rows // bit_width
+            dtype = WORD_DTYPES[bit_width]
+            bits = (rows % bit_width).astype(dtype)
+            masks = (dtype.type(1) << bits).astype(dtype)
+            np.bitwise_or.at(out.words, (word_rows, cols), masks)
+        return out
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, bit_width: int = 64) -> "BitMatrix":
+        arr = np.asarray(dense).astype(bool)
+        rows, cols = np.nonzero(arr)
+        return cls.from_coo(rows, cols, arr.shape[0], arr.shape[1], bit_width)
+
+    # ---- properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (bit-rows, cols) shape."""
+        return (self.n_rows, self.words.shape[1])
+
+    @property
+    def n_cols(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def n_word_rows(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    @property
+    def nnz(self) -> int:
+        """Number of set bits (stored nonzeros of the boolean matrix)."""
+        if self.words.size == 0:
+            return 0
+        return int(np.bitwise_count(self.words).sum(dtype=np.int64))
+
+    # ---- operations -------------------------------------------------------
+
+    def column_popcounts(self) -> np.ndarray:
+        """Set bits per column — the batch contribution to ``a-hat``."""
+        if self.words.size == 0:
+            return np.zeros(self.n_cols, dtype=np.int64)
+        return np.bitwise_count(self.words).sum(axis=0, dtype=np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=bool)
+        for j in range(self.n_cols):
+            out[:, j] = unpack_bits(self.words[:, j], self.n_rows, self.bit_width)
+        return out
+
+    def col_slice(self, lo: int, hi: int) -> "BitMatrix":
+        if not 0 <= lo <= hi <= self.n_cols:
+            raise IndexError(f"column slice [{lo},{hi}) out of range {self.n_cols}")
+        return BitMatrix(self.words[:, lo:hi].copy(), self.n_rows, self.bit_width)
+
+    def word_row_slice(self, lo: int, hi: int) -> "BitMatrix":
+        """Slice whole word-rows (row granularity = ``bit_width`` bits)."""
+        if not 0 <= lo <= hi <= self.n_word_rows:
+            raise IndexError(
+                f"word-row slice [{lo},{hi}) out of range {self.n_word_rows}"
+            )
+        n_rows = min(self.n_rows - lo * self.bit_width, (hi - lo) * self.bit_width)
+        n_rows = max(n_rows, 0)
+        return BitMatrix(self.words[lo:hi].copy(), n_rows, self.bit_width)
+
+    def stack(self, other: "BitMatrix") -> "BitMatrix":
+        """Vertical concatenation at word-row granularity.
+
+        Requires this matrix's bit rows to fill its words exactly (true for
+        all internal uses, where segment boundaries are word-aligned).
+        """
+        if self.bit_width != other.bit_width:
+            raise ValueError("bit widths differ")
+        if self.n_cols != other.n_cols:
+            raise ValueError("column counts differ")
+        if self.n_rows % self.bit_width != 0 and other.n_word_rows > 0:
+            raise ValueError(
+                "cannot stack below a partially-filled trailing word"
+            )
+        words = np.vstack([self.words, other.words])
+        return BitMatrix(words, self.n_rows + other.n_rows, self.bit_width)

@@ -1,0 +1,127 @@
+"""Compressed sparse row matrices.
+
+CSR is the compute format for uncompressed sparse kernels: the row-outer
+Gram product (:func:`repro.sparse.spgemm.gram_csr_outer`) walks rows of
+``A`` directly, which is the natural access pattern for ``A^T A`` — each
+nonzero row ``k`` contributes the outer product of its column set with
+itself.  As in COO, boolean matrices carry ``data=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CsrMatrix:
+    """CSR with 64-bit indices; ``data=None`` encodes an all-ones matrix."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    shape: tuple[int, int]
+    data: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        n_rows, n_cols = self.shape
+        if self.indptr.ndim != 1 or self.indptr.size != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length n_rows+1={n_rows + 1}, "
+                f"got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n_cols
+        ):
+            raise ValueError("column index out of bounds")
+        if self.data is not None:
+            self.data = np.asarray(self.data)
+            if self.data.shape != self.indices.shape:
+                raise ValueError("data must align with indices")
+
+    # ---- properties --------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.data is None
+
+    @property
+    def nbytes(self) -> int:
+        base = self.indptr.nbytes + self.indices.nbytes
+        return base + (self.data.nbytes if self.data is not None else 0)
+
+    def row_degrees(self) -> np.ndarray:
+        """Nonzeros per row."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> np.ndarray:
+        """Column indices of row ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise IndexError(f"row {i} out of range {self.shape[0]}")
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def nonzero_rows(self) -> np.ndarray:
+        """Indices of rows with at least one stored entry."""
+        return np.flatnonzero(np.diff(self.indptr) > 0)
+
+    def column_sums(self) -> np.ndarray:
+        """Per-column sums — the ``a-hat`` vector of §III-A when boolean."""
+        out = np.zeros(self.shape[1], dtype=np.int64)
+        if self.is_boolean:
+            np.add.at(out, self.indices, 1)
+        else:
+            np.add.at(out, self.indices, self.data.astype(np.int64))
+        return out
+
+    # ---- transforms ----------------------------------------------------------
+
+    def to_dense(self, dtype=None) -> np.ndarray:
+        if dtype is None:
+            dtype = bool if self.is_boolean else self.data.dtype
+        out = np.zeros(self.shape, dtype=dtype)
+        row_ids = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        if self.is_boolean:
+            out[row_ids, self.indices] = True if dtype == bool else 1
+        else:
+            out[row_ids, self.indices] = self.data.astype(dtype)
+        return out
+
+    def to_coo(self) -> "CooMatrix":
+        from repro.sparse.coo import CooMatrix
+
+        row_ids = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return CooMatrix(row_ids, self.indices.copy(), self.shape,
+                         None if self.is_boolean else self.data.copy())
+
+    def select_rows(self, row_ids: np.ndarray) -> "CsrMatrix":
+        """A new CSR containing only ``row_ids``, in the given order."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        counts = self.indptr[row_ids + 1] - self.indptr[row_ids]
+        indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if self.nnz:
+            gather = np.concatenate(
+                [
+                    np.arange(self.indptr[r], self.indptr[r + 1])
+                    for r in row_ids
+                ]
+            ) if row_ids.size else np.empty(0, dtype=np.int64)
+        else:
+            gather = np.empty(0, dtype=np.int64)
+        indices = self.indices[gather]
+        data = self.data[gather] if self.data is not None else None
+        return CsrMatrix(indptr, indices, (row_ids.size, self.shape[1]), data)

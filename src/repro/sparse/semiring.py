@@ -1,0 +1,94 @@
+"""Algebraic structures for generalized matrix operations.
+
+Cyclops lets the user attach monoids/semirings to tensors so that
+contractions run over arbitrary ``(add, multiply)`` pairs; the paper uses
+
+* the ``(max, x)`` semiring for the filter vector ``f`` (so that any
+  rank writing a 1 leaves a 1 — §IV-A),
+* a ``(+, popcount(and))`` kernel for the compressed Gram product
+  (Eq. 7, the ``Jaccard_Kernel`` of §IV-B),
+* plain arithmetic for column sums and the final elementwise division.
+
+A :class:`Semiring` here bundles vectorized NumPy implementations of the
+two operations together with identity elements and a flop estimate used
+by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative, associative combine with identity."""
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+    identity: Any
+
+    def reduce(self, values) -> Any:
+        acc = self.identity
+        for v in values:
+            acc = self.combine(acc, v)
+        return acc
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (add-monoid, multiply) pair with vectorized implementations.
+
+    Attributes
+    ----------
+    add:
+        The additive monoid (used for accumulation / reduction).
+    multiply:
+        Vectorized elementwise product of two operand arrays.
+    multiply_flops_per_element:
+        Modelled arithmetic cost of one ``multiply`` + one ``add`` —
+        e.g. popcount-AND on a 64-bit word is charged as 2 word ops.
+    """
+
+    name: str
+    add: Monoid
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    multiply_flops_per_element: float = 1.0
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> Any:
+        """Semiring inner product of two 1-D arrays."""
+        if x.shape != y.shape:
+            raise ValueError(f"shape mismatch in dot: {x.shape} vs {y.shape}")
+        products = self.multiply(x, y)
+        acc = self.add.identity
+        for v in np.asarray(products).ravel():
+            acc = self.add.combine(acc, v)
+        return acc
+
+
+def _popcount_and(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.bitwise_count(np.bitwise_and(x, y)).astype(np.int64)
+
+
+SUM = Monoid("sum", lambda a, b: a + b, 0)
+MAX = Monoid("max", lambda a, b: np.maximum(a, b), 0)
+OR = Monoid("or", lambda a, b: np.logical_or(a, b), False)
+
+#: Ordinary arithmetic (+, *) — column sums, unions, divisions.
+ARITHMETIC = Semiring("arithmetic", SUM, lambda a, b: a * b, 1.0)
+
+#: Boolean (or, and) — uncompressed indicator products.
+BOOLEAN = Semiring("boolean", OR, lambda a, b: np.logical_and(a, b), 1.0)
+
+#: (max, x) — the filter-vector write semiring of §IV-A: concurrent
+#: writes of 1 from any number of ranks combine to 1.
+MAX_TIMES = Semiring("max-times", MAX, lambda a, b: a * b, 1.0)
+
+#: (+, popcount(and)) on packed words — the Eq. 7 Jaccard kernel.
+POPCOUNT_AND = Semiring("popcount-and", SUM, _popcount_and, 2.0)
+
+ALL_SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (ARITHMETIC, BOOLEAN, MAX_TIMES, POPCOUNT_AND)
+}

@@ -1,0 +1,44 @@
+"""Human-readable formatting for benchmark and report output."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+_COUNT_UNITS = ["", "K", "M", "G", "T"]
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with binary prefixes (e.g. ``1.50 MiB``)."""
+    value = float(n)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """Format a count with SI-style suffixes (e.g. ``32.0M``)."""
+    value = float(n)
+    for unit in _COUNT_UNITS:
+        if abs(value) < 1000.0 or unit == _COUNT_UNITS[-1]:
+            return f"{value:.1f}{unit}" if unit else f"{value:.0f}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration adaptively (µs/ms/s/min/h/days)."""
+    s = float(seconds)
+    if s < 0:
+        return "-" + format_time(-s)
+    if s < 1e-3:
+        return f"{s * 1e6:.2f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    if s < 7200.0:
+        return f"{s / 60.0:.2f} min"
+    if s < 172800.0:
+        return f"{s / 3600.0:.2f} h"
+    return f"{s / 86400.0:.2f} days"

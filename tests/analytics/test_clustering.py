@@ -1,0 +1,86 @@
+"""Tests for Jaccard clustering and outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.clustering import (
+    hierarchical_clusters,
+    jaccard_kmedoids,
+    proximity_outliers,
+)
+
+
+@pytest.fixture
+def two_groups(rng):
+    """Two well-separated families of categorical samples."""
+    groups = []
+    for base in ({0, 1, 2, 3, 4}, {50, 51, 52, 53}):
+        for _ in range(6):
+            s = set(base)
+            if rng.random() < 0.7:
+                s.add(int(rng.integers(100, 200)))
+            groups.append(s)
+    return groups
+
+
+class TestKMedoids:
+    def test_separates_groups(self, two_groups):
+        labels, medoids = jaccard_kmedoids(two_groups, 2, seed=3)
+        assert len(set(labels[:6])) == 1
+        assert len(set(labels[6:])) == 1
+        assert labels[0] != labels[6]
+        assert len(medoids) == 2
+
+    def test_single_cluster(self, two_groups):
+        labels, _ = jaccard_kmedoids(two_groups, 1)
+        assert set(labels) == {0}
+
+    def test_k_validated(self, two_groups):
+        with pytest.raises(ValueError, match="n_clusters"):
+            jaccard_kmedoids(two_groups, 0)
+        with pytest.raises(ValueError, match="n_clusters"):
+            jaccard_kmedoids(two_groups, 99)
+
+    def test_deterministic_with_seed(self, two_groups):
+        a, _ = jaccard_kmedoids(two_groups, 2, seed=5)
+        b, _ = jaccard_kmedoids(two_groups, 2, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_separates_groups(self, two_groups, linkage):
+        labels = hierarchical_clusters(two_groups, 2, linkage=linkage)
+        assert len(set(labels[:6])) == 1
+        assert labels[0] != labels[6]
+
+    def test_n_clusters_equals_n(self, two_groups):
+        labels = hierarchical_clusters(two_groups, len(two_groups))
+        assert len(set(labels.tolist())) == len(two_groups)
+
+    def test_linkage_validated(self, two_groups):
+        with pytest.raises(ValueError, match="linkage"):
+            hierarchical_clusters(two_groups, 2, linkage="ward")
+
+
+class TestOutliers:
+    def test_flags_distant_sample(self, two_groups):
+        samples = two_groups + [{999, 998, 997, 996}]
+        scores, mask = proximity_outliers(samples, k_neighbors=3)
+        assert mask[-1]
+        assert scores[-1] == scores.max()
+
+    def test_no_outliers_in_tight_family(self):
+        samples = [{1, 2, 3}, {1, 2, 3}, {1, 2, 3, 4}, {1, 2, 4}]
+        _, mask = proximity_outliers(samples, k_neighbors=2)
+        assert not mask.any()
+
+    def test_custom_threshold(self, two_groups):
+        scores, mask = proximity_outliers(
+            two_groups, k_neighbors=2, threshold=2.0
+        )
+        assert not mask.any()  # d_J <= 1 < 2 always
+
+    def test_k_validated(self, two_groups):
+        with pytest.raises(ValueError, match="k_neighbors"):
+            proximity_outliers(two_groups, k_neighbors=0)

@@ -1,0 +1,95 @@
+"""Tests for document similarity."""
+
+import pytest
+
+from repro.analytics.documents import (
+    document_similarity,
+    plagiarism_candidates,
+    shingle_set,
+    tokenize,
+    vocabulary_report,
+    word_set,
+)
+
+
+class TestTokenize:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_apostrophes_kept(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_numbers(self):
+        assert tokenize("version 2 beta") == ["version", "2", "beta"]
+
+
+class TestWordSet:
+    def test_shared_vocabulary_ids(self):
+        vocab: dict = {}
+        a = word_set("the cat", vocab)
+        b = word_set("the dog", vocab)
+        assert len(a & b) == 1  # "the"
+        assert len(vocab) == 3
+
+
+class TestShingleSet:
+    def test_window_count(self):
+        vocab: dict = {}
+        s = shingle_set("a b c d", 2, vocab)
+        assert len(s) == 3  # (a,b), (b,c), (c,d)
+
+    def test_too_short_document(self):
+        vocab: dict = {}
+        assert shingle_set("one", 3, vocab) == set()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            shingle_set("a b", 0, {})
+
+
+class TestDocumentSimilarity:
+    DOCS = [
+        "the quick brown fox jumps over the lazy dog",
+        "the quick brown fox leaps over the lazy dog",
+        "sparse matrices admit communication avoiding algorithms",
+    ]
+
+    def test_near_duplicates_rank_higher(self):
+        s = document_similarity(self.DOCS).similarity
+        assert s[0, 1] > s[0, 2]
+        assert s[0, 1] > 0.6
+
+    def test_shingles_stricter_than_words(self):
+        words = document_similarity(self.DOCS).similarity
+        shingles = document_similarity(self.DOCS, shingle_width=3).similarity
+        assert shingles[0, 1] <= words[0, 1]
+
+    def test_identical_documents(self):
+        s = document_similarity(["same text", "same text"]).similarity
+        assert s[0, 1] == 1.0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            document_similarity([])
+
+
+class TestPlagiarism:
+    def test_flags_copied_passage(self):
+        original = "we present a communication efficient distributed algorithm"
+        copied = "here we present a communication efficient distributed algorithm too"
+        unrelated = "entirely unrelated musings about breakfast foods"
+        hits = plagiarism_candidates(
+            [original, copied, unrelated], threshold=0.3
+        )
+        assert (0, 1, pytest.approx(hits[0][2])) == hits[0]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            plagiarism_candidates(["a"], threshold=-0.1)
+
+
+class TestVocabularyReport:
+    def test_counts(self):
+        report = vocabulary_report(["a b c", "a b"])
+        assert report["documents"] == 2.0
+        assert report["vocabulary"] == 3.0

@@ -1,0 +1,84 @@
+"""Tests for graph vertex similarity."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analytics.graphs import (
+    adjacency_sets,
+    jarvis_patrick_clusters,
+    predict_links,
+    vertex_similarity,
+)
+from tests.helpers import exact_jaccard
+
+
+class TestAdjacencySets:
+    def test_neighborhoods(self):
+        g = nx.path_graph(4)
+        sets, nodes = adjacency_sets(g)
+        assert nodes == [0, 1, 2, 3]
+        assert sets[0] == {1}
+        assert sets[1] == {0, 2}
+
+    def test_isolated_vertex(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        g.add_node(2)
+        sets, _ = adjacency_sets(g)
+        assert sets[2] == set()
+
+
+class TestVertexSimilarity:
+    def test_matches_definition(self):
+        g = nx.karate_club_graph()
+        result, nodes = vertex_similarity(g)
+        sets, _ = adjacency_sets(g)
+        assert np.allclose(result.similarity, exact_jaccard(sets))
+
+    def test_twin_vertices_have_similarity_one(self):
+        # Two vertices with identical neighborhoods.
+        g = nx.Graph()
+        g.add_edges_from([("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")])
+        result, nodes = vertex_similarity(g)
+        i, j = nodes.index("a"), nodes.index("b")
+        assert result.similarity[i, j] == 1.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            vertex_similarity(nx.Graph())
+
+
+class TestJarvisPatrick:
+    def test_two_cliques_separate(self):
+        g = nx.disjoint_union(nx.complete_graph(5), nx.complete_graph(5))
+        clusters = jarvis_patrick_clusters(g, similarity_threshold=0.5)
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [5, 5]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="similarity_threshold"):
+            jarvis_patrick_clusters(nx.path_graph(3), similarity_threshold=2.0)
+
+    def test_threshold_zero_merges_overlapping(self):
+        g = nx.path_graph(5)
+        clusters = jarvis_patrick_clusters(g, similarity_threshold=0.01)
+        assert len(clusters) <= 3
+
+
+class TestLinkPrediction:
+    def test_predicts_missing_clique_edge(self):
+        g = nx.complete_graph(5)
+        g.remove_edge(0, 1)
+        predictions = predict_links(g, top=1)
+        assert {predictions[0][0], predictions[0][1]} == {0, 1}
+
+    def test_excludes_existing_edges(self):
+        g = nx.karate_club_graph()
+        for u, v, _ in predict_links(g, top=20):
+            assert not g.has_edge(u, v)
+
+    def test_top_limits_output(self):
+        g = nx.karate_club_graph()
+        assert len(predict_links(g, top=5)) == 5

@@ -1,0 +1,91 @@
+"""Tests for the bounding-box IoU framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import jaccard_similarity
+from repro.analytics.iou import Box, box_iou, iou_matrix, match_boxes
+
+coord = st.integers(0, 12)
+
+
+def boxes(draw_x0, draw_y0, w, h):
+    return Box(draw_x0, draw_y0, draw_x0 + w, draw_y0 + h)
+
+
+box_strategy = st.builds(
+    boxes,
+    draw_x0=coord, draw_y0=coord,
+    w=st.integers(0, 8), h=st.integers(0, 8),
+)
+
+
+class TestBox:
+    def test_area(self):
+        assert Box(0, 0, 4, 3).area == 12
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Box(2, 0, 1, 5)
+
+    def test_pixel_set(self):
+        assert Box(0, 0, 2, 1).pixel_set(10) == {0, 1}
+
+
+class TestBoxIoU:
+    def test_identical(self):
+        b = Box(1, 1, 5, 5)
+        assert box_iou(b, b) == 1.0
+
+    def test_disjoint(self):
+        assert box_iou(Box(0, 0, 2, 2), Box(5, 5, 7, 7)) == 0.0
+
+    def test_known_overlap(self):
+        # 2x2 overlap, union 16+16-4=28.
+        assert box_iou(Box(0, 0, 4, 4), Box(2, 2, 6, 6)) == pytest.approx(
+            4 / 28
+        )
+
+    def test_empty_boxes(self):
+        assert box_iou(Box(0, 0, 0, 0), Box(1, 1, 1, 1)) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=box_strategy, b=box_strategy)
+    def test_geometric_equals_set_jaccard(self, a, b):
+        # §II-E / Table III: IoU is exactly Jaccard over pixel sets, so
+        # the geometric formula must agree with the core algorithm run
+        # on discretized boxes.
+        width = 32
+        sets = [a.pixel_set(width), b.pixel_set(width)]
+        s = jaccard_similarity(sets).similarity[0, 1]
+        assert box_iou(a, b) == pytest.approx(s)
+
+
+class TestMatrixAndMatching:
+    def test_matrix_shape(self):
+        truths = [Box(0, 0, 2, 2), Box(4, 4, 6, 6)]
+        preds = [Box(0, 0, 2, 2)]
+        m = iou_matrix(truths, preds)
+        assert m.shape == (2, 1)
+        assert m[0, 0] == 1.0
+
+    def test_greedy_matching(self):
+        truths = [Box(0, 0, 4, 4), Box(10, 10, 14, 14)]
+        preds = [Box(1, 1, 5, 5), Box(10, 10, 14, 14), Box(20, 20, 22, 22)]
+        matches = match_boxes(truths, preds, threshold=0.3)
+        matched_pairs = {(t, p) for t, p, _ in matches}
+        assert (1, 1) in matched_pairs
+        assert (0, 0) in matched_pairs
+        assert len(matches) == 2
+
+    def test_each_box_matched_once(self):
+        truths = [Box(0, 0, 4, 4)]
+        preds = [Box(0, 0, 4, 4), Box(1, 1, 5, 5)]
+        matches = match_boxes(truths, preds, threshold=0.1)
+        assert len(matches) == 1
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            match_boxes([], [], threshold=1.5)

@@ -1,0 +1,91 @@
+"""Tests for BELLA-style overlap detection."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.overlap import (
+    OverlapCandidate,
+    detect_overlaps,
+    overlap_graph,
+    read_kmer_sets,
+    true_overlaps,
+)
+from repro.genomics.sequence import SequenceRecord
+from repro.genomics.simulate import random_genome
+
+
+@pytest.fixture
+def overlapping_reads(rng):
+    """Reads tiling a genome with 50% overlap between neighbors."""
+    genome = random_genome(rng, 1200)
+    length, step = 200, 100
+    reads, positions = [], []
+    for start in range(0, len(genome) - length + 1, step):
+        reads.append(
+            SequenceRecord(f"r{start}", genome[start : start + length])
+        )
+        positions.append((start, start + length))
+    return reads, positions
+
+
+class TestDetectOverlaps:
+    def test_adjacent_reads_detected(self, overlapping_reads):
+        reads, positions = overlapping_reads
+        candidates = detect_overlaps(reads, k=15, min_shared=5)
+        found = {(c.read_a, c.read_b) for c in candidates}
+        expected = true_overlaps(positions, min_overlap_bases=50)
+        # Every genuinely overlapping pair shares many 15-mers.
+        assert expected <= found
+
+    def test_distant_reads_not_detected(self, overlapping_reads, rng):
+        reads, _ = overlapping_reads
+        foreign = SequenceRecord("foreign", random_genome(rng, 200))
+        candidates = detect_overlaps(reads + [foreign], k=15, min_shared=3)
+        foreign_idx = len(reads)
+        assert not any(
+            foreign_idx in (c.read_a, c.read_b) for c in candidates
+        )
+
+    def test_sorted_by_evidence(self, overlapping_reads):
+        reads, _ = overlapping_reads
+        candidates = detect_overlaps(reads, k=15, min_shared=3)
+        shared = [c.shared_kmers for c in candidates]
+        assert shared == sorted(shared, reverse=True)
+
+    def test_shared_counts_match_setwise(self, overlapping_reads):
+        reads, _ = overlapping_reads
+        sets = read_kmer_sets(reads, 15)
+        candidates = detect_overlaps(reads, k=15, min_shared=1)
+        lookup = {(c.read_a, c.read_b): c.shared_kmers for c in candidates}
+        for (i, j), count in lookup.items():
+            assert count == np.intersect1d(sets[i], sets[j]).size
+
+    def test_min_shared_validated(self):
+        with pytest.raises(ValueError, match="min_shared"):
+            detect_overlaps([], min_shared=0)
+
+    def test_empty_input(self):
+        assert detect_overlaps([], k=15) == []
+
+
+class TestOverlapGraph:
+    def test_graph_structure(self):
+        candidates = [
+            OverlapCandidate(0, 1, 10, 0.5),
+            OverlapCandidate(1, 2, 7, 0.3),
+        ]
+        g = overlap_graph(candidates, n_reads=4)
+        assert g.number_of_nodes() == 4
+        assert g.has_edge(0, 1)
+        assert g.edges[0, 1]["shared"] == 10
+        assert not g.has_edge(0, 3)
+
+
+class TestTrueOverlaps:
+    def test_threshold(self):
+        positions = [(0, 100), (50, 150), (140, 240)]
+        assert true_overlaps(positions, 40) == {(0, 1)}
+        assert true_overlaps(positions, 10) == {(0, 1), (1, 2)}
+
+    def test_no_overlap(self):
+        assert true_overlaps([(0, 10), (20, 30)], 1) == set()

@@ -1,0 +1,80 @@
+"""Tests for the Libra-like cosine baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cosine import cosine_similarity_matrix, sparse_dot
+
+
+def dense_cosine(vectors):
+    v = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(v, axis=1)
+    out = np.eye(len(v))
+    for i in range(len(v)):
+        for j in range(i + 1, len(v)):
+            if norms[i] == 0 and norms[j] == 0:
+                val = 1.0
+            elif norms[i] == 0 or norms[j] == 0:
+                val = 0.0
+            else:
+                val = v[i] @ v[j] / (norms[i] * norms[j])
+            out[i, j] = out[j, i] = val
+    return out
+
+
+def to_sparse(vec):
+    codes = np.flatnonzero(vec).astype(np.int64)
+    return codes, np.asarray(vec)[codes]
+
+
+class TestSparseDot:
+    def test_matches_dense(self, rng):
+        a = rng.integers(0, 4, size=50)
+        b = rng.integers(0, 4, size=50)
+        ca, xa = to_sparse(a)
+        cb, xb = to_sparse(b)
+        assert sparse_dot(ca, xa, cb, xb) == pytest.approx(float(a @ b))
+
+    def test_disjoint(self):
+        assert sparse_dot(
+            np.array([1]), np.array([2.0]), np.array([2]), np.array([3.0])
+        ) == 0.0
+
+
+class TestCosineMatrix:
+    def test_matches_dense_reference(self, rng):
+        vectors = rng.integers(0, 5, size=(6, 40))
+        samples = [to_sparse(v) for v in vectors]
+        got = cosine_similarity_matrix(samples)
+        assert np.allclose(got, dense_cosine(vectors))
+
+    def test_zero_vector_conventions(self):
+        samples = [
+            (np.array([0]), np.array([1.0])),
+            (np.empty(0, np.int64), np.empty(0)),
+            (np.empty(0, np.int64), np.empty(0)),
+        ]
+        s = cosine_similarity_matrix(samples)
+        assert s[1, 2] == 1.0
+        assert s[0, 1] == 0.0
+
+    def test_unsorted_codes_tolerated(self):
+        s = cosine_similarity_matrix(
+            [
+                (np.array([5, 1]), np.array([2.0, 3.0])),
+                (np.array([1, 5]), np.array([3.0, 2.0])),
+            ]
+        )
+        assert s[0, 1] == pytest.approx(1.0)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            cosine_similarity_matrix([(np.array([1, 2]), np.array([1.0]))])
+
+    def test_abundance_sensitivity(self):
+        # Cosine is count-weighted, unlike Jaccard: same support, very
+        # different counts -> similarity well below 1.
+        a = (np.array([0, 1]), np.array([100.0, 1.0]))
+        b = (np.array([0, 1]), np.array([1.0, 100.0]))
+        s = cosine_similarity_matrix([a, b])
+        assert s[0, 1] < 0.1

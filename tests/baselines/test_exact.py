@@ -1,0 +1,55 @@
+"""Tests for the exact serial baselines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import (
+    intersection_size_sorted,
+    jaccard_pairwise_sets,
+    jaccard_pairwise_sorted,
+)
+from tests.helpers import exact_jaccard
+
+families = st.lists(
+    st.sets(st.integers(0, 100), max_size=30), min_size=1, max_size=6
+)
+
+
+class TestPairwiseSets:
+    @settings(max_examples=40)
+    @given(sets=families)
+    def test_matches_reference(self, sets):
+        assert np.allclose(jaccard_pairwise_sets(sets), exact_jaccard(sets))
+
+    def test_empty_convention(self):
+        assert jaccard_pairwise_sets([set(), set()])[0, 1] == 1.0
+
+
+class TestPairwiseSorted:
+    @settings(max_examples=40)
+    @given(sets=families)
+    def test_matches_set_version(self, sets):
+        arrays = [np.array(sorted(s), dtype=np.int64) for s in sets]
+        assert np.allclose(
+            jaccard_pairwise_sorted(arrays), jaccard_pairwise_sets(sets)
+        )
+
+    def test_unsorted_input_tolerated(self):
+        out = jaccard_pairwise_sorted([[3, 1, 2], [2, 3, 9]])
+        assert out[0, 1] == 0.5
+
+
+class TestIntersectionSorted:
+    @given(
+        a=st.sets(st.integers(0, 50), max_size=30),
+        b=st.sets(st.integers(0, 50), max_size=30),
+    )
+    def test_matches_set_intersection(self, a, b):
+        arr_a = np.array(sorted(a), dtype=np.int64)
+        arr_b = np.array(sorted(b), dtype=np.int64)
+        assert intersection_size_sorted(arr_a, arr_b) == len(a & b)
+
+    def test_empty(self):
+        z = np.empty(0, dtype=np.int64)
+        assert intersection_size_sorted(z, np.array([1])) == 0

@@ -1,0 +1,140 @@
+"""Tests for MinHash sketching and the Mash distance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import jaccard_pairwise_sorted
+from repro.baselines.minhash import (
+    MinHashIndex,
+    hash_values,
+    jaccard_estimate,
+    make_pair_with_jaccard,
+    mash_distance,
+    sketch,
+)
+
+
+class TestHash:
+    def test_deterministic(self):
+        v = np.arange(10)
+        assert np.array_equal(hash_values(v, 1), hash_values(v, 1))
+
+    def test_seed_sensitivity(self):
+        v = np.arange(10)
+        assert not np.array_equal(hash_values(v, 1), hash_values(v, 2))
+
+    def test_spread(self):
+        # Sequential inputs must not produce sequential hashes.
+        h = hash_values(np.arange(1000))
+        assert np.unique(h).size == 1000
+        assert h.std() > 1e17
+
+
+class TestSketch:
+    def test_size_respected(self):
+        s = sketch(np.arange(1000), size=64)
+        assert s.size == 64
+        assert np.all(np.diff(s.astype(np.float64)) > 0)
+
+    def test_small_sample_short_sketch(self):
+        assert sketch(np.arange(5), size=64).size == 5
+
+    def test_empty(self):
+        assert sketch(np.empty(0, np.int64), size=8).size == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            sketch(np.arange(4), size=0)
+
+    def test_subset_property(self):
+        # A sketch of a superset contains only hashes from the superset's
+        # bottom; identical elements hash identically.
+        small = sketch(np.arange(100), 16)
+        big = sketch(np.arange(200), 16)
+        assert np.all(big <= small.max())
+
+
+class TestEstimator:
+    def test_identical_sets(self):
+        s = sketch(np.arange(500), 64)
+        assert jaccard_estimate(s, s, 64) == 1.0
+
+    def test_disjoint_sets(self):
+        a = sketch(np.arange(0, 500), 64)
+        b = sketch(np.arange(10_000, 10_500), 64)
+        assert jaccard_estimate(a, b, 64) == 0.0
+
+    def test_empty_pair_is_one(self):
+        z = np.empty(0, dtype=np.uint64)
+        assert jaccard_estimate(z, z, 16) == 1.0
+
+    @pytest.mark.parametrize("target", [0.1, 0.5, 0.9])
+    def test_estimates_near_truth_with_big_sketch(self, rng, target):
+        a, b = make_pair_with_jaccard(rng, 500_000, 20_000, target)
+        true = jaccard_pairwise_sorted([a, b])[0, 1]
+        sa = sketch(a, 4096)
+        sb = sketch(b, 4096)
+        assert jaccard_estimate(sa, sb, 4096) == pytest.approx(true, abs=0.05)
+
+    def test_small_sketch_noisier_than_large(self, rng):
+        # The paper's point (§I): small sketches are unreliable.  Compare
+        # RMS error over repetitions.
+        errors = {64: [], 2048: []}
+        for rep in range(6):
+            a, b = make_pair_with_jaccard(
+                np.random.default_rng(rep), 200_000, 10_000, 0.95
+            )
+            true = jaccard_pairwise_sorted([a, b])[0, 1]
+            for size in errors:
+                est = jaccard_estimate(sketch(a, size), sketch(b, size), size)
+                errors[size].append((est - true) ** 2)
+        assert np.mean(errors[64]) > np.mean(errors[2048])
+
+
+class TestMashDistance:
+    def test_identical_is_zero(self):
+        assert mash_distance(1.0, 21) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert mash_distance(0.0, 21) == 1.0
+
+    def test_monotone_decreasing_in_j(self):
+        values = [mash_distance(j, 21) for j in (0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            mash_distance(1.5, 21)
+
+
+class TestMinHashIndex:
+    def test_pairwise_matrix(self, rng):
+        samples = [
+            rng.choice(10_000, size=500, replace=False) for _ in range(5)
+        ]
+        idx = MinHashIndex(sketch_size=256).add_all(samples)
+        s = idx.pairwise_similarity()
+        assert s.shape == (5, 5)
+        assert np.allclose(np.diag(s), 1.0)
+        assert np.allclose(s, s.T)
+
+    def test_sketch_bytes_bounded(self, rng):
+        idx = MinHashIndex(sketch_size=128)
+        idx.add(rng.choice(100_000, size=5_000, replace=False))
+        assert idx.sketch_bytes() == 128 * 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            MinHashIndex(sketch_size=0)
+
+
+class TestMakePair:
+    @pytest.mark.parametrize("target", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_hits_target(self, rng, target):
+        a, b = make_pair_with_jaccard(rng, 100_000, 2_000, target)
+        true = jaccard_pairwise_sorted([a, b])[0, 1]
+        assert true == pytest.approx(target, abs=0.02)
+
+    def test_universe_too_small(self, rng):
+        with pytest.raises(ValueError, match="universe"):
+            make_pair_with_jaccard(rng, 10, 100, 0.0)

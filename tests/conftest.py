@@ -1,0 +1,12 @@
+"""Pytest configuration shared by the whole suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test random generator."""
+    return np.random.default_rng(0xC0FFEE)

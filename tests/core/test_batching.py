@@ -1,0 +1,92 @@
+"""Tests for grid and batch planning."""
+
+import pytest
+
+from repro.core.batching import BatchPlan, GridPlan, plan_batches, plan_grid
+from repro.core.config import SimilarityConfig
+from repro.runtime.machine import laptop, stampede2_knl
+
+
+class TestGridPlan:
+    def test_active_ranks(self):
+        assert GridPlan(q=4, c=2).active_ranks == 32
+
+
+class TestPlanGrid:
+    def test_single_rank(self):
+        plan = plan_grid(1, 100, laptop(1), SimilarityConfig())
+        assert (plan.q, plan.c) == (1, 1)
+
+    def test_power_of_two_fully_utilized(self):
+        for p in (4, 16, 64, 256):
+            plan = plan_grid(p, 2580, stampede2_knl(1), SimilarityConfig())
+            assert plan.active_ranks == p
+
+    def test_32_ranks_fully_utilized_via_replication(self):
+        # 32 is not a square; q=4, c=2 covers all ranks.
+        plan = plan_grid(32, 2580, stampede2_knl(1), SimilarityConfig())
+        assert plan.active_ranks == 32
+        assert plan.q * plan.q * plan.c == 32
+
+    def test_replication_pinned(self):
+        cfg = SimilarityConfig(replication=2)
+        plan = plan_grid(32, 100, laptop(32), cfg)
+        assert plan.c == 2
+        assert plan.q == 4
+
+    def test_replication_capped_by_memory_for_large_n(self):
+        # Huge n^2 relative to memory: c must stay at 1.
+        spec = laptop(16)
+        plan = plan_grid(16, 1_000_000, spec, SimilarityConfig())
+        assert plan.c == 1
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_grid(0, 10, laptop(1), SimilarityConfig())
+
+    def test_excess_replication_rejected(self):
+        cfg = SimilarityConfig(replication=64)
+        plan = plan_grid(4, 10, laptop(4), cfg)
+        # Clamped to p, face becomes 1x1.
+        assert plan.c == 4
+        assert plan.q == 1
+
+
+class TestPlanBatches:
+    def test_pinned_count(self):
+        cfg = SimilarityConfig(batch_count=5)
+        plan = plan_batches(1000, 10, 100.0, laptop(4), cfg, GridPlan(2, 1))
+        assert plan.batch_count == 5
+        bounds = plan.bounds
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 1000
+        assert len(bounds) == 5
+
+    def test_pinned_count_clamped_to_rows(self):
+        cfg = SimilarityConfig(batch_count=50)
+        plan = plan_batches(10, 4, 10.0, laptop(4), cfg, GridPlan(2, 1))
+        assert plan.batch_count == 10
+
+    def test_auto_single_batch_when_memory_ample(self):
+        cfg = SimilarityConfig()
+        plan = plan_batches(10_000, 20, 5_000.0, laptop(4), cfg, GridPlan(2, 1))
+        assert plan.batch_count == 1
+
+    def test_auto_more_batches_when_memory_tight(self):
+        from dataclasses import replace
+
+        spec = replace(laptop(4), memory_per_rank=1 << 16)
+        cfg = SimilarityConfig()
+        plan = plan_batches(
+            10_000_000, 100, 5e7, spec, cfg, GridPlan(2, 1)
+        )
+        assert plan.batch_count > 1
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_batches(0, 4, 1.0, laptop(1), SimilarityConfig(), GridPlan(1, 1))
+
+    def test_bounds_cover_rows(self):
+        plan = BatchPlan(batch_count=7, m=100)
+        covered = sum(hi - lo for lo, hi in plan.bounds)
+        assert covered == 100

@@ -1,0 +1,43 @@
+"""Tests for SimilarityConfig validation."""
+
+import pytest
+
+from repro.core.config import SimilarityConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SimilarityConfig()
+        assert cfg.bit_width == 64
+        assert cfg.filter_strategy == "allgather"
+
+    def test_bad_bit_width(self):
+        with pytest.raises(ValueError, match="bit_width"):
+            SimilarityConfig(bit_width=12)
+
+    def test_bad_batch_count(self):
+        with pytest.raises(ValueError, match="batch_count"):
+            SimilarityConfig(batch_count=0)
+
+    def test_bad_replication(self):
+        with pytest.raises(ValueError, match="replication"):
+            SimilarityConfig(replication=-1)
+
+    def test_bad_filter_strategy(self):
+        with pytest.raises(ValueError, match="filter_strategy"):
+            SimilarityConfig(filter_strategy="magic")
+
+    def test_bad_gram_algorithm(self):
+        with pytest.raises(ValueError, match="gram_algorithm"):
+            SimilarityConfig(gram_algorithm="cannon")
+
+    def test_bad_memory_fraction(self):
+        with pytest.raises(ValueError, match="memory_fraction"):
+            SimilarityConfig(memory_fraction=0.0)
+        with pytest.raises(ValueError, match="memory_fraction"):
+            SimilarityConfig(memory_fraction=1.5)
+
+    def test_frozen(self):
+        cfg = SimilarityConfig()
+        with pytest.raises(AttributeError):
+            cfg.bit_width = 32

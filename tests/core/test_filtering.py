@@ -1,0 +1,120 @@
+"""Tests for zero-row filtering and compaction."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import apply_filter
+from repro.runtime import Machine, laptop
+from repro.sparse.coo import CooMatrix
+
+
+def scatter(coo, p):
+    idx = np.array_split(np.arange(coo.nnz), p)
+    return [CooMatrix(coo.rows[i], coo.cols[i], coo.shape) for i in idx]
+
+
+def reassemble(chunks):
+    rows = np.concatenate([c.rows for c in chunks])
+    cols = np.concatenate([c.cols for c in chunks])
+    return rows, cols
+
+
+@pytest.fixture
+def sparse_batch(rng):
+    dense = np.zeros((200, 8), dtype=bool)
+    hot_rows = rng.choice(200, size=25, replace=False)
+    for r in hot_rows:
+        cols = rng.choice(8, size=rng.integers(1, 4), replace=False)
+        dense[r, cols] = True
+    return dense
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("p", [1, 3, 4])
+    def test_allgather_equals_transpose(self, sparse_batch, p):
+        coo = CooMatrix.from_dense(sparse_batch)
+        out_a = apply_filter(
+            Machine(laptop(p)).world, scatter(coo, p), "allgather"
+        )
+        out_t = apply_filter(
+            Machine(laptop(p)).world, scatter(coo, p), "transpose"
+        )
+        assert out_a.n_nonzero_rows == out_t.n_nonzero_rows
+        ra, ca = reassemble(out_a.chunks)
+        rt, ct = reassemble(out_t.chunks)
+        order_a = np.lexsort((ca, ra))
+        order_t = np.lexsort((ct, rt))
+        assert np.array_equal(ra[order_a], rt[order_t])
+        assert np.array_equal(ca[order_a], ct[order_t])
+
+
+@pytest.mark.parametrize("strategy", ["allgather", "transpose"])
+class TestCompaction:
+    def test_row_count_is_nonzero_rows(self, sparse_batch, strategy):
+        coo = CooMatrix.from_dense(sparse_batch)
+        out = apply_filter(Machine(laptop(4)).world, scatter(coo, 4), strategy)
+        assert out.n_nonzero_rows == int(sparse_batch.any(axis=1).sum())
+
+    def test_compaction_preserves_matrix(self, sparse_batch, strategy):
+        coo = CooMatrix.from_dense(sparse_batch)
+        out = apply_filter(Machine(laptop(4)).world, scatter(coo, 4), strategy)
+        rows, cols = reassemble(out.chunks)
+        compact = np.zeros((out.n_nonzero_rows, 8), dtype=bool)
+        compact[rows, cols] = True
+        expected = sparse_batch[sparse_batch.any(axis=1)]
+        assert np.array_equal(compact, expected)
+
+    def test_order_preserved(self, sparse_batch, strategy):
+        # Compacted ids must be assigned in increasing global-row order
+        # (the prefix-sum semantics of Eq. 6).
+        coo = CooMatrix.from_dense(sparse_batch)
+        out = apply_filter(Machine(laptop(2)).world, scatter(coo, 2), strategy)
+        rows, _ = reassemble(out.chunks)
+        orig_rows, _ = reassemble(scatter(coo, 2))
+        order = np.argsort(orig_rows, kind="stable")
+        assert np.all(np.diff(rows[order]) >= 0)
+
+    def test_empty_batch(self, strategy):
+        chunks = [CooMatrix.empty((50, 4)) for _ in range(3)]
+        out = apply_filter(Machine(laptop(3)).world, chunks, strategy)
+        assert out.n_nonzero_rows == 0
+        assert out.fill == 0.0
+
+    def test_all_rows_nonzero(self, strategy):
+        dense = np.ones((20, 3), dtype=bool)
+        coo = CooMatrix.from_dense(dense)
+        out = apply_filter(Machine(laptop(2)).world, scatter(coo, 2), strategy)
+        assert out.n_nonzero_rows == 20
+        assert out.fill == 1.0
+
+
+class TestOffStrategy:
+    def test_off_keeps_all_rows(self, sparse_batch):
+        coo = CooMatrix.from_dense(sparse_batch)
+        out = apply_filter(Machine(laptop(2)).world, scatter(coo, 2), "off")
+        assert out.n_nonzero_rows == 200
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown filter"):
+            apply_filter(
+                Machine(laptop(1)).world, [CooMatrix.empty((5, 2))], "bogus"
+            )
+
+    def test_chunk_count_validated(self):
+        with pytest.raises(ValueError, match="one chunk per rank"):
+            apply_filter(Machine(laptop(2)).world, [CooMatrix.empty((5, 2))])
+
+
+class TestCosts:
+    def test_filter_charges_communication(self, sparse_batch):
+        machine = Machine(laptop(4))
+        coo = CooMatrix.from_dense(sparse_batch)
+        apply_filter(machine.world, scatter(coo, 4), "allgather")
+        assert machine.ledger.communication_bytes > 0
+
+    def test_transpose_uses_scan(self, sparse_batch):
+        machine = Machine(laptop(4))
+        coo = CooMatrix.from_dense(sparse_batch)
+        before = machine.ledger.supersteps
+        apply_filter(machine.world, scatter(coo, 4), "transpose")
+        assert machine.ledger.supersteps > before

@@ -1,0 +1,175 @@
+"""Tests for indicator-matrix sources."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicator import (
+    CooSource,
+    FileSource,
+    IndicatorSource,
+    SetSource,
+    SyntheticSource,
+)
+from repro.sparse.coo import CooMatrix
+
+
+def assemble(source, batch_bounds, n_readers):
+    """Reassemble the full dense indicator matrix from batched reads."""
+    dense = np.zeros((source.m, source.n), dtype=bool)
+    for lo, hi in batch_bounds:
+        for r in range(n_readers):
+            coo = source.read_batch(lo, hi, r, n_readers)
+            dense[coo.rows + lo, coo.cols] = True
+    return dense
+
+
+class TestSetSource:
+    def test_shape(self):
+        src = SetSource([{0, 5}, {1}], m=10)
+        assert (src.n, src.m) == (2, 10)
+        assert isinstance(src, IndicatorSource)
+
+    def test_m_inferred(self):
+        assert SetSource([{0, 7}]).m == 8
+
+    def test_m_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            SetSource([{9}], m=5)
+
+    def test_full_read_matches_sets(self):
+        sets = [{0, 3, 9}, {1, 3}, set()]
+        src = SetSource(sets, m=10)
+        dense = assemble(src, [(0, 10)], 2)
+        expect = CooMatrix.from_sets(sets, 10).to_dense()
+        assert np.array_equal(dense, expect)
+
+    def test_batching_invariance(self, rng):
+        sets = [set(rng.integers(0, 50, 12).tolist()) for _ in range(5)]
+        src = SetSource(sets, m=50)
+        whole = assemble(src, [(0, 50)], 3)
+        batched = assemble(src, [(0, 17), (17, 34), (34, 50)], 3)
+        assert np.array_equal(whole, batched)
+
+    def test_readers_partition_samples(self):
+        src = SetSource([{1}, {2}, {3}, {4}], m=5)
+        cols = []
+        for r in range(3):
+            cols.extend(src.read_batch(0, 5, r, 3).cols.tolist())
+        assert sorted(cols) == [0, 1, 2, 3]
+
+    def test_read_bytes_proportional_to_values(self):
+        src = SetSource([set(range(20)), set()], m=30)
+        assert src.read_bytes(0, 30, 0, 2) == 20 * 8
+        assert src.read_bytes(0, 30, 1, 2) == 0
+
+    def test_nnz_estimate_exact(self):
+        src = SetSource([{1, 2}, {3}], m=5)
+        assert src.nnz_estimate() == 3
+
+
+class TestCooSource:
+    def test_matches_matrix(self, rng):
+        dense = rng.random((40, 6)) < 0.2
+        src = CooSource(CooMatrix.from_dense(dense))
+        assert np.array_equal(assemble(src, [(0, 20), (20, 40)], 4), dense)
+
+    def test_nnz_estimate(self, rng):
+        dense = rng.random((20, 4)) < 0.3
+        src = CooSource(CooMatrix.from_dense(dense))
+        assert src.nnz_estimate() == int(dense.sum())
+
+
+class TestFileSource:
+    @pytest.fixture
+    def sample_dir(self, tmp_path, rng):
+        sets = [np.unique(rng.integers(0, 100, size=15)) for _ in range(4)]
+        paths = []
+        for i, vals in enumerate(sets):
+            if i % 2 == 0:
+                path = tmp_path / f"s{i}.npy"
+                np.save(path, vals)
+            else:
+                path = tmp_path / f"s{i}.txt"
+                np.savetxt(path, vals, fmt="%d")
+            paths.append(path)
+        return paths, sets
+
+    def test_reads_both_formats(self, sample_dir):
+        paths, sets = sample_dir
+        src = FileSource(paths, m=100)
+        dense = assemble(src, [(0, 100)], 2)
+        for j, vals in enumerate(sets):
+            assert np.array_equal(np.flatnonzero(dense[:, j]), vals)
+
+    def test_batched_reads_window_correctly(self, sample_dir):
+        paths, _ = sample_dir
+        src = FileSource(paths, m=100)
+        whole = assemble(src, [(0, 100)], 1)
+        parts = assemble(src, [(0, 33), (33, 66), (66, 100)], 1)
+        assert np.array_equal(whole, parts)
+
+    def test_out_of_range_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.array([150]))
+        src = FileSource([path], m=100)
+        with pytest.raises(ValueError, match="outside"):
+            src.read_batch(0, 100, 0, 1)
+
+    def test_requires_files(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FileSource([], m=10)
+
+    def test_nnz_estimate(self, sample_dir):
+        paths, sets = sample_dir
+        src = FileSource(paths, m=100)
+        assert src.nnz_estimate() == sum(len(v) for v in sets)
+
+
+class TestSyntheticSource:
+    def test_deterministic_across_instances(self):
+        a = SyntheticSource(m=200, n=6, density=0.1, seed=3)
+        b = SyntheticSource(m=200, n=6, density=0.1, seed=3)
+        ca = a.read_batch(0, 100, 0, 2)
+        cb = b.read_batch(0, 100, 0, 2)
+        assert np.array_equal(ca.rows, cb.rows)
+        assert np.array_equal(ca.cols, cb.cols)
+
+    def test_seed_changes_data(self):
+        a = SyntheticSource(m=500, n=4, density=0.2, seed=1)
+        b = SyntheticSource(m=500, n=4, density=0.2, seed=2)
+        assert not np.array_equal(
+            a.read_batch(0, 500, 0, 1).rows, b.read_batch(0, 500, 0, 1).rows
+        )
+
+    def test_density_roughly_respected(self):
+        src = SyntheticSource(m=20_000, n=4, density=0.05, seed=0)
+        coo = src.read_batch(0, 20_000, 0, 1)
+        observed = coo.nnz / (20_000 * 4)
+        assert 0.03 < observed < 0.07
+
+    def test_density_skew_creates_variance(self):
+        flat = SyntheticSource(m=5000, n=30, density=0.02, seed=0)
+        skewed = SyntheticSource(
+            m=5000, n=30, density=0.02, seed=0, density_skew=1.5
+        )
+
+        def col_counts(src):
+            coo = src.read_batch(0, 5000, 0, 1)
+            counts = np.zeros(30)
+            np.add.at(counts, coo.cols, 1)
+            return counts
+
+        assert col_counts(skewed).std() > col_counts(flat).std()
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError, match="density"):
+            SyntheticSource(m=10, n=2, density=1.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError, match="positive"):
+            SyntheticSource(m=0, n=2, density=0.1)
+
+    def test_nnz_estimate_close(self):
+        src = SyntheticSource(m=10_000, n=10, density=0.03, seed=0)
+        est = src.nnz_estimate()
+        assert est == pytest.approx(10_000 * 10 * 0.03, rel=0.2)

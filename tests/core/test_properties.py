@@ -1,0 +1,74 @@
+"""Property-based tests of the mathematical Jaccard invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import jaccard_similarity
+from repro.runtime import Machine, laptop
+from tests.helpers import exact_jaccard
+
+sample_set = st.sets(st.integers(min_value=0, max_value=60), max_size=25)
+families = st.lists(sample_set, min_size=1, max_size=6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets=families)
+def test_matches_bruteforce(sets):
+    result = jaccard_similarity(sets, machine=Machine(laptop(2)))
+    assert np.allclose(result.similarity, exact_jaccard(sets))
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets=families)
+def test_symmetry(sets):
+    s = jaccard_similarity(sets).similarity
+    assert np.allclose(s, s.T)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sets=families)
+def test_unit_diagonal_and_range(sets):
+    s = jaccard_similarity(sets).similarity
+    assert np.allclose(np.diag(s), 1.0)
+    assert np.all(s >= 0.0)
+    assert np.all(s <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets=st.lists(sample_set, min_size=3, max_size=6))
+def test_jaccard_distance_triangle_inequality(sets):
+    # d_J is a proper metric (§II-A); check all triangles.
+    d = jaccard_similarity(sets).distance
+    n = len(sets)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sets=families,
+    batches=st.integers(min_value=1, max_value=5),
+    width=st.sampled_from([8, 32, 64]),
+)
+def test_result_independent_of_execution_parameters(sets, batches, width):
+    base = jaccard_similarity(sets).similarity
+    tuned = jaccard_similarity(
+        sets,
+        machine=Machine(laptop(4)),
+        batch_count=batches,
+        bit_width=width,
+    ).similarity
+    assert np.allclose(base, tuned)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sets=families, extra=sample_set)
+def test_appending_duplicate_sample_keeps_submatrix(sets, extra):
+    # Adding a new sample must not perturb existing pairs.
+    small = jaccard_similarity(sets).similarity
+    big = jaccard_similarity(list(sets) + [extra]).similarity
+    n = len(sets)
+    assert np.allclose(big[:n, :n], small)

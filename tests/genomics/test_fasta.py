@@ -1,0 +1,86 @@
+"""Tests for FASTA/FASTQ I/O."""
+
+import gzip
+
+import pytest
+
+from repro.genomics.fasta import read_fasta, read_fastq, write_fasta
+from repro.genomics.sequence import SequenceRecord
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            SequenceRecord("chr1", "ACGT" * 50),
+            SequenceRecord("chr2", "TTTT"),
+        ]
+        path = tmp_path / "genome.fasta"
+        write_fasta(path, records)
+        loaded = read_fasta(path)
+        assert [r.name for r in loaded] == ["chr1", "chr2"]
+        assert [r.sequence for r in loaded] == [r.sequence for r in records]
+
+    def test_multiline_sequences(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        path.write_text(">seq desc here\nACGT\nACGT\n\n>s2\nTT\n")
+        loaded = read_fasta(path)
+        assert loaded[0].name == "seq"
+        assert loaded[0].sequence == "ACGTACGT"
+        assert loaded[1].sequence == "TT"
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fasta.gz"
+        write_fasta(path, [SequenceRecord("a", "ACGT")])
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith(">a")
+        assert read_fasta(path)[0].sequence == "ACGT"
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n>late\nACGT\n")
+        with pytest.raises(ValueError, match="before the first"):
+            read_fasta(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no FASTA records"):
+            read_fasta(path)
+
+    def test_line_width_wrapping(self, tmp_path):
+        path = tmp_path / "w.fasta"
+        write_fasta(path, [SequenceRecord("a", "A" * 25)], line_width=10)
+        lines = path.read_text().strip().split("\n")
+        assert lines[1:] == ["A" * 10, "A" * 10, "A" * 5]
+
+    def test_invalid_line_width(self, tmp_path):
+        with pytest.raises(ValueError, match="line_width"):
+            write_fasta(tmp_path / "x.fasta", [], line_width=0)
+
+
+class TestFastq:
+    def test_read(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        path.write_text("@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+\nII\n")
+        recs = read_fastq(path)
+        assert recs[0].name == "r1"
+        assert recs[0].quality == "IIII"
+        assert recs[1].sequence == "TT"
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("r1\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError, match="expected '@'"):
+            read_fastq(path)
+
+    def test_malformed_separator(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r1\nACGT\nIIII\nIIII\n")
+        with pytest.raises(ValueError, match="separator"):
+            read_fastq(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.fastq"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no FASTQ records"):
+            read_fastq(path)

@@ -1,0 +1,142 @@
+"""Tests for tree construction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.genomics.phylogeny import (
+    cophenetic_distances,
+    jaccard_tree,
+    neighbor_joining,
+    robinson_foulds,
+    tree_to_newick,
+    upgma,
+)
+from repro.genomics.simulate import random_phylogeny
+
+
+def additive_matrix(rng, n):
+    """Ground-truth additive distances from a random tree."""
+    names = [f"t{i}" for i in range(n)]
+    tree = random_phylogeny(rng, names, mean_branch=0.05)
+    return cophenetic_distances(tree, names), names, tree
+
+
+class TestNeighborJoining:
+    def test_reconstructs_additive_metric(self, rng):
+        d, names, _ = additive_matrix(rng, 8)
+        tree = neighbor_joining(d, names)
+        rec = cophenetic_distances(tree, names)
+        assert np.allclose(rec, d, atol=1e-9)
+
+    def test_recovers_topology(self, rng):
+        d, names, truth = additive_matrix(rng, 10)
+        tree = neighbor_joining(d, names)
+        assert robinson_foulds(tree, truth) == 0
+
+    def test_two_leaves(self):
+        tree = neighbor_joining(np.array([[0.0, 1.0], [1.0, 0.0]]), ["a", "b"])
+        assert tree.edges["a", "b"]["length"] == 1.0
+
+    def test_single_leaf(self):
+        tree = neighbor_joining(np.zeros((1, 1)), ["solo"])
+        assert set(tree.nodes) == {"solo"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            neighbor_joining(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(ValueError, match="names"):
+            neighbor_joining(np.zeros((2, 2)), ["a"])
+        with pytest.raises(ValueError, match="unique"):
+            neighbor_joining(np.zeros((2, 2)), ["a", "a"])
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            neighbor_joining(bad, ["a", "b"])
+        with pytest.raises(ValueError, match="zero"):
+            neighbor_joining(np.ones((2, 2)), ["a", "b"])
+
+
+class TestUpgma:
+    def test_ultrametric_output(self, rng):
+        # UPGMA trees are rooted and clock-like: root equidistant to all
+        # leaves when the input itself is ultrametric.
+        d = np.array(
+            [
+                [0.0, 2.0, 8.0],
+                [2.0, 0.0, 8.0],
+                [8.0, 8.0, 0.0],
+            ]
+        )
+        names = ["a", "b", "c"]
+        tree = upgma(d, names)
+        rec = cophenetic_distances(tree, names)
+        assert np.allclose(rec, d)
+
+    def test_clusters_close_pairs_first(self):
+        d = np.array(
+            [
+                [0.0, 1.0, 9.0, 9.0],
+                [1.0, 0.0, 9.0, 9.0],
+                [9.0, 9.0, 0.0, 1.0],
+                [9.0, 9.0, 1.0, 0.0],
+            ]
+        )
+        tree = upgma(d, ["a", "b", "c", "d"])
+        # a-b and c-d must be sibling pairs: their path has 2 edges.
+        paths = dict(nx.all_pairs_shortest_path_length(tree))
+        assert paths["a"]["b"] == 2
+        assert paths["c"]["d"] == 2
+        assert paths["a"]["c"] == 4
+
+
+class TestRobinsonFoulds:
+    def test_identical_trees_zero(self, rng):
+        d, names, truth = additive_matrix(rng, 7)
+        assert robinson_foulds(truth, truth) == 0
+
+    def test_leaf_set_mismatch(self, rng):
+        t1 = random_phylogeny(rng, ["a", "b", "c"], 0.01)
+        t2 = random_phylogeny(rng, ["a", "b", "d"], 0.01)
+        with pytest.raises(ValueError, match="leaf sets differ"):
+            robinson_foulds(t1, t2)
+
+    def test_different_topologies_positive(self):
+        # Two distinct quartet topologies: ab|cd vs ac|bd.
+        t1 = nx.Graph()
+        t1.add_edge("x", "a", length=1.0)
+        t1.add_edge("x", "b", length=1.0)
+        t1.add_edge("x", "y", length=1.0)
+        t1.add_edge("y", "c", length=1.0)
+        t1.add_edge("y", "d", length=1.0)
+        t2 = nx.Graph()
+        t2.add_edge("x", "a", length=1.0)
+        t2.add_edge("x", "c", length=1.0)
+        t2.add_edge("x", "y", length=1.0)
+        t2.add_edge("y", "b", length=1.0)
+        t2.add_edge("y", "d", length=1.0)
+        assert robinson_foulds(t1, t2) == 2
+
+
+class TestNewick:
+    def test_renders(self, rng):
+        d, names, _ = additive_matrix(rng, 5)
+        tree = neighbor_joining(d, names)
+        text = tree_to_newick(tree)
+        assert text.endswith(";")
+        for name in names:
+            assert name in text
+
+    def test_requires_root(self):
+        tree = nx.Graph()
+        tree.add_edge("a", "b", length=1.0)
+        with pytest.raises(ValueError, match="root"):
+            tree_to_newick(tree)
+
+
+class TestJaccardTree:
+    def test_method_dispatch(self, rng):
+        d, names, _ = additive_matrix(rng, 5)
+        assert jaccard_tree(d, names, "nj").number_of_nodes() > 5
+        assert jaccard_tree(d, names, "upgma").number_of_nodes() > 5
+        with pytest.raises(ValueError, match="unknown method"):
+            jaccard_tree(d, names, "parsimony")

@@ -1,0 +1,60 @@
+"""Tests for the on-disk sample store."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.samples import SampleStore
+
+
+class TestSampleStore:
+    def test_create_and_reopen(self, tmp_path):
+        store = SampleStore.create(tmp_path / "store", k=19)
+        store.add_sample("a", np.array([5, 1, 5, 9]))
+        reopened = SampleStore.open(tmp_path / "store")
+        assert reopened.k == 19
+        assert reopened.names == ["a"]
+        assert reopened.load_sample("a").tolist() == [1, 5, 9]
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SampleStore.open(tmp_path / "nothing")
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=5)
+        store.add_sample("x", np.array([1]))
+        with pytest.raises(ValueError, match="already present"):
+            store.add_sample("x", np.array([2]))
+
+    def test_code_range_checked(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=3)
+        with pytest.raises(ValueError, match="outside"):
+            store.add_sample("x", np.array([64]))  # 4^3 = 64
+
+    def test_unknown_sample(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=3)
+        with pytest.raises(KeyError):
+            store.load_sample("nope")
+
+    def test_m_is_kmer_space(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=5)
+        assert store.m == 4**5
+
+    def test_as_source(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=3)
+        store.add_sample("a", np.array([0, 7]))
+        store.add_sample("b", np.array([7, 20]))
+        source = store.as_source()
+        assert source.n == 2
+        assert source.m == 64
+        coo = source.read_batch(0, 64, 0, 1)
+        assert coo.nnz == 4
+
+    def test_as_source_empty_store(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=3)
+        with pytest.raises(ValueError, match="empty"):
+            store.as_source()
+
+    def test_total_bytes(self, tmp_path):
+        store = SampleStore.create(tmp_path / "s", k=3)
+        store.add_sample("a", np.arange(10))
+        assert store.total_bytes() > 0

@@ -1,0 +1,83 @@
+"""Tests for DNA sequence primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genomics.sequence import (
+    SequenceRecord,
+    is_valid_sequence,
+    reverse_complement,
+    sequence_to_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestReverseComplement:
+    def test_known(self):
+        assert reverse_complement("AACG") == "CGTT"
+
+    def test_handles_n(self):
+        assert reverse_complement("ANT") == "ANT"
+
+    def test_lowercase_folded(self):
+        assert reverse_complement("acgt") == "ACGT"
+
+    @given(seq=dna)
+    def test_involution(self, seq):
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    @given(seq=dna)
+    def test_preserves_length(self, seq):
+        assert len(reverse_complement(seq)) == len(seq)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert is_valid_sequence("ACGTN")
+        assert is_valid_sequence("acgt")
+
+    def test_invalid(self):
+        assert not is_valid_sequence("ACGU")
+
+
+class TestCodes:
+    def test_mapping(self):
+        assert sequence_to_codes("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_ambiguous_marked(self):
+        assert sequence_to_codes("ANT").tolist() == [0, 255, 3]
+
+
+class TestSequenceRecord:
+    def test_uppercased(self):
+        rec = SequenceRecord("x", "acgt")
+        assert rec.sequence == "ACGT"
+        assert len(rec) == 4
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError, match="invalid bases"):
+            SequenceRecord("x", "ACGU")
+
+    def test_quality_length_checked(self):
+        with pytest.raises(ValueError, match="quality"):
+            SequenceRecord("x", "ACGT", quality="!!")
+
+    def test_gc_content(self):
+        assert SequenceRecord("x", "GGCC").gc_content == 1.0
+        assert SequenceRecord("x", "AATT").gc_content == 0.0
+        assert SequenceRecord("x", "ACGT").gc_content == 0.5
+
+    def test_gc_content_ignores_n(self):
+        assert SequenceRecord("x", "GNNA").gc_content == 0.5
+
+    def test_gc_content_empty(self):
+        assert SequenceRecord("x", "NNN").gc_content == 0.0
+
+    def test_reverse_complemented(self):
+        rec = SequenceRecord("x", "AACG", quality="abcd")
+        rc = rec.reverse_complemented()
+        assert rc.sequence == "CGTT"
+        assert rc.quality == "dcba"

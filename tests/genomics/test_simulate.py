@@ -1,0 +1,181 @@
+"""Tests for the synthetic cohort generators."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.simulate import (
+    CohortSpec,
+    bigsi_like,
+    kingsford_like,
+    mutate,
+    random_genome,
+    random_phylogeny,
+    reads_from_genome,
+    simulate_cohort,
+    with_reads,
+)
+from repro.util.prng import rng_for
+
+
+class TestRandomGenome:
+    def test_length_and_alphabet(self, rng):
+        g = random_genome(rng, 500)
+        assert len(g) == 500
+        assert set(g) <= set("ACGT")
+
+    def test_gc_respected(self, rng):
+        high = random_genome(rng, 20_000, gc=0.8)
+        frac = (high.count("G") + high.count("C")) / len(high)
+        assert 0.75 < frac < 0.85
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            random_genome(rng, -1)
+        with pytest.raises(ValueError):
+            random_genome(rng, 10, gc=1.5)
+
+
+class TestMutate:
+    def test_rate_zero_identity(self, rng):
+        g = random_genome(rng, 100)
+        assert mutate(rng, g, 0.0) == g
+
+    def test_rate_controls_divergence(self, rng):
+        g = random_genome(rng, 20_000)
+        m = mutate(rng, g, 0.05)
+        diffs = sum(a != b for a, b in zip(g, m))
+        assert 0.03 * len(g) < diffs < 0.07 * len(g)
+
+    def test_substitutions_stay_in_alphabet(self, rng):
+        g = random_genome(rng, 1000)
+        assert set(mutate(rng, g, 0.5)) <= set("ACGT")
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            mutate(rng, "ACGT", 2.0)
+
+
+class TestPhylogeny:
+    def test_tree_structure(self, rng):
+        names = [f"s{i}" for i in range(8)]
+        tree = random_phylogeny(rng, names, 0.01)
+        leaves = [x for x in tree.nodes if tree.degree(x) == 1]
+        assert sorted(leaves) == sorted(names)
+        # Binary coalescent over n leaves adds n-1 internal nodes.
+        assert tree.number_of_nodes() == 2 * len(names) - 1
+
+    def test_branch_lengths_positive(self, rng):
+        tree = random_phylogeny(rng, ["a", "b", "c"], 0.02)
+        assert all(d["length"] >= 0 for _, _, d in tree.edges(data=True))
+
+    def test_needs_leaves(self, rng):
+        with pytest.raises(ValueError):
+            random_phylogeny(rng, [], 0.01)
+
+
+class TestReads:
+    def test_read_properties(self, rng):
+        genome = random_genome(rng, 2000)
+        reads = reads_from_genome(rng, genome, 5.0, 100, 0.0)
+        assert len(reads) == 100  # coverage * len / read_len
+        assert all(len(r) == 100 for r in reads)
+
+    def test_genome_too_short(self, rng):
+        with pytest.raises(ValueError, match="shorter"):
+            reads_from_genome(rng, "ACGT", 1.0, 100, 0.0)
+
+    def test_error_free_reads_are_substrings_or_rc(self, rng):
+        from repro.genomics.sequence import reverse_complement
+
+        genome = random_genome(rng, 1000)
+        reads = reads_from_genome(rng, genome, 2.0, 50, 0.0)
+        for r in reads[:20]:
+            assert (
+                r.sequence in genome
+                or reverse_complement(r.sequence) in genome
+            )
+
+
+class TestCohortSpec:
+    def test_even_k_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            CohortSpec(k=20)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CohortSpec(n_samples=0)
+        with pytest.raises(ValueError):
+            CohortSpec(genome_length=0)
+
+    def test_with_reads(self):
+        spec = with_reads(kingsford_like(), coverage=7.0)
+        assert spec.reads
+        assert spec.coverage == 7.0
+
+
+class TestSimulateCohort:
+    def test_deterministic(self):
+        spec = kingsford_like(n_samples=4, genome_length=500, seed=11)
+        a = simulate_cohort(spec)
+        b = simulate_cohort(spec)
+        assert a.genomes == b.genomes
+
+    def test_related_cohort_has_tree(self):
+        cohort = simulate_cohort(
+            kingsford_like(n_samples=5, genome_length=400, seed=0)
+        )
+        assert cohort.true_tree is not None
+        d = cohort.true_distances()
+        assert d.shape == (5, 5)
+        assert np.allclose(d, d.T)
+
+    def test_independent_cohort_has_no_tree(self):
+        cohort = simulate_cohort(
+            bigsi_like(n_samples=3, genome_length=400, seed=0)
+        )
+        assert cohort.true_tree is None
+        with pytest.raises(ValueError, match="no phylogeny"):
+            cohort.true_distances()
+
+    def test_relatedness_shows_in_kmer_overlap(self):
+        from repro.genomics.kmer import kmer_set
+
+        related = simulate_cohort(
+            kingsford_like(n_samples=2, genome_length=3000, seed=5)
+        )
+        unrelated = simulate_cohort(
+            bigsi_like(n_samples=2, genome_length=3000, seed=5)
+        )
+
+        def overlap(cohort, k):
+            a = kmer_set([cohort.genomes[cohort.names[0]]], k)
+            b = kmer_set([cohort.genomes[cohort.names[1]]], k)
+            inter = np.intersect1d(a, b).size
+            union = a.size + b.size - inter
+            return inter / union
+
+        assert overlap(related, 19) > 0.3
+        assert overlap(unrelated, 19) < 0.05
+
+    def test_write_fasta(self, tmp_path):
+        cohort = simulate_cohort(
+            kingsford_like(n_samples=3, genome_length=300, seed=1)
+        )
+        paths = cohort.write_fasta(tmp_path)
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)
+
+    def test_reads_mode(self):
+        spec = with_reads(
+            kingsford_like(n_samples=2, genome_length=1000, seed=2)
+        )
+        cohort = simulate_cohort(spec)
+        assert len(cohort.sample_records[0]) > 1  # many reads per sample
+
+    def test_rng_isolation(self):
+        # Consuming the generator elsewhere must not change cohorts.
+        spec = kingsford_like(n_samples=3, genome_length=300, seed=7)
+        a = simulate_cohort(spec)
+        rng_for(7, "tree").integers(0, 100, 50)
+        b = simulate_cohort(spec)
+        assert a.genomes == b.genomes

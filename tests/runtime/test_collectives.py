@@ -1,0 +1,221 @@
+"""Tests for the collective operations: functional results and costs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import collectives as coll
+from repro.runtime.machine import laptop, stampede2_knl
+
+SPEC = laptop(32)
+
+
+def group(s):
+    return list(range(s))
+
+
+class TestPayloadNbytes:
+    def test_numpy(self):
+        assert coll.payload_nbytes(np.zeros(10, dtype=np.int64)) == 80
+
+    def test_scalars(self):
+        assert coll.payload_nbytes(5) == 8
+        assert coll.payload_nbytes(2.5) == 8
+        assert coll.payload_nbytes(True) == 1
+        assert coll.payload_nbytes(None) == 0
+
+    def test_containers(self):
+        assert coll.payload_nbytes([1, 2.0]) == 16
+        assert coll.payload_nbytes({"a": 1}) == 9
+
+    def test_string(self):
+        assert coll.payload_nbytes("abc") == 3
+
+
+class TestResolveOp:
+    def test_named(self):
+        assert coll.resolve_op("sum")(2, 3) == 5
+        assert coll.resolve_op("max")(2, 3) == 3
+        assert coll.resolve_op("bor")(0b01, 0b10) == 0b11
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: a - b  # noqa: E731
+        assert coll.resolve_op(fn) is fn
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduce op"):
+            coll.resolve_op("mean")
+
+
+class TestBcast:
+    def test_all_ranks_receive_root_value(self):
+        out, charge = coll.bcast(SPEC, group(4), [10, 20, 30, 40], root=2)
+        assert out == [30, 30, 30, 30]
+        assert charge.rounds == 2  # ceil(log2 4)
+
+    def test_single_rank_free(self):
+        out, charge = coll.bcast(SPEC, group(1), ["x"], root=0)
+        assert out == ["x"]
+        assert charge.comm_seconds == 0.0
+
+    def test_bad_root(self):
+        with pytest.raises(IndexError):
+            coll.bcast(SPEC, group(2), [1, 2], root=2)
+
+    def test_total_bytes_counts_recipients(self):
+        payload = np.zeros(100, dtype=np.float64)
+        _, charge = coll.bcast(SPEC, group(8), [payload] * 8, root=0)
+        assert charge.total_bytes == 7 * payload.nbytes
+
+
+class TestReduce:
+    def test_sum_at_root(self):
+        out, _ = coll.reduce(SPEC, group(4), [1, 2, 3, 4], "sum", root=1)
+        assert out == [None, 10, None, None]
+
+    def test_array_sum(self):
+        vals = [np.full(3, i) for i in range(4)]
+        out, _ = coll.reduce(SPEC, group(4), vals, "sum", root=0)
+        assert np.array_equal(out[0], np.full(3, 6))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("alg", ["recursive_doubling", "rabenseifner", "ring"])
+    def test_all_algorithms_agree(self, alg):
+        vals = [np.arange(5) * i for i in range(6)]
+        out, _ = coll.allreduce(SPEC, group(6), vals, "sum", algorithm=alg)
+        expect = np.arange(5) * 15
+        for o in out:
+            assert np.array_equal(o, expect)
+
+    def test_max(self):
+        out, _ = coll.allreduce(SPEC, group(3), [5, 9, 2], "max")
+        assert out == [9, 9, 9]
+
+    def test_auto_picks_bandwidth_algorithm_for_large(self):
+        big = [np.zeros(1 << 16) for _ in range(4)]
+        _, charge_auto = coll.allreduce(SPEC, group(4), big, "sum")
+        _, charge_rd = coll.allreduce(
+            SPEC, group(4), big, "sum", algorithm="recursive_doubling"
+        )
+        assert charge_auto.comm_seconds < charge_rd.comm_seconds
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown allreduce"):
+            coll.allreduce(SPEC, group(2), [1, 2], "sum", algorithm="magic")
+
+    @settings(max_examples=30)
+    @given(vals=st.lists(st.integers(-100, 100), min_size=1, max_size=16))
+    def test_matches_python_sum(self, vals):
+        out, _ = coll.allreduce(SPEC, group(len(vals)), vals, "sum")
+        assert out[0] == sum(vals)
+
+
+class TestAllgather:
+    def test_everyone_gets_everything(self):
+        out, _ = coll.allgather(SPEC, group(3), ["a", "b", "c"])
+        assert out == [["a", "b", "c"]] * 3
+
+    def test_charge_scales_with_payload(self):
+        small = [np.zeros(10)] * 4
+        large = [np.zeros(1000)] * 4
+        _, c_small = coll.allgather(SPEC, group(4), small)
+        _, c_large = coll.allgather(SPEC, group(4), large)
+        assert c_large.comm_seconds > c_small.comm_seconds
+
+
+class TestAlltoallv:
+    def test_transpose_semantics(self):
+        s = 3
+        chunks = [[(i, j) for j in range(s)] for i in range(s)]
+        out, _ = coll.alltoallv(SPEC, group(s), chunks)
+        for j in range(s):
+            assert out[j] == [(i, j) for i in range(s)]
+
+    def test_single_superstep(self):
+        chunks = [[np.zeros(4)] * 2 for _ in range(2)]
+        _, charge = coll.alltoallv(SPEC, group(2), chunks)
+        assert charge.rounds == 1
+
+    def test_off_diagonal_bytes_only(self):
+        payload = np.zeros(16, dtype=np.int64)
+        chunks = [
+            [payload, None],
+            [None, payload],
+        ]
+        _, charge = coll.alltoallv(SPEC, group(2), chunks)
+        assert charge.total_bytes == 0  # diagonal traffic stays on-rank
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="chunk matrix"):
+            coll.alltoallv(SPEC, group(2), [[None]])
+
+    def test_h_relation_uses_max_rank(self):
+        big = np.zeros(1000)
+        chunks = [
+            [None, big],
+            [None, None],
+        ]
+        _, charge = coll.alltoallv(SPEC, group(2), chunks)
+        assert charge.max_rank_bytes == big.nbytes
+
+
+class TestGatherScatter:
+    def test_gatherv(self):
+        out, _ = coll.gatherv(SPEC, group(3), [10, 11, 12], root=1)
+        assert out == [None, [10, 11, 12], None]
+
+    def test_scatterv(self):
+        out, _ = coll.scatterv(SPEC, group(3), ["x", "y", "z"], root=0)
+        assert out == ["x", "y", "z"]
+
+    def test_scatterv_wrong_count(self):
+        with pytest.raises(ValueError, match="parts"):
+            coll.scatterv(SPEC, group(3), ["x"], root=0)
+
+
+class TestScan:
+    def test_inclusive(self):
+        out, _ = coll.scan(SPEC, group(4), [1, 2, 3, 4], "sum")
+        assert out == [1, 3, 6, 10]
+
+    def test_exclusive(self):
+        out, _ = coll.scan(
+            SPEC, group(4), [1, 2, 3, 4], "sum", exclusive=True, identity=0
+        )
+        assert out == [0, 1, 3, 6]
+
+    def test_exclusive_requires_identity(self):
+        with pytest.raises(ValueError, match="identity"):
+            coll.scan(SPEC, group(2), [1, 2], "sum", exclusive=True)
+
+    @settings(max_examples=30)
+    @given(vals=st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    def test_matches_cumsum(self, vals):
+        out, _ = coll.scan(SPEC, group(len(vals)), vals, "sum")
+        assert out == np.cumsum(vals).tolist()
+
+
+class TestCostModelShape:
+    def test_log_rounds(self):
+        for s in (2, 4, 8, 16):
+            _, charge = coll.bcast(SPEC, group(s), [1] * s, root=0)
+            assert charge.rounds == int(math.log2(s))
+
+    def test_barrier_cost(self):
+        charge = coll.barrier_charge(SPEC, group(8))
+        assert charge.alpha_seconds == pytest.approx(3 * SPEC.alpha)
+
+    def test_internode_group_charged_at_inter_rate(self):
+        spec = stampede2_knl(2)
+        payload = np.zeros(1 << 14)
+        intra = list(range(4))
+        inter = [0, spec.ranks_per_node]
+        _, c_intra = coll.bcast(spec, intra, [payload] * 4, root=0)
+        _, c_inter = coll.bcast(spec, inter, [payload] * 2, root=0)
+        # One inter-node hop moves the same bytes more slowly than two
+        # intra-node rounds.
+        assert c_inter.comm_seconds > c_intra.comm_seconds / 2

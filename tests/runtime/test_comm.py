@@ -1,0 +1,105 @@
+"""Tests for the Communicator façade."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine, laptop
+from repro.runtime.comm import Communicator
+
+
+@pytest.fixture
+def machine():
+    return Machine(laptop(8))
+
+
+class TestGroups:
+    def test_world_spans_all_ranks(self, machine):
+        assert machine.world.size == 8
+        assert machine.world.ranks == tuple(range(8))
+
+    def test_sub(self, machine):
+        sub = machine.world.sub([1, 3, 5])
+        assert sub.ranks == (1, 3, 5)
+        assert sub.size == 3
+
+    def test_split(self, machine):
+        groups = machine.world.split([r % 2 for r in range(8)])
+        assert groups[0].ranks == (0, 2, 4, 6)
+        assert groups[1].ranks == (1, 3, 5, 7)
+
+    def test_split_requires_color_per_rank(self, machine):
+        with pytest.raises(ValueError, match="one color per rank"):
+            machine.world.split([0, 1])
+
+    def test_duplicate_ranks_rejected(self, machine):
+        with pytest.raises(ValueError, match="distinct"):
+            Communicator(machine, [0, 0])
+
+    def test_out_of_range_rank_rejected(self, machine):
+        with pytest.raises(IndexError):
+            Communicator(machine, [99])
+
+
+class TestLocalExecution:
+    def test_run_local_passes_rank(self, machine):
+        assert machine.world.run_local(lambda r: r * 2) == [
+            0, 2, 4, 6, 8, 10, 12, 14,
+        ]
+
+    def test_run_local_zips_args(self, machine):
+        comm = machine.world.sub([0, 1])
+        out = comm.run_local(lambda r, x: r + x, [10, 20])
+        assert out == [10, 21]
+
+    def test_run_local_arg_count_mismatch(self, machine):
+        with pytest.raises(ValueError, match="one value per rank"):
+            machine.world.run_local(lambda r, x: x, [1, 2])
+
+    def test_charge_compute_uses_slowest_rank(self, machine):
+        comm = machine.world
+        comm.charge_compute([0.0] * 7 + [1e9])
+        spec = machine.spec
+        assert machine.simulated_seconds == pytest.approx(
+            spec.compute_seconds(1e9)
+        )
+        assert machine.ledger.total.total_flops == pytest.approx(1e9)
+
+    def test_charge_compute_scalar_broadcasts(self, machine):
+        machine.world.charge_compute(1e6)
+        assert machine.ledger.total.total_flops == pytest.approx(8e6)
+
+    def test_charge_io(self, machine):
+        machine.world.charge_io([0.0] * 7 + [machine.spec.io_bandwidth_per_rank])
+        assert machine.simulated_seconds == pytest.approx(1.0)
+
+
+class TestCollectiveFacade:
+    def test_bcast_from(self, machine):
+        out = machine.world.bcast_from({"k": 1}, root=3)
+        assert all(o == {"k": 1} for o in out)
+
+    def test_allreduce_charges_ledger(self, machine):
+        before = machine.simulated_seconds
+        machine.world.allreduce(list(range(8)), op="sum")
+        assert machine.simulated_seconds > before
+
+    def test_value_count_validation(self, machine):
+        with pytest.raises(ValueError, match="one value per rank"):
+            machine.world.allreduce([1, 2], op="sum")
+
+    def test_alltoallv_roundtrip(self, machine):
+        comm = machine.world.sub([0, 1, 2])
+        chunks = [[np.full(1, 10 * i + j) for j in range(3)] for i in range(3)]
+        out = comm.alltoallv(chunks)
+        assert [int(x[0]) for x in out[1]] == [1, 11, 21]
+
+    def test_barrier_advances_time(self, machine):
+        before = machine.simulated_seconds
+        machine.world.barrier()
+        assert machine.simulated_seconds > before
+
+    def test_subcomm_charges_shared_ledger(self, machine):
+        sub = machine.world.sub([0, 1])
+        before = machine.simulated_seconds
+        sub.allgather([1, 2])
+        assert machine.simulated_seconds > before

@@ -1,0 +1,113 @@
+"""Tests for the BSP cost ledger."""
+
+import pytest
+
+from repro.runtime.cost import CostLedger, PhaseCost
+
+
+class TestPhaseCost:
+    def test_seconds_sums_components(self):
+        pc = PhaseCost(
+            alpha_seconds=1.0, comm_seconds=2.0, compute_seconds=3.0,
+            io_seconds=4.0,
+        )
+        assert pc.seconds == 10.0
+
+    def test_merge_accumulates(self):
+        a = PhaseCost(supersteps=1, total_bytes=10.0, total_flops=5.0)
+        b = PhaseCost(supersteps=2, total_bytes=20.0, total_flops=7.0)
+        a.merge(b)
+        assert a.supersteps == 3
+        assert a.total_bytes == 30.0
+        assert a.total_flops == 12.0
+
+
+class TestCostLedger:
+    def test_default_phase(self):
+        ledger = CostLedger()
+        ledger.charge_compute(1.5)
+        assert ledger.phases["default"].compute_seconds == 1.5
+
+    def test_phase_attribution(self):
+        ledger = CostLedger()
+        with ledger.phase("read"):
+            ledger.charge_io(2.0)
+        with ledger.phase("spgemm"):
+            ledger.charge_compute(3.0)
+        assert ledger.phases["read"].io_seconds == 2.0
+        assert ledger.phases["spgemm"].compute_seconds == 3.0
+
+    def test_nested_phase_attributes_to_innermost(self):
+        ledger = CostLedger()
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                ledger.charge_compute(1.0)
+            ledger.charge_compute(2.0)
+        assert ledger.phases["inner"].compute_seconds == 1.0
+        assert ledger.phases["outer"].compute_seconds == 2.0
+
+    def test_repeated_phase_accumulates(self):
+        ledger = CostLedger()
+        for _ in range(3):
+            with ledger.phase("loop"):
+                ledger.charge_compute(1.0)
+        assert ledger.phases["loop"].compute_seconds == 3.0
+
+    def test_superstep_charge(self):
+        ledger = CostLedger()
+        ledger.charge_superstep(
+            alpha_seconds=1e-5, comm_seconds=2e-5, total_bytes=100,
+            max_rank_bytes=50, messages=4, rounds=3,
+        )
+        assert ledger.supersteps == 3
+        assert ledger.communication_bytes == 100
+        assert ledger.simulated_seconds == pytest.approx(3e-5)
+
+    def test_simulated_seconds_across_phases(self):
+        ledger = CostLedger()
+        with ledger.phase("a"):
+            ledger.charge_compute(1.0)
+        with ledger.phase("b"):
+            ledger.charge_io(2.0)
+        assert ledger.simulated_seconds == 3.0
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.charge_compute(1.0)
+        ledger.reset()
+        assert ledger.simulated_seconds == 0.0
+
+    def test_diff_isolates_new_charges(self):
+        ledger = CostLedger()
+        with ledger.phase("a"):
+            ledger.charge_compute(1.0)
+        snap = ledger.snapshot()
+        with ledger.phase("a"):
+            ledger.charge_compute(2.0)
+        with ledger.phase("b"):
+            ledger.charge_io(5.0)
+        delta = ledger.diff(snap)
+        assert delta.phases["a"].compute_seconds == pytest.approx(2.0)
+        assert delta.phases["b"].io_seconds == pytest.approx(5.0)
+
+    def test_diff_drops_untouched_phases(self):
+        ledger = CostLedger()
+        with ledger.phase("quiet"):
+            ledger.charge_compute(1.0)
+        snap = ledger.snapshot()
+        assert "quiet" not in ledger.diff(snap).phases
+
+    def test_snapshot_is_independent(self):
+        ledger = CostLedger()
+        ledger.charge_compute(1.0)
+        snap = ledger.snapshot()
+        ledger.charge_compute(1.0)
+        assert snap["phases"]["default"].compute_seconds == 1.0
+
+    def test_report_contains_totals(self):
+        ledger = CostLedger()
+        with ledger.phase("read"):
+            ledger.charge_io(1.0)
+        text = ledger.report()
+        assert "read" in text
+        assert "TOTAL" in text

@@ -1,0 +1,116 @@
+"""Tests for processor grids."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import Machine, laptop
+from repro.runtime.topology import (
+    ProcessorGrid,
+    choose_grid_2d,
+    choose_grid_3d,
+    factor_near_square,
+)
+
+
+class TestFactorization:
+    @given(p=st.integers(min_value=1, max_value=4096))
+    def test_factors_multiply_back(self, p):
+        a, b = factor_near_square(p)
+        assert a * b == p
+        assert a <= b
+
+    def test_square(self):
+        assert choose_grid_2d(64) == (8, 8)
+
+    def test_prime_degenerates_to_1d(self):
+        assert choose_grid_2d(13) == (1, 13)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            choose_grid_2d(0)
+
+
+class TestChooseGrid3d:
+    def test_explicit_replication(self):
+        assert choose_grid_3d(32, c=2) == (4, 4, 2)
+
+    def test_replication_clamped_to_divisor(self):
+        rows, cols, c = choose_grid_3d(32, c=3)
+        assert rows * cols * c == 32
+        assert c <= 3
+
+    def test_default_no_replication(self):
+        assert choose_grid_3d(16) == (4, 4, 1)
+
+    def test_memory_rule(self):
+        # c = Theta(min(p, M p / n^2)): plentiful memory -> replicate.
+        rows, cols, c = choose_grid_3d(16, memory_words=1e9, n=100)
+        assert c > 1
+        # scarce memory -> no replication.
+        assert choose_grid_3d(16, memory_words=100, n=10000)[2] == 1
+
+
+class TestProcessorGrid:
+    @pytest.fixture
+    def grid(self):
+        return ProcessorGrid(Machine(laptop(24)).world, 2, 3, 4)
+
+    def test_size_must_match(self):
+        with pytest.raises(ValueError, match="needs"):
+            ProcessorGrid(Machine(laptop(8)).world, 2, 3, 4)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessorGrid(Machine(laptop(4)).world, 2, 2, 0)
+
+    @given(rank=st.integers(min_value=0, max_value=23))
+    def test_coords_roundtrip(self, rank):
+        grid = ProcessorGrid(Machine(laptop(24)).world, 2, 3, 4)
+        c = grid.coords(rank)
+        assert grid.local_rank(c.row, c.col, c.layer) == rank
+
+    def test_coords_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.coords(24)
+        with pytest.raises(IndexError):
+            grid.local_rank(2, 0, 0)
+
+    def test_row_comm_members(self, grid):
+        comm = grid.row_comm(1, layer=0)
+        coords = [grid.coords(grid.comm.ranks.index(r)) for r in comm.ranks]
+        assert all(c.row == 1 and c.layer == 0 for c in coords)
+        assert sorted(c.col for c in coords) == [0, 1, 2]
+
+    def test_col_comm_members(self, grid):
+        comm = grid.col_comm(2, layer=1)
+        coords = [grid.coords(grid.comm.ranks.index(r)) for r in comm.ranks]
+        assert all(c.col == 2 and c.layer == 1 for c in coords)
+        assert sorted(c.row for c in coords) == [0, 1]
+
+    def test_layer_comm_is_face(self, grid):
+        assert grid.layer_comm(0).size == 6
+
+    def test_fiber_comm_spans_layers(self, grid):
+        comm = grid.fiber_comm(0, 1)
+        assert comm.size == 4
+        coords = [grid.coords(grid.comm.ranks.index(r)) for r in comm.ranks]
+        assert all(c.row == 0 and c.col == 1 for c in coords)
+
+    def test_subcomms_are_cached(self, grid):
+        assert grid.row_comm(0) is grid.row_comm(0)
+
+    def test_layers_partition_ranks(self, grid):
+        seen = set()
+        for layer in range(4):
+            seen.update(grid.layer_comm(layer).ranks)
+        assert seen == set(range(24))
+
+    def test_build_2d(self):
+        grid = ProcessorGrid.build_2d(Machine(laptop(12)).world)
+        assert grid.rows * grid.cols == 12
+        assert grid.layers == 1
+
+    def test_build_3d(self):
+        grid = ProcessorGrid.build_3d(Machine(laptop(32)).world, c=2)
+        assert (grid.rows, grid.cols, grid.layers) == (4, 4, 2)

@@ -1,0 +1,99 @@
+"""Tests for bit-packed matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.bitmatrix import BitMatrix
+from repro.util.bits import SUPPORTED_WIDTHS
+
+
+class TestConstruction:
+    def test_zeros(self):
+        bm = BitMatrix.zeros(100, 5, 32)
+        assert bm.shape == (100, 5)
+        assert bm.n_word_rows == 4
+        assert bm.nnz == 0
+
+    def test_from_coo_duplicates_or_together(self):
+        bm = BitMatrix.from_coo(
+            np.array([3, 3, 3]), np.array([0, 0, 0]), 8, 1, 8
+        )
+        assert bm.nnz == 1
+
+    def test_from_coo_bounds(self):
+        with pytest.raises(ValueError, match="row index"):
+            BitMatrix.from_coo(np.array([8]), np.array([0]), 8, 1, 8)
+        with pytest.raises(ValueError, match="column index"):
+            BitMatrix.from_coo(np.array([0]), np.array([1]), 8, 1, 8)
+
+    def test_word_count_validated(self):
+        with pytest.raises(ValueError, match="word rows"):
+            BitMatrix(np.zeros((1, 2), dtype=np.uint64), 100, 64)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError, match="bit width"):
+            BitMatrix(np.zeros((1, 1), dtype=np.uint64), 10, 12)
+
+    @settings(max_examples=40)
+    @given(
+        seed=st.integers(0, 10_000),
+        width=st.sampled_from(SUPPORTED_WIDTHS),
+    )
+    def test_dense_roundtrip(self, seed, width):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((rng.integers(1, 130), rng.integers(1, 9))) < 0.3
+        bm = BitMatrix.from_dense(dense, width)
+        assert np.array_equal(bm.to_dense(), dense)
+        assert bm.nnz == int(dense.sum())
+
+
+class TestOperations:
+    def test_column_popcounts(self, rng):
+        dense = rng.random((77, 6)) < 0.4
+        bm = BitMatrix.from_dense(dense, 16)
+        assert np.array_equal(bm.column_popcounts(), dense.sum(axis=0))
+
+    def test_column_popcounts_empty(self):
+        assert BitMatrix.zeros(0, 3).column_popcounts().tolist() == [0, 0, 0]
+
+    def test_col_slice(self, rng):
+        dense = rng.random((40, 8)) < 0.5
+        bm = BitMatrix.from_dense(dense)
+        assert np.array_equal(bm.col_slice(2, 5).to_dense(), dense[:, 2:5])
+
+    def test_col_slice_bounds(self):
+        with pytest.raises(IndexError):
+            BitMatrix.zeros(8, 2).col_slice(0, 3)
+
+    def test_word_row_slice(self, rng):
+        dense = rng.random((64, 3)) < 0.5
+        bm = BitMatrix.from_dense(dense, 16)
+        sl = bm.word_row_slice(1, 3)
+        assert np.array_equal(sl.to_dense(), dense[16:48])
+
+    def test_stack(self, rng):
+        top = rng.random((32, 4)) < 0.5
+        bottom = rng.random((20, 4)) < 0.5
+        stacked = BitMatrix.from_dense(top, 16).stack(
+            BitMatrix.from_dense(bottom, 16)
+        )
+        assert np.array_equal(stacked.to_dense(), np.vstack([top, bottom]))
+
+    def test_stack_rejects_unaligned(self):
+        a = BitMatrix.from_dense(np.ones((5, 2), dtype=bool), 8)
+        b = BitMatrix.from_dense(np.ones((8, 2), dtype=bool), 8)
+        with pytest.raises(ValueError, match="partially-filled"):
+            a.stack(b)
+
+    def test_stack_width_mismatch(self):
+        a = BitMatrix.zeros(8, 2, 8)
+        b = BitMatrix.zeros(8, 2, 16)
+        with pytest.raises(ValueError, match="bit widths"):
+            a.stack(b)
+
+    def test_nbytes_shrinks_with_packing(self):
+        dense = np.ones((640, 4), dtype=bool)
+        packed = BitMatrix.from_dense(dense, 64)
+        assert packed.nbytes == 640 // 64 * 4 * 8

@@ -1,0 +1,90 @@
+"""Tests for CSR matrices."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+
+def make_csr(dense):
+    return CooMatrix.from_dense(np.asarray(dense)).to_csr()
+
+
+class TestValidation:
+    def test_indptr_length(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CsrMatrix(np.array([0, 1]), np.array([0]), (3, 3))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix(np.array([0, 2, 1]), np.array([0]), (2, 1))
+
+    def test_indptr_endpoints(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CsrMatrix(np.array([1, 1]), np.empty(0, np.int64), (1, 1))
+
+    def test_column_bounds(self):
+        with pytest.raises(ValueError, match="column index"):
+            CsrMatrix(np.array([0, 1]), np.array([5]), (1, 3))
+
+    def test_data_alignment(self):
+        with pytest.raises(ValueError, match="data"):
+            CsrMatrix(
+                np.array([0, 1]), np.array([0]), (1, 1), np.array([1, 2])
+            )
+
+
+class TestAccessors:
+    def test_row_degrees(self):
+        csr = make_csr([[1, 1, 0], [0, 0, 0], [1, 0, 1]])
+        assert csr.row_degrees().tolist() == [2, 0, 2]
+
+    def test_row(self):
+        csr = make_csr([[0, 1, 1], [1, 0, 0]])
+        assert csr.row(0).tolist() == [1, 2]
+        assert csr.row(1).tolist() == [0]
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_csr([[1]]).row(1)
+
+    def test_nonzero_rows(self):
+        csr = make_csr([[0, 0], [1, 0], [0, 0], [0, 1]])
+        assert csr.nonzero_rows().tolist() == [1, 3]
+
+    def test_column_sums_boolean(self):
+        dense = np.array([[1, 0, 1], [1, 1, 0]], dtype=bool)
+        assert make_csr(dense).column_sums().tolist() == [2, 1, 1]
+
+    def test_column_sums_weighted(self):
+        dense = np.array([[2, 0], [3, 4]])
+        assert make_csr(dense).column_sums().tolist() == [5, 4]
+
+
+class TestTransforms:
+    def test_to_dense_roundtrip(self, rng):
+        dense = rng.random((40, 9)) < 0.25
+        assert np.array_equal(make_csr(dense).to_dense(), dense)
+
+    def test_to_coo_roundtrip(self, rng):
+        dense = rng.random((25, 7)) < 0.3
+        csr = make_csr(dense)
+        assert np.array_equal(csr.to_coo().to_dense(), dense)
+
+    def test_select_rows(self, rng):
+        dense = rng.random((30, 5)) < 0.4
+        csr = make_csr(dense)
+        picked = np.array([4, 17, 2])
+        sub = csr.select_rows(picked)
+        assert np.array_equal(sub.to_dense(), dense[picked])
+
+    def test_select_rows_empty(self):
+        csr = make_csr(np.ones((3, 3)))
+        sub = csr.select_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, 3)
+        assert sub.nnz == 0
+
+    def test_nbytes(self):
+        csr = make_csr(np.eye(4))
+        assert csr.nbytes > 0

@@ -1,0 +1,129 @@
+"""Tests for distributed matrix containers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine, laptop
+from repro.runtime.topology import ProcessorGrid
+from repro.sparse.coo import CooMatrix
+from repro.sparse.distributed import (
+    DistDenseMatrix,
+    DistVector,
+    DistWordMatrix,
+    word_aligned_row_bounds,
+)
+
+
+class TestWordAlignedBounds:
+    def test_partition_covers_range(self):
+        bounds = word_aligned_row_bounds(300, 3, 64)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 300
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_internal_boundaries_word_aligned(self):
+        for lo, hi in word_aligned_row_bounds(1000, 4, 32)[:-1]:
+            assert lo % 32 == 0
+            assert hi % 32 == 0
+
+    def test_zero_rows(self):
+        assert word_aligned_row_bounds(0, 3, 64) == [(0, 0)] * 3
+
+    def test_more_parts_than_words(self):
+        bounds = word_aligned_row_bounds(64, 4, 64)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == 64
+        assert sizes.count(64) == 1
+
+
+def build_grid(p, rows, cols, layers=1):
+    return ProcessorGrid(Machine(laptop(p)).world, rows, cols, layers)
+
+
+class TestDistWordMatrix:
+    def test_from_coo_chunks_assembles(self, rng):
+        dense = rng.random((130, 10)) < 0.2
+        coo = CooMatrix.from_dense(dense)
+        grid = build_grid(4, 2, 2)
+        idx = np.array_split(np.arange(coo.nnz), 4)
+        chunks = [CooMatrix(coo.rows[i], coo.cols[i], coo.shape) for i in idx]
+        mat = DistWordMatrix.from_coo_chunks(grid, 0, chunks, 130, 10, 32)
+        assert np.array_equal(mat.to_local(), dense)
+        assert mat.nnz == coo.nnz
+
+    def test_block_shapes(self, rng):
+        dense = rng.random((100, 9)) < 0.3
+        coo = CooMatrix.from_dense(dense)
+        grid = build_grid(4, 2, 2)
+        chunks = [coo, CooMatrix.empty(coo.shape), CooMatrix.empty(coo.shape),
+                  CooMatrix.empty(coo.shape)]
+        mat = DistWordMatrix.from_coo_chunks(grid, 0, chunks, 100, 9, 64)
+        for t in range(2):
+            clo, chi = mat.col_bounds[t]
+            for s in range(2):
+                assert mat.block(s, t).n_cols == chi - clo
+
+    def test_chunk_count_validated(self):
+        grid = build_grid(4, 2, 2)
+        with pytest.raises(ValueError, match="one chunk per"):
+            DistWordMatrix.from_coo_chunks(grid, 0, [], 10, 4)
+
+    def test_empty_matrix(self):
+        grid = build_grid(4, 2, 2)
+        chunks = [CooMatrix.empty((50, 6)) for _ in range(4)]
+        mat = DistWordMatrix.from_coo_chunks(grid, 0, chunks, 50, 6)
+        assert mat.nnz == 0
+        assert not mat.to_local().any()
+
+
+class TestDistDenseMatrix:
+    def test_zeros_shape(self):
+        grid = build_grid(4, 2, 2)
+        mat = DistDenseMatrix.zeros(grid, 0, 7, 7)
+        assert mat.shape == (7, 7)
+        assert mat.to_local().shape == (7, 7)
+
+    def test_blocks_tile_exactly(self):
+        grid = build_grid(4, 2, 2)
+        mat = DistDenseMatrix.zeros(grid, 0, 7, 5)
+        total = sum(b.size for b in mat.blocks.values())
+        assert total == 35
+
+    def test_add_inplace(self):
+        grid = build_grid(4, 2, 2)
+        a = DistDenseMatrix.zeros(grid, 0, 4, 4)
+        b = DistDenseMatrix.zeros(grid, 0, 4, 4)
+        b.blocks[(0, 0)] += 3
+        a.add_inplace(b)
+        assert a.to_local()[0, 0] == 3
+
+    def test_add_inplace_shape_mismatch(self):
+        grid = build_grid(4, 2, 2)
+        a = DistDenseMatrix.zeros(grid, 0, 4, 4)
+        b = DistDenseMatrix.zeros(grid, 0, 5, 5)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            a.add_inplace(b)
+
+
+class TestDistVector:
+    def test_zeros_and_concat(self):
+        grid = build_grid(4, 2, 2)
+        vec = DistVector.zeros(grid, 0, 9)
+        assert vec.n == 9
+        assert vec.to_local().shape == (9,)
+
+    def test_add_inplace(self):
+        grid = build_grid(4, 2, 2)
+        a = DistVector.zeros(grid, 0, 6)
+        b = DistVector.zeros(grid, 0, 6)
+        b.parts[0] += 2
+        a.add_inplace(b)
+        assert a.to_local().sum() == 2 * len(b.parts[0])
+
+    def test_add_inplace_length_mismatch(self):
+        grid = build_grid(4, 2, 2)
+        a = DistVector.zeros(grid, 0, 6)
+        b = DistVector.zeros(grid, 0, 7)
+        with pytest.raises(ValueError, match="length mismatch"):
+            a.add_inplace(b)

@@ -1,0 +1,63 @@
+"""Tests for the semiring abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.semiring import (
+    ALL_SEMIRINGS,
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_TIMES,
+    POPCOUNT_AND,
+    Monoid,
+)
+
+
+class TestMonoid:
+    def test_reduce(self):
+        m = Monoid("sum", lambda a, b: a + b, 0)
+        assert m.reduce([1, 2, 3]) == 6
+
+    def test_reduce_empty_gives_identity(self):
+        m = Monoid("sum", lambda a, b: a + b, 0)
+        assert m.reduce([]) == 0
+
+
+class TestSemirings:
+    def test_arithmetic_dot(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([4.0, 5.0, 6.0])
+        assert ARITHMETIC.dot(x, y) == pytest.approx(32.0)
+
+    def test_boolean_dot(self):
+        x = np.array([True, False, True])
+        y = np.array([True, True, False])
+        assert BOOLEAN.dot(x, y)
+
+    def test_max_times_write_semantics(self):
+        # §IV-A: concurrent writes of 1 from any ranks combine to 1.
+        acc = MAX_TIMES.add.identity
+        for write in (1, 1, 0, 1):
+            acc = MAX_TIMES.add.combine(acc, write)
+        assert acc == 1
+
+    def test_popcount_and_matches_boolean_inner_product(self, rng):
+        bits_x = rng.random(128) < 0.5
+        bits_y = rng.random(128) < 0.5
+        from repro.util.bits import pack_bits
+
+        x = pack_bits(bits_x, 64)
+        y = pack_bits(bits_y, 64)
+        assert POPCOUNT_AND.dot(x, y) == int((bits_x & bits_y).sum())
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ARITHMETIC.dot(np.zeros(2), np.zeros(3))
+
+    def test_registry_complete(self):
+        assert set(ALL_SEMIRINGS) == {
+            "arithmetic", "boolean", "max-times", "popcount-and",
+        }
+
+    def test_popcount_flop_weight(self):
+        assert POPCOUNT_AND.multiply_flops_per_element == 2.0

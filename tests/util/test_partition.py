@@ -1,0 +1,77 @@
+"""Tests for index-space partitioning helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.partition import (
+    block_bounds,
+    block_owner,
+    block_size,
+    even_chunks,
+    round_robin_indices,
+)
+
+
+class TestBlockLayout:
+    @given(
+        total=st.integers(min_value=0, max_value=500),
+        parts=st.integers(min_value=1, max_value=40),
+    )
+    def test_bounds_partition_the_range(self, total, parts):
+        cursor = 0
+        for i in range(parts):
+            lo, hi = block_bounds(total, parts, i)
+            assert lo == cursor
+            assert hi - lo == block_size(total, parts, i)
+            cursor = hi
+        assert cursor == total
+
+    @given(
+        total=st.integers(min_value=1, max_value=500),
+        parts=st.integers(min_value=1, max_value=40),
+        item=st.integers(min_value=0),
+    )
+    def test_owner_consistent_with_bounds(self, total, parts, item):
+        item = item % total
+        owner = block_owner(total, parts, item)
+        lo, hi = block_bounds(total, parts, owner)
+        assert lo <= item < hi
+
+    def test_remainder_spread_over_leading_blocks(self):
+        sizes = [block_size(10, 4, i) for i in range(4)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError, match="positive"):
+            block_bounds(10, 0, 0)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            block_bounds(10, 4, 4)
+        with pytest.raises(IndexError):
+            block_owner(10, 4, 10)
+
+
+class TestChunks:
+    def test_even_chunks_cover_input(self):
+        values = np.arange(11)
+        chunks = even_chunks(values, 3)
+        assert [len(c) for c in chunks] == [4, 4, 3]
+        assert np.array_equal(np.concatenate(chunks), values)
+
+    def test_round_robin_partition(self):
+        total, parts = 23, 5
+        seen = np.concatenate(
+            [round_robin_indices(total, parts, r) for r in range(parts)]
+        )
+        assert sorted(seen.tolist()) == list(range(total))
+
+    def test_round_robin_membership(self):
+        idx = round_robin_indices(20, 4, 1)
+        assert np.all(idx % 4 == 1)
+
+    def test_round_robin_bad_rank(self):
+        with pytest.raises(IndexError):
+            round_robin_indices(10, 4, 4)

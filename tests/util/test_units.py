@@ -1,0 +1,48 @@
+"""Tests for human-readable formatting."""
+
+from repro.util.units import format_bytes, format_count, format_time
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_large(self):
+        assert format_bytes(3 * 2**40) == "3.00 TiB"
+
+    def test_huge_saturates_at_pib(self):
+        assert format_bytes(2**60) == "1024.00 PiB"
+
+
+class TestFormatCount:
+    def test_small(self):
+        assert format_count(999) == "999"
+
+    def test_millions(self):
+        assert format_count(32_000_000) == "32.0M"
+
+
+class TestFormatTime:
+    def test_microseconds(self):
+        assert format_time(5e-6) == "5.00 us"
+
+    def test_milliseconds(self):
+        assert format_time(0.25) == "250.00 ms"
+
+    def test_seconds(self):
+        assert format_time(42.14) == "42.14 s"
+
+    def test_minutes(self):
+        assert format_time(150) == "2.50 min"
+
+    def test_hours(self):
+        assert format_time(3600 * 3) == "3.00 h"
+
+    def test_days(self):
+        assert format_time(86400 * 2.5) == "2.50 days"
+
+    def test_negative(self):
+        assert format_time(-1.0) == "-1.00 s"
