@@ -35,7 +35,8 @@ def run_point(nodes: int, rpn: int, batches: int):
     source = SyntheticSource(m=M_ROWS, n=N_SAMPLES, density=DENSITY, seed=2)
     machine = Machine(stampede2_knl(nodes, ranks_per_node=rpn))
     return jaccard_similarity(
-        source, machine=machine, batch_count=batches, gather_result=False
+        source, machine=machine, batch_count=batches, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 
@@ -88,7 +89,8 @@ def test_fig2a_verified_projection(benchmark, emit):
     machine = Machine(stampede2_knl(4, ranks_per_node=4))
     full = benchmark.pedantic(
         lambda: jaccard_similarity(
-            source, machine=machine, batch_count=16, gather_result=False
+            source, machine=machine, batch_count=16, gather_result=False,
+            kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
         ),
         rounds=1, iterations=1, warmup_rounds=0,
     )

@@ -36,7 +36,8 @@ def run_point(nodes: int, rpn: int, batches: int):
     )
     machine = Machine(stampede2_knl(nodes, ranks_per_node=rpn))
     return jaccard_similarity(
-        source, machine=machine, batch_count=batches, gather_result=False
+        source, machine=machine, batch_count=batches, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

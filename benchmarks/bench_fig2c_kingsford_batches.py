@@ -26,7 +26,8 @@ def run_point(batches: int):
     source = SyntheticSource(m=M_ROWS, n=N_SAMPLES, density=DENSITY, seed=2)
     machine = Machine(stampede2_knl(2, ranks_per_node=4))
     return jaccard_similarity(
-        source, machine=machine, batch_count=batches, gather_result=False
+        source, machine=machine, batch_count=batches, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

@@ -28,7 +28,8 @@ def run_point(batches: int):
     )
     machine = Machine(stampede2_knl(8, ranks_per_node=4))
     return jaccard_similarity(
-        source, machine=machine, batch_count=batches, gather_result=False
+        source, machine=machine, batch_count=batches, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

@@ -34,7 +34,8 @@ def run_point(ranks: int, batches: int):
     machine = Machine(stampede2_knl(max(1, ranks // 4),
                                     ranks_per_node=min(ranks, 4)))
     return jaccard_similarity(
-        source, machine=machine, batch_count=batches, gather_result=False
+        source, machine=machine, batch_count=batches, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

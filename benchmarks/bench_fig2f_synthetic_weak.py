@@ -40,6 +40,7 @@ def run_point(ranks: int, m: int, n: int):
     return jaccard_similarity(
         source, machine=machine, batch_count=2, gather_result=False,
         filter_strategy="transpose",
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

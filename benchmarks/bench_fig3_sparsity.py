@@ -25,8 +25,14 @@ DENSITIES = [1e-4, 3e-4, 1e-3, 3e-3, 1e-2]
 def run_point(density: float):
     source = SyntheticSource(m=M_ROWS, n=N_SAMPLES, density=density, seed=8)
     machine = Machine(stampede2_knl(4, ranks_per_node=4))
+    # The paper's implementation always runs the Eq. 7 popcount kernel,
+    # and Fig. 3's near-linear total-vs-density shape is a property of
+    # that fixed kernel — so pin it here.  (Under the default adaptive
+    # dispatch the whole sweep stays on the cheaper outer-product path
+    # and the ratio flattens; benchmarks/harness.py measures that.)
     return jaccard_similarity(
-        source, machine=machine, batch_count=4, gather_result=False
+        source, machine=machine, batch_count=4, gather_result=False,
+        kernel_policy="bitpacked",
     )
 
 

@@ -27,7 +27,8 @@ def run_point(nodes: int, use_fast_cache: bool):
                          use_fast_cache=use_fast_cache)
     machine = Machine(spec)
     return jaccard_similarity(
-        source, machine=machine, batch_count=4, gather_result=False
+        source, machine=machine, batch_count=4, gather_result=False,
+        kernel_policy="bitpacked",  # the paper's fixed Eq. 7 kernel
     )
 
 

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Persistent kernel-policy benchmark harness.
+
+Runs the paper-shaped Fig. 2a/2b/3 workloads under every kernel policy
+(``adaptive`` plus the three fixed kernels) and appends the measurements
+to ``BENCH_kernels.json`` at the repo root, so every future PR has a
+performance trajectory to beat.  For each (workload, policy) pair it
+records:
+
+* the *simulated* wall clock of the modelled distributed machine (the
+  ledger makespan — the number the paper's figures plot),
+* mean simulated seconds per batch and the ``spgemm`` phase seconds,
+* *real* process wall clock of the run (the kernels genuinely execute),
+* the kernel the dispatcher chose per batch and the planner's a-priori
+  prediction.
+
+The summary per workload names the worst fixed policy and the adaptive
+policy's speedup over it — the headline the adaptive dispatch layer has
+to keep earning.
+
+Run:  python benchmarks/harness.py            # full sizes, appends to
+                                              # BENCH_kernels.json
+      python benchmarks/harness.py --smoke    # tiny sizes (CI), writes
+                                              # nothing unless --output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import SimilarityConfig, jaccard_similarity  # noqa: E402
+from repro.core.indicator import SyntheticSource  # noqa: E402
+from repro.runtime import Machine, laptop, stampede2_knl  # noqa: E402
+from repro.sparse.dispatch import KERNEL_POLICIES  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+POLICIES = KERNEL_POLICIES
+FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
+
+#: The two Fig. 2 regimes, scaled so the kernels genuinely execute in
+#: seconds while preserving the paper's density contrast: the
+#: Kingsford-like cohort is dense after zero-row filtering (the Eq. 7
+#: popcount regime), the BIGSI-like cohort hypersparse and heavy-tailed
+#: (most sample pairs share nothing).
+WORKLOADS = {
+    "fig2a_kingsford_like": dict(
+        figure="Fig. 2a (dense regime)",
+        m=12_000, n=256, density=0.35, skew=None, seed=11,
+        nodes=2, ranks_per_node=4, batch_count=4,
+    ),
+    "fig2b_bigsi_like": dict(
+        figure="Fig. 2b (hypersparse regime)",
+        m=2_000_000, n=512, density=2e-5, skew=1.5, seed=13,
+        nodes=4, ranks_per_node=4, batch_count=4,
+    ),
+}
+
+SMOKE_WORKLOADS = {
+    "fig2a_kingsford_like": dict(
+        figure="Fig. 2a (dense regime)",
+        m=2_000, n=64, density=0.2, skew=None, seed=11,
+        nodes=1, ranks_per_node=4, batch_count=2,
+    ),
+    "fig2b_bigsi_like": dict(
+        figure="Fig. 2b (hypersparse regime)",
+        m=50_000, n=128, density=1e-4, skew=1.5, seed=13,
+        nodes=1, ranks_per_node=4, batch_count=2,
+    ),
+}
+
+#: Fig. 3-style sparsity sweep: densities straddling the blocked/outer
+#: crossover, run under the adaptive policy only.
+SWEEP_DENSITIES = (1e-4, 1e-3, 5e-3, 2e-2, 5e-2, 0.15)
+SWEEP_SHAPE = dict(m=30_000, n=128, nodes=2, ranks_per_node=4,
+                   batch_count=2, seed=17)
+SMOKE_SWEEP_DENSITIES = (1e-3, 5e-2)
+SMOKE_SWEEP_SHAPE = dict(m=3_000, n=64, nodes=1, ranks_per_node=4,
+                         batch_count=2, seed=17)
+
+
+def _machine(nodes: int, ranks_per_node: int) -> Machine:
+    if nodes <= 1 and ranks_per_node <= 4:
+        return Machine(laptop(ranks_per_node))
+    return Machine(stampede2_knl(nodes, ranks_per_node=ranks_per_node))
+
+
+def _source(spec: dict) -> SyntheticSource:
+    kwargs = dict(
+        m=spec["m"], n=spec["n"], density=spec["density"], seed=spec["seed"]
+    )
+    if spec.get("skew"):
+        kwargs["density_skew"] = spec["skew"]
+    return SyntheticSource(**kwargs)
+
+
+def run_policy(spec: dict, policy: str) -> dict:
+    """One (workload, policy) measurement."""
+    source = _source(spec)
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+    config = SimilarityConfig(
+        batch_count=spec["batch_count"], gather_result=False,
+        compute_distance=False, kernel_policy=policy,
+    )
+    t0 = time.perf_counter()
+    result = jaccard_similarity(source, machine=machine, config=config)
+    real = time.perf_counter() - t0
+    spgemm = result.cost.phases.get("spgemm")
+    return {
+        "simulated_seconds": result.simulated_seconds,
+        "mean_batch_seconds": result.mean_batch_seconds,
+        "spgemm_seconds": spgemm.seconds if spgemm else 0.0,
+        "real_seconds": real,
+        "kernels": [b.kernel for b in result.batches],
+        "batch_densities": [round(b.density, 6) for b in result.batches],
+        "planned_kernel": result.planned_kernel,
+        "grid": f"{result.grid_q}x{result.grid_q}x{result.grid_c}",
+    }
+
+
+def run_workload(name: str, spec: dict) -> dict:
+    """All policies on one workload, plus the adaptive-vs-fixed summary."""
+    policies = {}
+    for policy in POLICIES:
+        policies[policy] = run_policy(spec, policy)
+        print(
+            f"  {name:<24} {policy:<10} "
+            f"sim {policies[policy]['simulated_seconds']:.4f}s  "
+            f"real {policies[policy]['real_seconds']:.2f}s  "
+            f"kernels {'/'.join(sorted(set(policies[policy]['kernels'])))}"
+        )
+    adaptive = policies["adaptive"]["simulated_seconds"]
+    fixed = {p: policies[p]["simulated_seconds"] for p in FIXED_POLICIES}
+    worst = max(fixed, key=fixed.get)
+    best = min(fixed, key=fixed.get)
+    summary = {
+        "adaptive_simulated_seconds": adaptive,
+        "worst_fixed_policy": worst,
+        "worst_fixed_simulated_seconds": fixed[worst],
+        "best_fixed_policy": best,
+        "adaptive_speedup_vs_worst_fixed": (
+            fixed[worst] / adaptive if adaptive > 0 else float("inf")
+        ),
+        "adaptive_kernels": sorted(set(policies["adaptive"]["kernels"])),
+    }
+    print(
+        f"  -> adaptive {summary['adaptive_speedup_vs_worst_fixed']:.2f}x "
+        f"over worst fixed ({worst})"
+    )
+    return {"params": spec, "policies": policies, "summary": summary}
+
+
+def run_sweep(densities, shape) -> list[dict]:
+    """Adaptive-policy sparsity sweep across the kernel crossover."""
+    points = []
+    for density in densities:
+        spec = dict(shape, density=density, skew=None)
+        res = run_policy(spec, "adaptive")
+        points.append(
+            {
+                "density": density,
+                "kernels": res["kernels"],
+                "batch_densities": res["batch_densities"],
+                "simulated_seconds": res["simulated_seconds"],
+            }
+        )
+        print(
+            f"  sweep density {density:<8g} -> "
+            f"{'/'.join(sorted(set(res['kernels'])))}"
+        )
+    return points
+
+
+def run_harness(smoke: bool = False) -> dict:
+    """Run every workload under every policy; return one trajectory entry."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) ==")
+        entry["workloads"][name] = run_workload(name, dict(spec))
+    print("== fig3_sparsity_sweep ==")
+    if smoke:
+        points = run_sweep(SMOKE_SWEEP_DENSITIES, SMOKE_SWEEP_SHAPE)
+    else:
+        points = run_sweep(SWEEP_DENSITIES, SWEEP_SHAPE)
+    entry["workloads"]["fig3_sparsity_sweep"] = {"points": points}
+    return entry
+
+
+def append_entry(entry: dict, output: Path) -> None:
+    """Append one trajectory entry to the persistent benchmark file."""
+    if output.exists():
+        data = json.loads(output.read_text())
+    else:
+        data = {"schema": 1, "runs": []}
+    data["runs"].append(entry)
+    output.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {output} ({len(data['runs'])} run(s) recorded)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI; skips writing unless --output is given",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"trajectory file to append to (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    entry = run_harness(smoke=args.smoke)
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        append_entry(entry, output)
+    for name, wl in entry["workloads"].items():
+        if "summary" not in wl:
+            continue
+        s = wl["summary"]
+        print(
+            f"{name}: adaptive uses {'/'.join(s['adaptive_kernels'])}, "
+            f"{s['adaptive_speedup_vs_worst_fixed']:.2f}x over worst fixed "
+            f"({s['worst_fixed_policy']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Information-retrieval framing: document similarity and plagiarism.
 
-The paper's SII-G: documents become indicator-matrix columns (one row
-per word or shingle), and the same distributed algorithm that compares
-genomes compares documents.  This example builds a small corpus with a
-planted near-copy and finds it.
+Mirrors: paper §II-G ("Information Retrieval" application) and the
+similar-sample-discovery arrow of Fig. 1.
+
+Documents become indicator-matrix columns (one row per word or
+shingle), and the same distributed algorithm that compares genomes
+compares documents.  This example builds a small corpus with a planted
+near-copy and finds it.
 
 Run:  python examples/document_plagiarism.py
 """

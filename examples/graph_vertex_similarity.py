@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Graph-analytics framing: vertex similarity, clustering, link prediction.
 
-The paper's SII-F: the neighborhood N(v) of each vertex becomes a data
-sample, so |N(v) n N(u)| / |N(v) u N(u)| is computed for all vertex
-pairs by the same distributed core.  On top of the similarity matrix:
+Mirrors: paper §II-F ("Graph Analysis" application).
+
+The neighborhood N(v) of each vertex becomes a data sample, so
+|N(v) n N(u)| / |N(v) u N(u)| is computed for all vertex pairs by the
+same distributed core.  On top of the similarity matrix:
 Jarvis-Patrick clustering [50] and missing-link discovery [28].
 
 Run:  python examples/graph_vertex_similarity.py

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Metagenomics workflow: sequencing samples -> distances -> phylogeny.
 
+Mirrors: paper Fig. 1 (the end-to-end GenomeAtScale pipeline, parts
+1-9).
+
 Reproduces the full GenomeAtScale workflow of paper Fig. 1:
 
 1. simulate a cohort of genomes evolving down a known phylogeny and

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Why exact Jaccard matters: MinHash error at the similarity extremes.
 
-The paper's motivation (SI): MinHash approximations "often lead to
+Mirrors: paper §I (motivation) and the accuracy argument behind
+Table II's tool comparison.
+
+The paper's motivation (§I): MinHash approximations "often lead to
 inaccurate approximations of d_J for highly similar pairs of sequence
 sets, and tend to be ineffective ... between highly dissimilar sets
 unless very large sketch sizes are used".  This example measures that:

@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""BELLA-style read-overlap detection through the Jaccard core (SVI).
+"""BELLA-style read-overlap detection through the Jaccard core.
+
+Mirrors: paper §VI (related work: BELLA) — the read-overlap problem
+recast onto the same ``B = A^T A`` algebraic core.
 
 The paper positions SimilarityAtScale against BELLA, which uses sparse
 matrix multiplication over k-mers to find overlapping *reads* (the first

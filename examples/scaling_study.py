@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Strong-scaling study on the simulated machine.
 
+Mirrors: paper Fig. 2e (synthetic strong scaling) plus the §I
+MapReduce-baseline comparison.
+
 Sweeps the node count for a fixed synthetic workload (as in paper
 Fig. 2e) and reports, per scale: the processor grid chosen by the
 planner, per-batch and total simulated time, and communication volume

@@ -12,7 +12,9 @@ batches, and the strong-scaling efficiency ``E_p`` (shown to be O(1)).
 They serve two purposes: (1) cross-validation — tests check that the
 *measured* ledger of the simulator scales the way the model predicts
 (same slopes in p, z, c); (2) planning — the grid planner uses the beta
-terms to choose the replication factor.
+terms to choose the replication factor, and
+:func:`predicted_gram_kernel` predicts the density-adaptive kernel
+dispatch from ``nnz_estimate`` before any data is read.
 
 Units: ``z``/``Z`` count nonzero *words* of the compressed batch /
 problem, ``M`` is per-rank memory in words, ``F``/``G`` are arithmetic
@@ -122,6 +124,48 @@ def strong_scaling_efficiency(
         z0 * scale, n, M, scale, p, flops_per_word * z0 * scale, spec
     )
     return base.seconds / big.seconds
+
+
+def expected_nonzero_rows(m_rows: float, n_cols: int, nnz: float) -> float:
+    """Expected surviving rows after zero-row filtering (uniform model).
+
+    Under a uniform Bernoulli indicator with per-cell density ``delta =
+    nnz / (m n)``, a row survives the filter with probability ``1 - (1 -
+    delta)^n``; computed via ``expm1``/``log1p`` so the hypersparse limit
+    (``delta`` near ``1e-12``, as in BIGSI) stays accurate.
+    """
+    if m_rows <= 0 or n_cols <= 0 or nnz <= 0:
+        return 0.0
+    delta = min(nnz / (float(m_rows) * n_cols), 1.0)
+    if delta >= 1.0:
+        return float(m_rows)
+    survive = -math.expm1(n_cols * math.log1p(-delta))
+    return float(m_rows) * survive
+
+
+def predicted_gram_kernel(
+    m_rows: float,
+    n_cols: int,
+    nnz: float,
+    bit_width: int,
+    policy: str = "adaptive",
+):
+    """The planner's kernel prediction from ``nnz_estimate`` alone.
+
+    Mirrors the per-batch runtime dispatch, but runs before any data is
+    read: survivors are *estimated* with :func:`expected_nonzero_rows`
+    rather than measured.  On uniform synthetic inputs the prediction
+    matches the runtime decision batch for batch (tests pin this); on
+    skewed inputs it is the a-priori guess the driver reports as
+    ``SimilarityResult.planned_kernel``.
+
+    Returns the same :class:`~repro.sparse.dispatch.DispatchDecision`
+    the runtime dispatcher produces.
+    """
+    from repro.sparse.dispatch import choose_kernel
+
+    survivors = int(round(expected_nonzero_rows(m_rows, n_cols, nnz)))
+    return choose_kernel(survivors, n_cols, nnz, bit_width, policy=policy)
 
 
 def gram_operations(z: float, n: int, n_word_rows: float) -> float:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.util.bits import SUPPORTED_WIDTHS
 
 FILTER_STRATEGIES = ("allgather", "transpose", "off")
@@ -36,6 +37,14 @@ class SimilarityConfig:
     gram_algorithm:
         ``"summa"`` — the communication-avoiding 2-D/2.5D product;
         ``"1d_allreduce"`` — the dense-allreduce strawman (ablation).
+    kernel_policy:
+        How the local Gram kernel is picked per batch.  ``"adaptive"``
+        (default) lets :func:`repro.sparse.dispatch.choose_kernel` route
+        each batch by its post-filter density — blocked popcount for
+        dense (Kingsford-like) batches, outer-product accumulation for
+        hypersparse (BIGSI-like) ones.  ``"bitpacked"``, ``"blocked"``
+        and ``"outer"`` force that kernel on every batch (the fixed
+        policies of the kernel benchmark harness).
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -58,6 +67,7 @@ class SimilarityConfig:
     replication: int | None = None
     filter_strategy: str = "allgather"
     gram_algorithm: str = "summa"
+    kernel_policy: str = "adaptive"
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -83,6 +93,11 @@ class SimilarityConfig:
             raise ValueError(
                 f"gram_algorithm must be one of {GRAM_ALGORITHMS}, "
                 f"got {self.gram_algorithm!r}"
+            )
+        if self.kernel_policy not in KERNEL_POLICIES:
+            raise ValueError(
+                f"kernel_policy must be one of {KERNEL_POLICIES}, "
+                f"got {self.kernel_policy!r}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

@@ -20,6 +20,11 @@ class BatchStats:
     nnz: int
     nonzero_rows: int
     simulated_seconds: float
+    #: Local Gram kernel the dispatcher routed this batch to.
+    kernel: str = "bitpacked"
+    #: Post-filter effective density ``nnz / (nonzero_rows * n)`` the
+    #: dispatch decision was based on.
+    density: float = 0.0
 
     @property
     def rows(self) -> int:
@@ -55,10 +60,22 @@ class SimilarityResult:
     distance: np.ndarray | None = None
     intersections: np.ndarray | None = None
     sample_sizes: np.ndarray | None = None
+    #: Kernel the planner predicted from ``nnz_estimate`` before reading
+    #: any data (``None`` for runs predating the dispatch layer).
+    planned_kernel: str | None = None
 
     @property
     def active_ranks(self) -> int:
         return self.grid_q * self.grid_q * self.grid_c
+
+    @property
+    def kernels_used(self) -> tuple[str, ...]:
+        """Distinct Gram kernels the dispatcher ran, in batch order."""
+        seen: list[str] = []
+        for b in self.batches:
+            if b.kernel not in seen:
+                seen.append(b.kernel)
+        return tuple(seen)
 
     @property
     def batch_count(self) -> int:
@@ -121,6 +138,9 @@ class SimilarityResult:
             f"batches={self.batch_count} bit_width={self.config.bit_width} "
             f"filter={self.config.filter_strategy} "
             f"gram={self.config.gram_algorithm}",
+            f"kernel policy={self.config.kernel_policy} "
+            f"used={'/'.join(self.kernels_used) or '-'} "
+            f"planned={self.planned_kernel or '-'}",
             f"simulated time: {format_time(self.simulated_seconds)} "
             f"(mean/batch {format_time(self.mean_batch_seconds)})",
             "",

@@ -2,12 +2,18 @@
 
 Orchestrates the full distributed Jaccard pipeline per batch —
 
-    read -> filter zero rows -> bitmask-pack -> popcount Gram -> accumulate
+    read -> filter zero rows -> bitmask-pack -> local Gram -> accumulate
 
 — and, after the last batch, derives ``C``, ``S`` and ``D`` (Eq. 2) and
-optionally gathers them to dense arrays.  All communication and compute
+optionally gathers them to dense arrays.  The local Gram step is routed
+per batch by the density-adaptive dispatcher
+(:mod:`repro.sparse.dispatch`): dense batches run the word-tiled
+popcount fast path (Eq. 7), hypersparse batches the outer-product
+accumulation, and the decision is recorded in each batch's
+:class:`~repro.core.result.BatchStats`.  All communication and compute
 is charged to the machine's BSP ledger; the functional results are
-bit-identical to a serial computation over the same input.
+bit-identical to a serial computation over the same input, whichever
+kernels run.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.analysis import predicted_gram_kernel
 from repro.core.batching import BatchPlan, GridPlan, plan_batches, plan_grid
 from repro.core.bitmask import distribute_and_pack, distribute_and_pack_1d
 from repro.core.config import SimilarityConfig
@@ -26,6 +33,7 @@ from repro.runtime.comm import Communicator
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
 from repro.runtime.topology import ProcessorGrid
+from repro.sparse.dispatch import DispatchDecision, choose_kernel
 from repro.sparse.distributed import DistDenseMatrix, DistVector
 from repro.sparse.summa import (
     colsums_2d,
@@ -116,6 +124,7 @@ class SimilarityAtScale:
                     comm, grid, filt.chunks, filt.n_nonzero_rows, n,
                     config.bit_width,
                 )
+            decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
             with machine.phase("spgemm"):
                 if config.reduce_every_batch and c > 1:
                     partial_b = [
@@ -123,7 +132,10 @@ class SimilarityAtScale:
                     ]
                     partial_a = [DistVector.zeros(grid, l, n) for l in range(c)]
                     for l in range(c):
-                        summa_gram_2d(layer_mats[l], partial_b[l])
+                        summa_gram_2d(
+                            layer_mats[l], partial_b[l],
+                            kernel=decision.kernel,
+                        )
                         partial_a[l].add_inplace(colsums_2d(layer_mats[l]))
                     reduced_b = fiber_reduce(grid, partial_b)
                     reduced_a = fiber_reduce_vector(grid, partial_a)
@@ -134,13 +146,16 @@ class SimilarityAtScale:
                         ahat_main.add_inplace(reduced_a)
                 else:
                     for l in range(c):
-                        summa_gram_2d(layer_mats[l], b_layers[l])
+                        summa_gram_2d(
+                            layer_mats[l], b_layers[l], kernel=decision.kernel
+                        )
                         ahat_layers[l].add_inplace(colsums_2d(layer_mats[l]))
             batches.append(
                 BatchStats(
                     index=idx, row_lo=lo, row_hi=hi, nnz=nnz,
                     nonzero_rows=filt.n_nonzero_rows,
                     simulated_seconds=machine.ledger.simulated_seconds - t0,
+                    kernel=decision.kernel, density=decision.density,
                 )
             )
 
@@ -155,6 +170,7 @@ class SimilarityAtScale:
             n=n, m=m, config=config, machine_name=machine.spec.name,
             p=machine.p, grid_q=q, grid_c=c, cost=machine.ledger,
             batches=batches,
+            planned_kernel=self._plan_kernel(source, batch_plan),
         )
         if config.gather_result:
             with machine.phase("gather"):
@@ -164,6 +180,31 @@ class SimilarityAtScale:
                 result.intersections = self._gather_blocks(grid, b_main, n)
                 result.sample_sizes = self._gather_vector(grid, ahat_main)
         return result
+
+    def _dispatch(
+        self, n: int, nnz: int, n_nonzero_rows: int
+    ) -> DispatchDecision:
+        """Route one batch's local Gram by its post-filter density."""
+        return choose_kernel(
+            n_nonzero_rows, n, nnz, self.config.bit_width,
+            policy=self.config.kernel_policy,
+        )
+
+    def _plan_kernel(
+        self, source: IndicatorSource, batch_plan: BatchPlan
+    ) -> str:
+        """The planner's a-priori kernel prediction for an average batch.
+
+        Uses only ``nnz_estimate`` (no data read), scaled to one batch —
+        the prediction the adaptive dispatcher is expected to confirm at
+        runtime on uniform inputs.
+        """
+        r = max(batch_plan.batch_count, 1)
+        decision = predicted_gram_kernel(
+            source.m / r, source.n, source.nnz_estimate() / r,
+            self.config.bit_width, policy=self.config.kernel_policy,
+        )
+        return decision.kernel
 
     def _read_batch(
         self, comm: Communicator, source: IndicatorSource, lo: int, hi: int
@@ -274,8 +315,11 @@ class SimilarityAtScale:
                 blocks = distribute_and_pack_1d(
                     comm, filt.chunks, filt.n_nonzero_rows, n, config.bit_width
                 )
+            decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
             with machine.phase("spgemm"):
-                b_total += gram_1d_allreduce(comm, blocks)
+                b_total += gram_1d_allreduce(
+                    comm, blocks, kernel=decision.kernel
+                )
                 partial = [blk.column_popcounts() for blk in blocks]
                 comm.charge_compute([float(b.words.size) for b in blocks])
                 ahat += comm.allreduce(partial, op="sum")[0]
@@ -284,6 +328,7 @@ class SimilarityAtScale:
                     index=idx, row_lo=lo, row_hi=hi, nnz=nnz,
                     nonzero_rows=filt.n_nonzero_rows,
                     simulated_seconds=machine.ledger.simulated_seconds - t0,
+                    kernel=decision.kernel, density=decision.density,
                 )
             )
         with machine.phase("similarity"):
@@ -296,6 +341,7 @@ class SimilarityAtScale:
             n=n, m=m, config=config, machine_name=machine.spec.name,
             p=machine.p, grid_q=1, grid_c=comm.size, cost=machine.ledger,
             batches=batches,
+            planned_kernel=self._plan_kernel(source, batch_plan),
         )
         if config.gather_result:
             result.similarity = sim

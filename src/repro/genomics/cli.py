@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import SimilarityConfig
+from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.genomics.phylogeny import tree_to_newick
 from repro.genomics.pipeline import GenomeAtScale
 from repro.runtime.engine import Machine
@@ -48,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="batch count (default: memory-driven)")
     parser.add_argument("--bit-width", type=int, default=64,
                         choices=[8, 16, 32, 64], help="bitmask width b")
+    parser.add_argument(
+        "--kernel-policy", choices=list(KERNEL_POLICIES), default="adaptive",
+        help=(
+            "local Gram kernel routing: adaptive picks per batch by "
+            "post-filter density; the rest force one kernel"
+        ),
+    )
     parser.add_argument("--tree", choices=["nj", "upgma", "none"],
                         default="nj", help="phylogeny method")
     return parser
@@ -77,7 +85,8 @@ def main(argv: list[str] | None = None) -> int:
         spec = laptop(args.ranks)
     machine = Machine(spec)
     config = SimilarityConfig(
-        batch_count=args.batches, bit_width=args.bit_width
+        batch_count=args.batches, bit_width=args.bit_width,
+        kernel_policy=args.kernel_policy,
     )
     tool = GenomeAtScale(
         machine=machine, config=config, k=args.k, min_count=args.min_count

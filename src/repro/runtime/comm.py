@@ -99,8 +99,14 @@ class Communicator:
         self,
         flops: float | Sequence[float],
         working_set_bytes: float = 0.0,
+        kernel: str | None = None,
     ) -> None:
-        """Charge local compute; each rank's clock advances independently."""
+        """Charge local compute; each rank's clock advances independently.
+
+        ``kernel`` labels the charge in the ledger's per-kernel breakdown
+        (used by the adaptive Gram dispatch to account each kernel
+        separately within the ``spgemm`` phase).
+        """
         if isinstance(flops, (int, float, np.integer, np.floating)):
             seq = [float(flops)] * self.size
         else:
@@ -114,6 +120,7 @@ class Communicator:
             flops=sum(seq),
             ranks=self.ranks,
             per_rank_seconds=per_rank,
+            kernel=kernel,
         )
 
     def charge_io(self, bytes_per_rank: float | Sequence[float]) -> None:

@@ -49,6 +49,11 @@ class PhaseCost:
     max_rank_bytes: float = 0.0
     messages: int = 0
     total_flops: float = 0.0
+    #: Per-kernel tallies of compute charges labelled with a kernel name
+    #: (the adaptive Gram dispatch charges ``spgemm`` work this way, so
+    #: the ledger can answer "how much time went to each kernel?").
+    kernel_flops: dict[str, float] = field(default_factory=dict)
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -75,6 +80,17 @@ class PhaseCost:
         self.max_rank_bytes += other.max_rank_bytes
         self.messages += other.messages
         self.total_flops += other.total_flops
+        for name, f in other.kernel_flops.items():
+            self.kernel_flops[name] = self.kernel_flops.get(name, 0.0) + f
+        for name, s in other.kernel_seconds.items():
+            self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + s
+
+    def charge_kernel(self, kernel: str, seconds: float, flops: float) -> None:
+        """Attribute a compute charge to a named kernel within this phase."""
+        self.kernel_flops[kernel] = self.kernel_flops.get(kernel, 0.0) + flops
+        self.kernel_seconds[kernel] = (
+            self.kernel_seconds.get(kernel, 0.0) + seconds
+        )
 
 
 @dataclass
@@ -197,15 +213,20 @@ class CostLedger:
         phase: str | None = None,
         ranks: Sequence[int] | None = None,
         per_rank_seconds: Sequence[float] | None = None,
+        kernel: str | None = None,
     ) -> None:
         """Charge local computation.
 
         ``seconds`` is the slowest rank's time (volume stat);
         ``per_rank_seconds`` (with ``ranks``) drives the clocks.
+        ``kernel`` additionally tallies the charge under that kernel name
+        in the phase's per-kernel breakdown.
         """
         pc = self._get(phase)
         pc.compute_seconds += seconds
         pc.total_flops += flops
+        if kernel is not None:
+            pc.charge_kernel(kernel, seconds, flops)
         if ranks is not None:
             self.local_advance(
                 ranks,
@@ -251,6 +272,15 @@ class CostLedger:
     def supersteps(self) -> int:
         return self.total.supersteps
 
+    @property
+    def kernel_totals(self) -> dict[str, tuple[float, float]]:
+        """Per-kernel ``(seconds, flops)`` aggregated over all phases."""
+        agg = self.total
+        return {
+            name: (agg.kernel_seconds.get(name, 0.0), flops)
+            for name, flops in sorted(agg.kernel_flops.items())
+        }
+
     def snapshot(self) -> dict:
         """State marker for later :meth:`diff` (phases + makespan)."""
         out: dict[str, PhaseCost] = {}
@@ -272,6 +302,16 @@ class CostLedger:
         out = CostLedger()
         for name, pc in self.phases.items():
             prev = prev_phases.get(name, PhaseCost())
+            kernel_flops = {
+                k: f - prev.kernel_flops.get(k, 0.0)
+                for k, f in pc.kernel_flops.items()
+                if f - prev.kernel_flops.get(k, 0.0) != 0.0
+            }
+            kernel_seconds = {
+                k: s - prev.kernel_seconds.get(k, 0.0)
+                for k, s in pc.kernel_seconds.items()
+                if s - prev.kernel_seconds.get(k, 0.0) != 0.0
+            }
             delta = PhaseCost(
                 supersteps=pc.supersteps - prev.supersteps,
                 wall_seconds=pc.wall_seconds - prev.wall_seconds,
@@ -283,6 +323,8 @@ class CostLedger:
                 max_rank_bytes=pc.max_rank_bytes - prev.max_rank_bytes,
                 messages=pc.messages - prev.messages,
                 total_flops=pc.total_flops - prev.total_flops,
+                kernel_flops=kernel_flops,
+                kernel_seconds=kernel_seconds,
             )
             if (
                 delta.supersteps
@@ -322,4 +364,12 @@ class CostLedger:
             f"{format_time(tot.io_seconds):>12}"
             f"{format_bytes(tot.total_bytes):>14}{tot.total_flops:>12.3g}"
         )
+        kernels = self.kernel_totals
+        if kernels:
+            lines.append("")
+            lines.append(f"{'kernel':<18}{'time':>12}{'flops':>12}")
+            for name, (seconds, flops) in kernels.items():
+                lines.append(
+                    f"{name:<18}{format_time(seconds):>12}{flops:>12.3g}"
+                )
         return "\n".join(lines)

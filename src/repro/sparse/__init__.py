@@ -13,7 +13,10 @@ data distribution.  This package re-implements that subset:
 * :mod:`~repro.sparse.bitmatrix` — the b-bit packed column-block format
   of §III-B technique (3);
 * :mod:`~repro.sparse.spgemm` — local Gram kernels ``B = A^T A``
-  (dense-word popcount and hypersparse row-outer-product variants);
+  (dense-word popcount sweeps, the word-tiled blocked fast path, and
+  hypersparse row-outer-product variants);
+* :mod:`~repro.sparse.dispatch` — density-adaptive routing between the
+  local kernels, driven by post-filter batch statistics;
 * :mod:`~repro.sparse.distributed` — block-distributed matrices over
   processor grids, with redistribution;
 * :mod:`~repro.sparse.summa` — communication-avoiding distributed Gram:
@@ -23,6 +26,14 @@ data distribution.  This package re-implements that subset:
 from repro.sparse.bitmatrix import BitMatrix
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
+from repro.sparse.dispatch import (
+    GRAM_KERNELS,
+    KERNEL_POLICIES,
+    DispatchDecision,
+    choose_kernel,
+    predict_kernel_ops,
+    resolve_kernel,
+)
 from repro.sparse.semiring import (
     ARITHMETIC,
     BOOLEAN,
@@ -35,6 +46,8 @@ from repro.sparse.spgemm import (
     colsum_csr,
     gram_bitpacked,
     gram_csr_outer,
+    gram_outer_pair,
+    gram_popcount_blocked,
 )
 
 __all__ = [
@@ -46,8 +59,16 @@ __all__ = [
     "BOOLEAN",
     "MAX_TIMES",
     "POPCOUNT_AND",
+    "DispatchDecision",
+    "GRAM_KERNELS",
+    "KERNEL_POLICIES",
+    "choose_kernel",
+    "predict_kernel_ops",
+    "resolve_kernel",
     "gram_bitpacked",
     "gram_csr_outer",
+    "gram_outer_pair",
+    "gram_popcount_blocked",
     "colsum_bitpacked",
     "colsum_csr",
 ]

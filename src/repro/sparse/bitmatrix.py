@@ -123,6 +123,30 @@ class BitMatrix:
             return np.zeros(self.n_cols, dtype=np.int64)
         return np.bitwise_count(self.words).sum(axis=0, dtype=np.int64)
 
+    def nonzero_bits(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bit-level coordinates ``(rows, cols)`` of every set bit.
+
+        Cost is proportional to the number of nonzero *words* plus set
+        bits, so it is cheap exactly in the hypersparse regime where the
+        outer-product Gram kernel wants row/column coordinates back.
+        Coordinates are sorted by row, then column.
+        """
+        word_rows, cols = np.nonzero(self.words)
+        if word_rows.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        vals = np.ascontiguousarray(self.words[word_rows, cols])
+        little = vals.astype(vals.dtype.newbyteorder("<"), copy=False)
+        as_bytes = little.view(np.uint8).reshape(vals.size, -1)
+        bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+        entry, bit = np.nonzero(bits)
+        rows = word_rows[entry] * self.bit_width + bit
+        out_cols = cols[entry]
+        order = np.lexsort((out_cols, rows))
+        return rows[order].astype(np.int64), out_cols[order].astype(np.int64)
+
     def to_dense(self) -> np.ndarray:
         out = np.zeros(self.shape, dtype=bool)
         for j in range(self.n_cols):

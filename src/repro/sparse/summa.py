@@ -35,18 +35,25 @@ import numpy as np
 from repro.runtime.comm import Communicator
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.bitmatrix import BitMatrix
+from repro.sparse.dispatch import resolve_kernel
 from repro.sparse.distributed import DistDenseMatrix, DistVector, DistWordMatrix
-from repro.sparse.spgemm import colsum_bitpacked, gram_bitpacked
+from repro.sparse.spgemm import colsum_bitpacked
 
 
 def summa_gram_2d(
     matrix: DistWordMatrix,
     out: DistDenseMatrix,
     block_bytes: int | None = None,
+    kernel: str = "bitpacked",
 ) -> None:
     """Accumulate ``out += R^T R`` on one grid layer via SUMMA.
 
     ``matrix`` and ``out`` must live on the same (square) face.
+    ``kernel`` names the local Gram kernel every face rank runs in step
+    (3) — one of :data:`repro.sparse.dispatch.KERNEL_NAMES`, normally
+    chosen per batch by the density-adaptive dispatcher.  The compute
+    charge carries the kernel label so the ledger's per-kernel breakdown
+    stays faithful to what actually ran.
     """
     grid = matrix.grid
     layer = matrix.layer
@@ -58,6 +65,7 @@ def summa_gram_2d(
     if out.grid is not grid or len(out.row_bounds) != q:
         raise ValueError("output matrix must live on the same face")
 
+    kernel_fn = resolve_kernel(kernel)
     kernel_kwargs = {} if block_bytes is None else {"block_bytes": block_bytes}
     for s in range(q):
         # (1) column broadcasts of panel s: owner (s, t) -> column t.
@@ -68,18 +76,20 @@ def summa_gram_2d(
         for i in range(q):
             row = grid.row_comm(i, layer)
             row.bcast_from(matrix.block(s, i), root=i)
-        # (3) local popcount gram on every face rank.
+        # (3) local gram on every face rank, through the dispatched kernel.
         flops = []
         working = 0.0
         for i in range(q):
             left = matrix.block(s, i)
             for j in range(q):
                 right = matrix.block(s, j)
-                res = gram_bitpacked(left, right, **kernel_kwargs)
+                res = kernel_fn(left, right, **kernel_kwargs)
                 out.blocks[(i, j)] += res.value
                 flops.append(res.flops)
                 working = max(working, res.working_set_bytes)
-        grid.layer_comm(layer).charge_compute(flops, working_set_bytes=working)
+        grid.layer_comm(layer).charge_compute(
+            flops, working_set_bytes=working, kernel=kernel
+        )
 
 
 def fiber_reduce(
@@ -160,27 +170,31 @@ def fiber_reduce_vector(
 
 
 def gram_1d_allreduce(
-    comm: Communicator, local_blocks: list[BitMatrix]
+    comm: Communicator,
+    local_blocks: list[BitMatrix],
+    kernel: str = "bitpacked",
 ) -> np.ndarray:
     """Communication-inefficient baseline: local grams + full allreduce.
 
     Every rank computes a full ``n x n`` Gram of its word-row slice and
     participates in an ``n^2``-sized all-reduce — the allreduce-over-
     reducers pattern (§I) whose communication volume does not shrink with
-    ``sqrt(p)``.  Functionally identical to SUMMA.
+    ``sqrt(p)``.  Functionally identical to SUMMA; the local Gram runs
+    through the named dispatch kernel.
     """
     if len(local_blocks) != comm.size:
         raise ValueError(
             f"need one block per rank ({comm.size}), got {len(local_blocks)}"
         )
+    kernel_fn = resolve_kernel(kernel)
     n = local_blocks[0].n_cols
     partials = []
     flops = []
     for blk in local_blocks:
         if blk.n_cols != n:
             raise ValueError("all blocks must span the full column range")
-        res = gram_bitpacked(blk)
+        res = kernel_fn(blk)
         partials.append(res.value)
         flops.append(res.flops)
-    comm.charge_compute(flops)
+    comm.charge_compute(flops, kernel=kernel)
     return comm.allreduce(partials, op="sum")[0]
