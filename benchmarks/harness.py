@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Persistent kernel-policy benchmark harness.
+"""Persistent kernel-policy and pipeline-schedule benchmark harness.
 
 Runs the paper-shaped Fig. 2a/2b/3 workloads under every kernel policy
 (``adaptive`` plus the three fixed kernels) and appends the measurements
@@ -18,10 +18,19 @@ The summary per workload names the worst fixed policy and the adaptive
 policy's speedup over it — the headline the adaptive dispatch layer has
 to keep earning.
 
+A second section runs the same Fig. 2 workloads under both batch
+schedules (``pipeline="off"`` vs ``"double_buffer"``, adaptive kernels)
+and appends to ``BENCH_pipeline.json``: modelled wall clock per mode,
+the overlap seconds the double buffer hid, and the off/double_buffer
+speedup — the headline the pipelined engine has to keep earning
+(results are bit-identical between modes; only the schedule differs).
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
-                                              # BENCH_kernels.json
+                                              # BENCH_kernels.json +
+                                              # BENCH_pipeline.json
       python benchmarks/harness.py --smoke    # tiny sizes (CI), writes
-                                              # nothing unless --output
+                                              # nothing unless --output/
+                                              # --pipeline-output
 """
 
 from __future__ import annotations
@@ -44,9 +53,20 @@ from repro.runtime import Machine, laptop, stampede2_knl  # noqa: E402
 from repro.sparse.dispatch import KERNEL_POLICIES  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_PIPELINE_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
+
+#: Batch schedules the pipeline section compares.
+PIPELINE_MODES = ("off", "double_buffer")
+
+#: Batch counts for the pipeline comparison: more batches than the
+#: kernel section so the non-overlappable first prepare / last Gram
+#: amortize, as they would on the paper's full-size runs (hundreds of
+#: batches, §V-B).
+PIPELINE_BATCHES = 8
+SMOKE_PIPELINE_BATCHES = 3
 
 #: The two Fig. 2 regimes, scaled so the kernels genuinely execute in
 #: seconds while preserving the paper's density contrast: the
@@ -181,6 +201,80 @@ def run_sweep(densities, shape) -> list[dict]:
     return points
 
 
+def run_pipeline_mode(spec: dict, mode: str, batch_count: int) -> dict:
+    """One (workload, pipeline mode) measurement under adaptive kernels."""
+    source = _source(spec)
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+    config = SimilarityConfig(
+        batch_count=batch_count, gather_result=False,
+        compute_distance=False, pipeline=mode,
+    )
+    t0 = time.perf_counter()
+    result = jaccard_similarity(source, machine=machine, config=config)
+    real = time.perf_counter() - t0
+    return {
+        "simulated_seconds": result.simulated_seconds,
+        "mean_batch_seconds": result.mean_batch_seconds,
+        "overlap_saved_seconds": result.overlap_saved_seconds,
+        "real_seconds": real,
+        "batch_prepare_seconds": [
+            round(b.prepare_seconds, 6) for b in result.batches
+        ],
+        "batch_gram_seconds": [
+            round(b.gram_seconds, 6) for b in result.batches
+        ],
+        "batch_overlap_saved_seconds": [
+            round(b.overlap_saved_seconds, 6) for b in result.batches
+        ],
+    }
+
+
+def run_pipeline_workload(name: str, spec: dict, batch_count: int) -> dict:
+    """Both schedules on one workload, plus the off-vs-double summary."""
+    modes = {}
+    for mode in PIPELINE_MODES:
+        modes[mode] = run_pipeline_mode(spec, mode, batch_count)
+        print(
+            f"  {name:<24} {mode:<14} "
+            f"sim {modes[mode]['simulated_seconds']:.4f}s  "
+            f"overlap hid {modes[mode]['overlap_saved_seconds']:.4f}s"
+        )
+    serial = modes["off"]["simulated_seconds"]
+    piped = modes["double_buffer"]["simulated_seconds"]
+    summary = {
+        "serial_simulated_seconds": serial,
+        "double_buffer_simulated_seconds": piped,
+        "overlap_saved_seconds": modes["double_buffer"][
+            "overlap_saved_seconds"
+        ],
+        "speedup": serial / piped if piped > 0 else float("inf"),
+    }
+    print(f"  -> double_buffer {summary['speedup']:.2f}x over serial")
+    return {
+        "params": dict(spec, batch_count=batch_count),
+        "modes": modes,
+        "summary": summary,
+    }
+
+
+def run_pipeline_harness(smoke: bool = False) -> dict:
+    """The pipeline-schedule section: one trajectory entry."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    batch_count = SMOKE_PIPELINE_BATCHES if smoke else PIPELINE_BATCHES
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) pipeline ==")
+        entry["workloads"][name] = run_pipeline_workload(
+            name, dict(spec), batch_count
+        )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -221,7 +315,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--output", type=Path, default=None,
-        help=f"trajectory file to append to (default {DEFAULT_OUTPUT})",
+        help=f"kernel trajectory file to append to (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--pipeline-output", type=Path, default=None,
+        help=(
+            f"pipeline trajectory file to append to (default "
+            f"{DEFAULT_PIPELINE_OUTPUT}; redirecting --output without "
+            f"this flag skips the pipeline file so a redirected run "
+            f"never touches the committed trajectories)"
+        ),
     )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
@@ -230,6 +333,20 @@ def main(argv: list[str] | None = None) -> int:
         output = DEFAULT_OUTPUT
     if output is not None:
         append_entry(entry, output)
+    pipeline_entry = run_pipeline_harness(smoke=args.smoke)
+    pipeline_output = args.pipeline_output
+    # Redirecting --output signals "don't touch the committed
+    # trajectories", so only default the pipeline file when the kernel
+    # file also went to its default.
+    if pipeline_output is None and not args.smoke and args.output is None:
+        pipeline_output = DEFAULT_PIPELINE_OUTPUT
+    if pipeline_output is not None:
+        append_entry(pipeline_entry, pipeline_output)
+    elif not args.smoke:
+        print(
+            "pipeline trajectory not written (--output was redirected; "
+            "pass --pipeline-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -238,6 +355,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: adaptive uses {'/'.join(s['adaptive_kernels'])}, "
             f"{s['adaptive_speedup_vs_worst_fixed']:.2f}x over worst fixed "
             f"({s['worst_fixed_policy']})"
+        )
+    for name, wl in pipeline_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: double_buffer {s['speedup']:.2f}x over serial "
+            f"(hid {s['overlap_saved_seconds']:.4f}s of "
+            f"{s['serial_simulated_seconds']:.4f}s)"
         )
     return 0
 

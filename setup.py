@@ -28,6 +28,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "genome-at-scale=repro.genomics.cli:main",
+        ],
+    },
     # np.bitwise_count (NumPy >= 2) backs the popcount kernels; the
     # blocked fast path additionally carries a lookup-table fallback.
     install_requires=["numpy>=2.0"],

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.util.bits import SUPPORTED_WIDTHS
 
@@ -45,6 +46,14 @@ class SimilarityConfig:
         hypersparse (BIGSI-like) ones.  ``"bitpacked"``, ``"blocked"``
         and ``"outer"`` force that kernel on every batch (the fixed
         policies of the kernel benchmark harness).
+    pipeline:
+        Batch schedule of the driver loop (see
+        :mod:`repro.runtime.pipeline`).  ``"off"`` (default) is the
+        paper's serial Listing 1 schedule; ``"double_buffer"`` overlaps
+        batch ``b``'s Gram accumulation with batch ``b+1``'s
+        read/filter/pack in the cost model (per-rank ``max`` instead of
+        sum over the overlapped stages).  Functional results are
+        bit-identical in both modes.
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -68,6 +77,7 @@ class SimilarityConfig:
     filter_strategy: str = "allgather"
     gram_algorithm: str = "summa"
     kernel_policy: str = "adaptive"
+    pipeline: str = "off"
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -98,6 +108,11 @@ class SimilarityConfig:
             raise ValueError(
                 f"kernel_policy must be one of {KERNEL_POLICIES}, "
                 f"got {self.kernel_policy!r}"
+            )
+        if self.pipeline not in PIPELINE_MODES:
+            raise ValueError(
+                f"pipeline must be one of {PIPELINE_MODES}, "
+                f"got {self.pipeline!r}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

@@ -25,6 +25,14 @@ class BatchStats:
     #: Post-filter effective density ``nnz / (nonzero_rows * n)`` the
     #: dispatch decision was based on.
     density: float = 0.0
+    #: Serial makespan advance of the read/filter/pack stage.
+    prepare_seconds: float = 0.0
+    #: Serial makespan advance of the Gram accumulation stage.
+    gram_seconds: float = 0.0
+    #: Makespan the pipelined schedule hid by overlapping this batch's
+    #: Gram accumulation with the next batch's preparation (0 under the
+    #: serial schedule and for the last batch).
+    overlap_saved_seconds: float = 0.0
 
     @property
     def rows(self) -> int:
@@ -63,6 +71,8 @@ class SimilarityResult:
     #: Kernel the planner predicted from ``nnz_estimate`` before reading
     #: any data (``None`` for runs predating the dispatch layer).
     planned_kernel: str | None = None
+    #: Batch schedule the run used (``config.pipeline`` at run time).
+    pipeline_mode: str = "off"
 
     @property
     def active_ranks(self) -> int:
@@ -85,6 +95,11 @@ class SimilarityResult:
     def simulated_seconds(self) -> float:
         """Modelled distributed runtime of the whole computation."""
         return self.cost.simulated_seconds
+
+    @property
+    def overlap_saved_seconds(self) -> float:
+        """Total makespan the pipelined schedule hid across batches."""
+        return float(sum(b.overlap_saved_seconds for b in self.batches))
 
     @property
     def mean_batch_seconds(self) -> float:
@@ -141,6 +156,8 @@ class SimilarityResult:
             f"kernel policy={self.config.kernel_policy} "
             f"used={'/'.join(self.kernels_used) or '-'} "
             f"planned={self.planned_kernel or '-'}",
+            f"pipeline={self.pipeline_mode} "
+            f"(overlap hid {format_time(self.overlap_saved_seconds)})",
             f"simulated time: {format_time(self.simulated_seconds)} "
             f"(mean/batch {format_time(self.mean_batch_seconds)})",
             "",

@@ -10,14 +10,19 @@ per batch by the density-adaptive dispatcher
 (:mod:`repro.sparse.dispatch`): dense batches run the word-tiled
 popcount fast path (Eq. 7), hypersparse batches the outer-product
 accumulation, and the decision is recorded in each batch's
-:class:`~repro.core.result.BatchStats`.  All communication and compute
+:class:`~repro.core.result.BatchStats`.  The batch loop itself runs
+under a schedule from :mod:`repro.runtime.pipeline`: ``pipeline="off"``
+is the paper's serial Listing 1 order, ``"double_buffer"`` overlaps
+batch ``b``'s Gram accumulation with batch ``b+1``'s
+read/filter/pack in the cost model.  All communication and compute
 is charged to the machine's BSP ledger; the functional results are
 bit-identical to a serial computation over the same input, whichever
-kernels run.
+kernels run and whichever schedule is active.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -32,6 +37,7 @@ from repro.core.result import BatchStats, SimilarityResult
 from repro.runtime.comm import Communicator
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
+from repro.runtime.pipeline import StageTiming, run_batches
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.dispatch import DispatchDecision, choose_kernel
 from repro.sparse.distributed import DistDenseMatrix, DistVector
@@ -42,6 +48,44 @@ from repro.sparse.summa import (
     gram_1d_allreduce,
     summa_gram_2d,
 )
+
+
+@dataclass(frozen=True)
+class _PreparedBatch:
+    """One batch after read/filter/pack, awaiting Gram accumulation.
+
+    ``payload`` holds the packed words — per-layer
+    :class:`~repro.sparse.distributed.DistWordMatrix` objects on the
+    SUMMA path, per-rank :class:`~repro.sparse.bitmatrix.BitMatrix`
+    blocks on the 1-D path.  The pipeline scheduler keeps at most one of
+    these in flight beyond the batch being accumulated (the double
+    buffer).
+    """
+
+    lo: int
+    hi: int
+    nnz: int
+    nonzero_rows: int
+    decision: DispatchDecision
+    payload: list
+
+
+def _batch_stats(
+    prepared: list[_PreparedBatch], timings: list[StageTiming]
+) -> list[BatchStats]:
+    """Fuse prepared-batch metadata with the scheduler's stage timings."""
+    return [
+        BatchStats(
+            index=t.index, row_lo=p.lo, row_hi=p.hi, nnz=p.nnz,
+            nonzero_rows=p.nonzero_rows,
+            simulated_seconds=t.effective_seconds,
+            kernel=p.decision.kernel, density=p.decision.density,
+            prepare_seconds=t.prepare_seconds,
+            gram_seconds=t.accumulate_seconds,
+            overlap_saved_seconds=t.overlap_saved_seconds,
+        )
+        for p, t in zip(prepared, timings, strict=True)
+    ]
 
 
 def _coerce_source(data) -> IndicatorSource:
@@ -112,10 +156,11 @@ class SimilarityAtScale:
         ahat_layers = [DistVector.zeros(grid, l, n) for l in range(c)]
         b_main: DistDenseMatrix | None = None
         ahat_main: DistVector | None = None
-        batches: list[BatchStats] = []
+        bounds = batch_plan.bounds
+        prepared_meta: list[_PreparedBatch] = []
 
-        for idx, (lo, hi) in enumerate(batch_plan.bounds):
-            t0 = machine.ledger.simulated_seconds
+        def prepare(idx: int) -> _PreparedBatch:
+            lo, hi = bounds[idx]
             chunks, nnz = self._read_batch(comm, source, lo, hi)
             with machine.phase("filter"):
                 filt = apply_filter(comm, chunks, config.filter_strategy)
@@ -125,6 +170,14 @@ class SimilarityAtScale:
                     config.bit_width,
                 )
             decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
+            return _PreparedBatch(
+                lo, hi, nnz, filt.n_nonzero_rows, decision, layer_mats
+            )
+
+        def accumulate(idx: int, prep: _PreparedBatch) -> None:
+            nonlocal b_main, ahat_main
+            layer_mats = prep.payload
+            kernel = prep.decision.kernel
             with machine.phase("spgemm"):
                 if config.reduce_every_batch and c > 1:
                     partial_b = [
@@ -132,10 +185,7 @@ class SimilarityAtScale:
                     ]
                     partial_a = [DistVector.zeros(grid, l, n) for l in range(c)]
                     for l in range(c):
-                        summa_gram_2d(
-                            layer_mats[l], partial_b[l],
-                            kernel=decision.kernel,
-                        )
+                        summa_gram_2d(layer_mats[l], partial_b[l], kernel=kernel)
                         partial_a[l].add_inplace(colsums_2d(layer_mats[l]))
                     reduced_b = fiber_reduce(grid, partial_b)
                     reduced_a = fiber_reduce_vector(grid, partial_a)
@@ -146,18 +196,14 @@ class SimilarityAtScale:
                         ahat_main.add_inplace(reduced_a)
                 else:
                     for l in range(c):
-                        summa_gram_2d(
-                            layer_mats[l], b_layers[l], kernel=decision.kernel
-                        )
+                        summa_gram_2d(layer_mats[l], b_layers[l], kernel=kernel)
                         ahat_layers[l].add_inplace(colsums_2d(layer_mats[l]))
-            batches.append(
-                BatchStats(
-                    index=idx, row_lo=lo, row_hi=hi, nnz=nnz,
-                    nonzero_rows=filt.n_nonzero_rows,
-                    simulated_seconds=machine.ledger.simulated_seconds - t0,
-                    kernel=decision.kernel, density=decision.density,
-                )
-            )
+            prepared_meta.append(prep)
+
+        timings = run_batches(
+            machine, len(bounds), prepare, accumulate, mode=config.pipeline
+        )
+        batches = _batch_stats(prepared_meta, timings)
 
         with machine.phase("reduce"):
             if b_main is None:
@@ -171,6 +217,7 @@ class SimilarityAtScale:
             p=machine.p, grid_q=q, grid_c=c, cost=machine.ledger,
             batches=batches,
             planned_kernel=self._plan_kernel(source, batch_plan),
+            pipeline_mode=config.pipeline,
         )
         if config.gather_result:
             with machine.phase("gather"):
@@ -305,9 +352,11 @@ class SimilarityAtScale:
         )
         b_total = np.zeros((n, n), dtype=np.int64)
         ahat = np.zeros(n, dtype=np.int64)
-        batches: list[BatchStats] = []
-        for idx, (lo, hi) in enumerate(batch_plan.bounds):
-            t0 = machine.ledger.simulated_seconds
+        bounds = batch_plan.bounds
+        prepared_meta: list[_PreparedBatch] = []
+
+        def prepare(idx: int) -> _PreparedBatch:
+            lo, hi = bounds[idx]
             chunks, nnz = self._read_batch(comm, source, lo, hi)
             with machine.phase("filter"):
                 filt = apply_filter(comm, chunks, config.filter_strategy)
@@ -316,21 +365,26 @@ class SimilarityAtScale:
                     comm, filt.chunks, filt.n_nonzero_rows, n, config.bit_width
                 )
             decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
+            return _PreparedBatch(
+                lo, hi, nnz, filt.n_nonzero_rows, decision, blocks
+            )
+
+        def accumulate(idx: int, prep: _PreparedBatch) -> None:
+            nonlocal b_total, ahat
+            blocks = prep.payload
             with machine.phase("spgemm"):
                 b_total += gram_1d_allreduce(
-                    comm, blocks, kernel=decision.kernel
+                    comm, blocks, kernel=prep.decision.kernel
                 )
                 partial = [blk.column_popcounts() for blk in blocks]
                 comm.charge_compute([float(b.words.size) for b in blocks])
                 ahat += comm.allreduce(partial, op="sum")[0]
-            batches.append(
-                BatchStats(
-                    index=idx, row_lo=lo, row_hi=hi, nnz=nnz,
-                    nonzero_rows=filt.n_nonzero_rows,
-                    simulated_seconds=machine.ledger.simulated_seconds - t0,
-                    kernel=decision.kernel, density=decision.density,
-                )
-            )
+            prepared_meta.append(prep)
+
+        timings = run_batches(
+            machine, len(bounds), prepare, accumulate, mode=config.pipeline
+        )
+        batches = _batch_stats(prepared_meta, timings)
         with machine.phase("similarity"):
             unions = ahat[:, None] + ahat[None, :] - b_total
             sim = np.where(
@@ -342,6 +396,7 @@ class SimilarityAtScale:
             p=machine.p, grid_q=1, grid_c=comm.size, cost=machine.ledger,
             batches=batches,
             planned_kernel=self._plan_kernel(source, batch_plan),
+            pipeline_mode=config.pipeline,
         )
         if config.gather_result:
             result.similarity = sim

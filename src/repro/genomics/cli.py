@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import SimilarityConfig
+from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.genomics.phylogeny import tree_to_newick
 from repro.genomics.pipeline import GenomeAtScale
@@ -56,6 +57,25 @@ def build_parser() -> argparse.ArgumentParser:
             "post-filter density; the rest force one kernel"
         ),
     )
+    parser.add_argument(
+        "--pipeline", choices=list(PIPELINE_MODES), default="off",
+        help=(
+            "batch schedule: off = the paper's serial Listing 1 loop; "
+            "double_buffer overlaps each batch's Gram accumulation with "
+            "the next batch's read/filter/pack (results are identical)"
+        ),
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help=(
+            "stream chunked FASTA straight into the engine (no sample "
+            "store on disk; requires --min-count 1)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-bases", type=int, default=None,
+        help="bases per streaming chunk (with --stream; default 1 MiB)",
+    )
     parser.add_argument("--tree", choices=["nj", "upgma", "none"],
                         default="nj", help="phylogeny method")
     return parser
@@ -86,13 +106,18 @@ def main(argv: list[str] | None = None) -> int:
     machine = Machine(spec)
     config = SimilarityConfig(
         batch_count=args.batches, bit_width=args.bit_width,
-        kernel_policy=args.kernel_policy,
+        kernel_policy=args.kernel_policy, pipeline=args.pipeline,
     )
     tool = GenomeAtScale(
         machine=machine, config=config, k=args.k, min_count=args.min_count
     )
     args.output.mkdir(parents=True, exist_ok=True)
-    result = tool.run_fasta(fasta_paths, args.output)
+    if args.stream:
+        if args.min_count != 1:
+            raise SystemExit("--stream requires --min-count 1")
+        result = tool.run_streaming(fasta_paths, chunk_bases=args.chunk_bases)
+    else:
+        result = tool.run_fasta(fasta_paths, args.output)
 
     np.save(args.output / "similarity.npy", result.similarity)
     np.save(args.output / "distance.npy", result.distance)

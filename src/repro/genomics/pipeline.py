@@ -164,3 +164,40 @@ class GenomeAtScale:
             fasta_paths, Path(workdir) / "samples", names
         )
         return self.run_store(store, cleaning=reports)
+
+    def run_streaming(
+        self,
+        fasta_paths: list[str | Path],
+        chunk_bases: int | None = None,
+    ) -> GenomeAtScaleResult:
+        """Streaming end to end: chunked FASTA -> distance matrix.
+
+        Skips the sample-store materialization entirely: each sample's
+        k-mer set is assembled chunk by chunk by
+        :class:`~repro.genomics.stream.StreamingKmerSource`, so no full
+        sequence set is ever held in memory.  Abundance cleaning needs
+        global per-k-mer counts, which a single streaming pass does not
+        keep, so this path requires ``min_count=1`` (keep every k-mer —
+        appropriate for assembled genomes; use the sample-store path for
+        read sets that need cleaning).
+        """
+        from repro.genomics.stream import DEFAULT_CHUNK_BASES, StreamingKmerSource
+
+        if self.min_count != 1:
+            raise ValueError(
+                "streaming ingestion has no global k-mer counts for "
+                f"abundance cleaning; requires min_count=1, got "
+                f"{self.min_count}"
+            )
+        source = StreamingKmerSource(
+            fasta_paths, k=self.k, canonical=self.canonical,
+            chunk_bases=(
+                chunk_bases if chunk_bases is not None else DEFAULT_CHUNK_BASES
+            ),
+        )
+        engine = SimilarityAtScale(machine=self.machine, config=self.config)
+        result = engine.run(source)
+        return GenomeAtScaleResult(
+            names=source.names, k=self.k,
+            similarity_result=result, cleaning=[],
+        )

@@ -27,6 +27,7 @@ from repro.runtime.cost import CostLedger, PhaseCost
 from repro.runtime.engine import Machine
 from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
 from repro.runtime.machine import CacheModel, MachineSpec, laptop, stampede2_knl
+from repro.runtime.pipeline import PIPELINE_MODES, StageTiming, run_batches
 from repro.runtime.topology import ProcessorGrid, choose_grid_2d, choose_grid_3d
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "CostLedger",
     "PhaseCost",
     "Machine",
+    "PIPELINE_MODES",
+    "StageTiming",
+    "run_batches",
     "SequentialExecutor",
     "ThreadedExecutor",
     "CacheModel",

@@ -12,17 +12,33 @@ inputs).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _ImmediateFuture:
+    """A completed future: `submit` result of the sequential executor."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
 
 
 class SequentialExecutor:
     """Runs per-rank kernels one at a time, in rank order."""
 
     def map(self, fn: Callable[..., R], *iterables: Iterable) -> list[R]:
-        return [fn(*args) for args in zip(*iterables)]
+        # One argument list per rank: a ragged zip means a caller lost a
+        # rank's inputs somewhere, so fail loudly instead of truncating.
+        return [fn(*args) for args in zip(*iterables, strict=True)]
+
+    def submit(self, fn: Callable[..., R], *args) -> _ImmediateFuture:
+        """Run ``fn(*args)`` now; returns a completed future."""
+        return _ImmediateFuture(fn(*args))
 
     def shutdown(self) -> None:  # symmetry with ThreadedExecutor
         pass
@@ -37,8 +53,29 @@ class ThreadedExecutor:
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self.max_workers = max_workers
 
-    def map(self, fn: Callable[..., R], *iterables: Sequence) -> list[R]:
-        return list(self._pool.map(fn, *iterables))
+    def map(self, fn: Callable[..., R], *iterables: Iterable) -> list[R]:
+        # Accept the same inputs as SequentialExecutor.map (including
+        # generators) and fail the same way on ragged lengths.
+        seqs = [
+            seq if hasattr(seq, "__len__") else list(seq)
+            for seq in iterables
+        ]
+        if seqs:
+            lengths = {len(seq) for seq in seqs}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"map expects equally sized iterables, got lengths "
+                    f"{sorted(lengths)}"
+                )
+        return list(self._pool.map(fn, *seqs))
+
+    def submit(self, fn: Callable[..., R], *args):
+        """Schedule ``fn(*args)`` on the pool; returns its future.
+
+        Used by streaming producers to prefetch the next chunk's parse
+        while the consumer works on the current one.
+        """
+        return self._pool.submit(fn, *args)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)

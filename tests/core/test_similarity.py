@@ -102,6 +102,77 @@ class TestCorrectness:
         assert np.allclose(result.similarity, exact_jaccard(sets))
 
 
+class TestPipelinedSchedule:
+    @pytest.mark.parametrize("gram", ["summa", "1d_allreduce"])
+    def test_bit_exact_with_serial(self, sample_sets, gram):
+        results = {}
+        for mode in ("off", "double_buffer"):
+            results[mode] = jaccard_similarity(
+                sample_sets, machine=Machine(laptop(4)), batch_count=5,
+                gram_algorithm=gram, pipeline=mode,
+            )
+        a, b = results["off"], results["double_buffer"]
+        assert np.array_equal(a.similarity, b.similarity)
+        assert np.array_equal(a.intersections, b.intersections)
+        assert np.array_equal(a.sample_sizes, b.sample_sizes)
+
+    def test_bit_exact_with_replication(self, sample_sets):
+        results = {}
+        for mode in ("off", "double_buffer"):
+            cfg = SimilarityConfig(
+                replication=2, batch_count=3, pipeline=mode,
+                reduce_every_batch=True,
+            )
+            results[mode] = jaccard_similarity(
+                sample_sets, machine=Machine(laptop(8)), config=cfg
+            )
+        assert np.array_equal(
+            results["off"].similarity, results["double_buffer"].similarity
+        )
+
+    def test_overlap_reduces_simulated_time(self):
+        src = SyntheticSource(m=40_000, n=64, density=0.05, seed=3)
+        results = {}
+        for mode in ("off", "double_buffer"):
+            results[mode] = jaccard_similarity(
+                src, machine=Machine(laptop(4)), batch_count=6,
+                gather_result=False, pipeline=mode,
+            )
+        serial, piped = results["off"], results["double_buffer"]
+        assert piped.overlap_saved_seconds > 0
+        assert piped.simulated_seconds == pytest.approx(
+            serial.simulated_seconds - piped.overlap_saved_seconds, rel=0.05
+        )
+
+    def test_batch_stage_timings_recorded(self, sample_sets):
+        result = jaccard_similarity(
+            sample_sets, machine=Machine(laptop(4)), batch_count=4,
+            pipeline="double_buffer",
+        )
+        assert result.pipeline_mode == "double_buffer"
+        for b in result.batches:
+            assert b.prepare_seconds > 0
+            assert b.gram_seconds > 0
+            assert b.overlap_saved_seconds >= 0
+            assert b.simulated_seconds == pytest.approx(
+                b.prepare_seconds + b.gram_seconds - b.overlap_saved_seconds
+            )
+        # Nothing follows the last batch's Gram, so nothing was hidden.
+        assert result.batches[-1].overlap_saved_seconds == 0.0
+
+    def test_serial_mode_credits_nothing(self, sample_sets):
+        result = jaccard_similarity(
+            sample_sets, machine=Machine(laptop(4)), batch_count=4
+        )
+        assert result.pipeline_mode == "off"
+        assert result.overlap_saved_seconds == 0.0
+        assert result.cost.overlap_credited_seconds == 0.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            SimilarityConfig(pipeline="triple_buffer")
+
+
 class TestEdgeCases:
     def test_single_sample(self):
         result = jaccard_similarity([{1, 2, 3}])

@@ -111,3 +111,54 @@ class TestCostLedger:
         text = ledger.report()
         assert "read" in text
         assert "TOTAL" in text
+
+
+class TestOverlapCredit:
+    def test_credit_turns_sum_into_max(self):
+        ledger = CostLedger(n_ranks=2)
+        ledger.local_advance([0, 1], [3.0, 1.0])   # stage A
+        a = ledger.rank_clocks()
+        ledger.local_advance([0, 1], [2.0, 5.0])   # stage B
+        b = ledger.rank_clocks()
+        saved = ledger.credit_overlap([min(3.0, 2.0), min(1.0, 5.0)])
+        # Rank 0: max(3, 2) = 3; rank 1: max(1, 5) = 5 -> makespan 5.
+        assert ledger.makespan == pytest.approx(5.0)
+        assert saved == pytest.approx(6.0 - 5.0)
+        assert ledger.overlap_credited_seconds == pytest.approx(saved)
+        assert a is not b  # snapshots are independent copies
+
+    def test_credit_requires_one_entry_per_rank(self):
+        ledger = CostLedger(n_ranks=4)
+        with pytest.raises(ValueError, match="per rank"):
+            ledger.credit_overlap([1.0, 2.0])
+
+    def test_negative_credit_rejected(self):
+        ledger = CostLedger(n_ranks=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            ledger.credit_overlap([-1.0, 0.0])
+
+    def test_bare_ledger_credit_is_noop(self):
+        ledger = CostLedger()
+        assert ledger.rank_clocks() is None
+        assert ledger.credit_overlap([1.0]) == 0.0
+        assert ledger.overlap_credited_seconds == 0.0
+
+    def test_diff_and_reset_carry_credit(self):
+        ledger = CostLedger(n_ranks=2)
+        ledger.local_advance([0, 1], [2.0, 2.0])
+        snap = ledger.snapshot()
+        ledger.local_advance([0, 1], [4.0, 4.0])
+        ledger.credit_overlap([1.0, 1.0])
+        delta = ledger.diff(snap)
+        assert delta.overlap_credited_seconds == pytest.approx(1.0)
+        assert delta.simulated_seconds == pytest.approx(3.0)
+        ledger.reset()
+        assert ledger.overlap_credited_seconds == 0.0
+
+    def test_report_mentions_overlap_when_credited(self):
+        ledger = CostLedger(n_ranks=2)
+        ledger.local_advance([0, 1], [2.0, 2.0])
+        ledger.local_advance([0, 1], [2.0, 2.0])
+        assert "overlap" not in ledger.report()
+        ledger.credit_overlap([2.0, 2.0])
+        assert "overlap" in ledger.report()

@@ -15,6 +15,19 @@ class TestSequentialExecutor:
         ex = SequentialExecutor()
         assert ex.map(lambda x: x, range(100)) == list(range(100))
 
+    def test_ragged_iterables_rejected(self):
+        # Regression: zip() without strict silently truncated to the
+        # shortest iterable, dropping ranks' work without a trace.
+        ex = SequentialExecutor()
+        with pytest.raises(ValueError):
+            ex.map(lambda a, b: a + b, [1, 2, 3], [10, 20])
+
+    def test_submit_runs_immediately(self):
+        calls = []
+        future = SequentialExecutor().submit(lambda x: calls.append(x) or x, 7)
+        assert calls == [7]
+        assert future.result() == 7
+
 
 class TestThreadedExecutor:
     def test_matches_sequential(self):
@@ -32,3 +45,20 @@ class TestThreadedExecutor:
     def test_context_manager_shuts_down(self):
         with ThreadedExecutor(max_workers=2) as ex:
             assert ex.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_ragged_iterables_rejected(self):
+        with ThreadedExecutor(max_workers=2) as ex:
+            with pytest.raises(ValueError, match="equally sized"):
+                ex.map(lambda a, b: a + b, [1, 2, 3], [10, 20])
+
+    def test_accepts_generators_like_sequential(self):
+        with ThreadedExecutor(max_workers=2) as ex:
+            got = ex.map(lambda a, b: a + b, (x for x in [1, 2]), [10, 20])
+        assert got == [11, 22]
+        with ThreadedExecutor(max_workers=2) as ex:
+            with pytest.raises(ValueError, match="equally sized"):
+                ex.map(lambda a, b: a + b, (x for x in [1, 2, 3]), [10, 20])
+
+    def test_submit_returns_future(self):
+        with ThreadedExecutor(max_workers=2) as ex:
+            assert ex.submit(lambda a, b: a * b, 6, 7).result() == 42

@@ -1,0 +1,127 @@
+"""Tests for the pipelined batch scheduler."""
+
+import pytest
+
+from repro.runtime import Machine, laptop
+from repro.runtime.pipeline import PIPELINE_MODES, StageTiming, run_batches
+
+
+def make_stages(machine, prep_seconds, gram_seconds):
+    """Stage callables charging fixed per-rank compute per batch."""
+    log = []
+
+    def prepare(idx):
+        machine.ledger.local_advance(
+            range(machine.p), [prep_seconds[idx]] * machine.p
+        )
+        log.append(("prepare", idx))
+        return f"batch-{idx}"
+
+    def accumulate(idx, prepared):
+        assert prepared == f"batch-{idx}"
+        machine.ledger.local_advance(
+            range(machine.p), [gram_seconds[idx]] * machine.p
+        )
+        log.append(("accumulate", idx))
+
+    return prepare, accumulate, log
+
+
+class TestSerialSchedule:
+    def test_timings_match_stage_costs(self):
+        machine = Machine(laptop(2))
+        prepare, accumulate, log = make_stages(machine, [1.0, 2.0], [3.0, 4.0])
+        timings = run_batches(machine, 2, prepare, accumulate, mode="off")
+        assert [t.prepare_seconds for t in timings] == pytest.approx([1.0, 2.0])
+        assert [t.accumulate_seconds for t in timings] == pytest.approx(
+            [3.0, 4.0]
+        )
+        assert all(t.overlap_saved_seconds == 0.0 for t in timings)
+        assert machine.simulated_seconds == pytest.approx(10.0)
+
+    def test_stage_order_is_strictly_alternating(self):
+        machine = Machine(laptop(1))
+        prepare, accumulate, log = make_stages(
+            machine, [1.0] * 3, [1.0] * 3
+        )
+        run_batches(machine, 3, prepare, accumulate, mode="off")
+        assert log == [
+            ("prepare", 0), ("accumulate", 0),
+            ("prepare", 1), ("accumulate", 1),
+            ("prepare", 2), ("accumulate", 2),
+        ]
+
+    def test_zero_batches(self):
+        machine = Machine(laptop(1))
+        assert run_batches(machine, 0, None, None, mode="off") == []
+        assert run_batches(machine, 0, None, None, mode="double_buffer") == []
+
+
+class TestDoubleBuffer:
+    def test_overlap_credits_min_of_stage_pair(self):
+        # prepare: 1, 2, 1   gram: 4, 4, 4
+        # pairs overlapped: (gram 0, prep 1) hides min(4, 2) = 2;
+        #                   (gram 1, prep 2) hides min(4, 1) = 1.
+        machine = Machine(laptop(2))
+        prepare, accumulate, _ = make_stages(
+            machine, [1.0, 2.0, 1.0], [4.0, 4.0, 4.0]
+        )
+        timings = run_batches(
+            machine, 3, prepare, accumulate, mode="double_buffer"
+        )
+        assert [t.overlap_saved_seconds for t in timings] == pytest.approx(
+            [2.0, 1.0, 0.0]
+        )
+        serial = 1.0 + 2.0 + 1.0 + 3 * 4.0
+        assert machine.simulated_seconds == pytest.approx(serial - 3.0)
+        assert machine.ledger.overlap_credited_seconds == pytest.approx(3.0)
+
+    def test_effective_seconds_sum_to_makespan(self):
+        machine = Machine(laptop(4))
+        prepare, accumulate, _ = make_stages(
+            machine, [2.0, 1.0, 3.0, 0.5], [1.0, 2.5, 0.5, 2.0]
+        )
+        timings = run_batches(
+            machine, 4, prepare, accumulate, mode="double_buffer"
+        )
+        assert sum(t.effective_seconds for t in timings) == pytest.approx(
+            machine.simulated_seconds
+        )
+
+    def test_prepare_runs_one_batch_ahead(self):
+        machine = Machine(laptop(1))
+        prepare, accumulate, log = make_stages(
+            machine, [1.0] * 3, [1.0] * 3
+        )
+        run_batches(machine, 3, prepare, accumulate, mode="double_buffer")
+        assert log == [
+            ("prepare", 0), ("prepare", 1), ("accumulate", 0),
+            ("prepare", 2), ("accumulate", 1), ("accumulate", 2),
+        ]
+
+    def test_single_batch_degenerates_to_serial(self):
+        machine = Machine(laptop(2))
+        prepare, accumulate, log = make_stages(machine, [2.0], [3.0])
+        timings = run_batches(
+            machine, 1, prepare, accumulate, mode="double_buffer"
+        )
+        assert timings == [StageTiming(0, 2.0, 3.0, 0.0)]
+        assert machine.ledger.overlap_credited_seconds == 0.0
+        assert machine.simulated_seconds == pytest.approx(5.0)
+        assert log == [("prepare", 0), ("accumulate", 0)]
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        machine = Machine(laptop(1))
+        with pytest.raises(ValueError, match="pipeline mode"):
+            run_batches(machine, 1, lambda i: None, lambda i, p: None,
+                        mode="triple_buffer")
+
+    def test_negative_batches_rejected(self):
+        machine = Machine(laptop(1))
+        with pytest.raises(ValueError, match="non-negative"):
+            run_batches(machine, -1, None, None)
+
+    def test_modes_tuple(self):
+        assert PIPELINE_MODES == ("off", "double_buffer")

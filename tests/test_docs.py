@@ -1,0 +1,25 @@
+"""Tier-1 enforcement of the docs checker (CI runs it standalone too).
+
+Every fenced python block in README/docs must compile (and doctest
+blocks must pass), and every relative link must resolve — so the docs
+suite cannot rot silently as the code moves.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_blocks_and_links():
+    errors = check_docs.run_checks()
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_covers_the_docs_suite():
+    names = {p.name for p in check_docs.doc_files()}
+    assert {"README.md", "architecture.md", "pipeline.md",
+            "reproducing.md"} <= names

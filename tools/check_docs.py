@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Docs checker: keep README/docs code blocks and links from rotting.
+
+Three checks over ``README.md`` and every ``docs/*.md``:
+
+1. **doctest** — fenced ``python`` blocks containing ``>>>`` prompts are
+   executed with :mod:`doctest` (with ``src`` on the path), so every
+   interactive example in the docs keeps producing exactly the output
+   it shows;
+2. **syntax** — remaining ``python`` blocks must at least compile
+   (examples with placeholder paths or big workloads are not executed,
+   but a renamed function or argument still fails the build);
+3. **links** — relative markdown links must point at files that exist
+   in the repository (external http(s)/mailto links are left alone).
+
+Run:  python tools/check_docs.py            # exit 1 on any failure
+      python tools/check_docs.py --verbose  # list every check
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FENCE_RE = re.compile(
+    r"^```(?P<lang>[A-Za-z0-9_+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+# [text](target) — excluding images' alt text is irrelevant, same syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_python_block(
+    path: Path, index: int, body: str, errors: list[str], verbose: bool
+) -> None:
+    if ">>>" in body:
+        parser = doctest.DocTestParser()
+        runner = doctest.DocTestRunner(verbose=False)
+        test = doctest.DocTest(
+            examples=parser.get_examples(body),
+            globs={}, name=f"{path.name}[block {index}]",
+            filename=str(path), lineno=0, docstring=body,
+        )
+        out: list[str] = []
+        runner.run(test, out=out.append)
+        if runner.failures:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)} block {index}: "
+                f"{runner.failures} doctest failure(s)\n"
+                + "".join(out)
+            )
+        elif verbose:
+            print(f"  doctest ok: {path.name} block {index} "
+                  f"({len(test.examples)} example(s))")
+    else:
+        try:
+            compile(body, f"{path.name}[block {index}]", "exec")
+            if verbose:
+                print(f"  syntax ok: {path.name} block {index}")
+        except SyntaxError as exc:
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)} block {index}: "
+                f"syntax error: {exc}"
+            )
+
+
+def check_links(path: Path, text: str, errors: list[str], verbose: bool) -> None:
+    # Strip fenced code first so shell snippets can't look like links.
+    prose = FENCE_RE.sub("", text)
+    for target in LINK_RE.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+            )
+        elif verbose:
+            print(f"  link ok: {path.name} -> {target}")
+
+
+def run_checks(verbose: bool = False) -> list[str]:
+    errors: list[str] = []
+    for path in doc_files():
+        text = path.read_text()
+        if verbose:
+            print(f"{path.relative_to(REPO_ROOT)}:")
+        for index, match in enumerate(FENCE_RE.finditer(text)):
+            if match.group("lang").lower() in ("python", "py"):
+                check_python_block(
+                    path, index, match.group("body"), errors, verbose
+                )
+        check_links(path, text, errors, verbose)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every passing check")
+    args = parser.parse_args(argv)
+    errors = run_checks(verbose=args.verbose)
+    n_files = len(doc_files())
+    if errors:
+        print(f"\n{len(errors)} docs problem(s) in {n_files} file(s):")
+        for err in errors:
+            print(f"- {err}")
+        return 1
+    print(f"docs ok: {n_files} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
