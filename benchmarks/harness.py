@@ -25,12 +25,22 @@ the overlap seconds the double buffer hid, and the off/double_buffer
 speedup — the headline the pipelined engine has to keep earning
 (results are bit-identical between modes; only the schedule differs).
 
+A third section runs the same workloads under every wire codec
+(``wire_codec="raw"`` plus the three codec policies) and appends to
+``BENCH_wire.json``: the modelled wire bytes (raw vs encoded, with the
+per-codec breakdown), the total communication volume, and a bit-exactness
+check of every policy's similarity matrix against the ``raw`` run — the
+headline the codec layer has to keep earning is the raw/adaptive
+wire-byte reduction.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
-                                              # BENCH_pipeline.json
+                                              # BENCH_pipeline.json +
+                                              # BENCH_wire.json
       python benchmarks/harness.py --smoke    # tiny sizes (CI), writes
                                               # nothing unless --output/
-                                              # --pipeline-output
+                                              # --pipeline-output/
+                                              # --wire-output
 """
 
 from __future__ import annotations
@@ -49,11 +59,12 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro import SimilarityConfig, jaccard_similarity  # noqa: E402
 from repro.core.indicator import SyntheticSource  # noqa: E402
-from repro.runtime import Machine, laptop, stampede2_knl  # noqa: E402
+from repro.runtime import WIRE_CODECS, Machine, laptop, stampede2_knl  # noqa: E402
 from repro.sparse.dispatch import KERNEL_POLICIES  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 DEFAULT_PIPELINE_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_WIRE_OUTPUT = REPO_ROOT / "BENCH_wire.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -275,6 +286,94 @@ def run_pipeline_harness(smoke: bool = False) -> dict:
     return entry
 
 
+def run_wire_policy(spec: dict, policy: str) -> tuple[dict, object]:
+    """One (workload, wire codec) measurement under adaptive kernels.
+
+    Returns the record and the gathered similarity matrix (used by the
+    caller's bit-exactness check, not persisted).
+    """
+    source = _source(spec)
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+    config = SimilarityConfig(
+        batch_count=spec["batch_count"], gather_result=True,
+        compute_distance=False, wire_codec=policy,
+    )
+    t0 = time.perf_counter()
+    result = jaccard_similarity(source, machine=machine, config=config)
+    real = time.perf_counter() - t0
+    record = {
+        "simulated_seconds": result.simulated_seconds,
+        "communication_bytes": result.cost.communication_bytes,
+        "wire_raw_bytes": result.wire_raw_bytes,
+        "wire_encoded_bytes": result.wire_encoded_bytes,
+        "wire_codec_breakdown": {
+            name: {"raw_bytes": raw, "encoded_bytes": enc}
+            for name, (raw, enc) in result.cost.wire_codec_totals.items()
+        },
+        "real_seconds": real,
+    }
+    return record, result.similarity
+
+
+def run_wire_workload(name: str, spec: dict) -> dict:
+    """All wire codecs on one workload, plus the raw-vs-adaptive summary."""
+    policies = {}
+    reference = None
+    bit_exact = True
+    for policy in WIRE_CODECS:
+        record, similarity = run_wire_policy(spec, policy)
+        if policy == "raw":
+            reference = similarity
+        else:
+            record["bit_exact_vs_raw"] = bool(
+                np.array_equal(reference, similarity)
+            )
+            bit_exact = bit_exact and record["bit_exact_vs_raw"]
+        policies[policy] = record
+        enc = record["wire_encoded_bytes"]
+        ratio = record["wire_raw_bytes"] / enc if enc else 1.0
+        print(
+            f"  {name:<24} {policy:<10} "
+            f"comm {record['communication_bytes']:.3g} B  "
+            f"wire {record['wire_raw_bytes']:.3g} -> "
+            f"{enc:.3g} B ({ratio:.2f}x)"
+        )
+    adaptive = policies["adaptive"]
+    reduction = (
+        adaptive["wire_raw_bytes"] / adaptive["wire_encoded_bytes"]
+        if adaptive["wire_encoded_bytes"]
+        else 1.0
+    )
+    summary = {
+        "raw_communication_bytes": policies["raw"]["communication_bytes"],
+        "adaptive_communication_bytes": adaptive["communication_bytes"],
+        "adaptive_wire_raw_bytes": adaptive["wire_raw_bytes"],
+        "adaptive_wire_encoded_bytes": adaptive["wire_encoded_bytes"],
+        "wire_reduction_raw_vs_adaptive": reduction,
+        "all_policies_bit_exact": bit_exact,
+    }
+    print(
+        f"  -> adaptive keeps {reduction:.2f}x off the wire "
+        f"(bit-exact: {bit_exact})"
+    )
+    return {"params": spec, "policies": policies, "summary": summary}
+
+
+def run_wire_harness(smoke: bool = False) -> dict:
+    """The wire-codec section: one trajectory entry."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) wire codecs ==")
+        entry["workloads"][name] = run_wire_workload(name, dict(spec))
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -326,6 +425,14 @@ def main(argv: list[str] | None = None) -> int:
             f"never touches the committed trajectories)"
         ),
     )
+    parser.add_argument(
+        "--wire-output", type=Path, default=None,
+        help=(
+            f"wire-codec trajectory file to append to (default "
+            f"{DEFAULT_WIRE_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -347,6 +454,17 @@ def main(argv: list[str] | None = None) -> int:
             "pipeline trajectory not written (--output was redirected; "
             "pass --pipeline-output to record it)"
         )
+    wire_entry = run_wire_harness(smoke=args.smoke)
+    wire_output = args.wire_output
+    if wire_output is None and not args.smoke and args.output is None:
+        wire_output = DEFAULT_WIRE_OUTPUT
+    if wire_output is not None:
+        append_entry(wire_entry, wire_output)
+    elif not args.smoke:
+        print(
+            "wire trajectory not written (--output was redirected; "
+            "pass --wire-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -362,6 +480,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: double_buffer {s['speedup']:.2f}x over serial "
             f"(hid {s['overlap_saved_seconds']:.4f}s of "
             f"{s['serial_simulated_seconds']:.4f}s)"
+        )
+    for name, wl in wire_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: adaptive codec keeps "
+            f"{s['wire_reduction_raw_vs_adaptive']:.2f}x off the wire "
+            f"(bit-exact: {s['all_policies_bit_exact']})"
         )
     return 0
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.codec import WireCodec
 from repro.runtime.comm import Communicator
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.bitmatrix import BitMatrix
@@ -32,6 +33,7 @@ def distribute_and_pack(
     n_rows: int,
     n_cols: int,
     bit_width: int = 64,
+    codec: WireCodec | None = None,
 ) -> list[DistWordMatrix]:
     """Scatter compacted coordinates onto the grid and bit-pack them.
 
@@ -79,7 +81,7 @@ def distribute_and_pack(
                 row_msgs[int(d)] = np.stack([rel_rows[sel], chunk.cols[sel]])
         send.append(row_msgs)
     comm.charge_compute([float(c.nnz) for c in chunks])
-    received = comm.alltoallv(send)
+    received = comm.alltoallv(send, codec=codec)
 
     matrices: list[DistWordMatrix] = []
     pack_flops: list[float] = [0.0] * comm.size
@@ -119,6 +121,7 @@ def distribute_and_pack_1d(
     n_rows: int,
     n_cols: int,
     bit_width: int = 64,
+    codec: WireCodec | None = None,
 ) -> list[BitMatrix]:
     """1-D variant for the all-reduce strawman: full-width row slices.
 
@@ -141,7 +144,7 @@ def distribute_and_pack_1d(
                 row_msgs[int(d)] = np.stack([chunk.rows[sel], chunk.cols[sel]])
         send.append(row_msgs)
     comm.charge_compute([float(c.nnz) for c in chunks])
-    received = comm.alltoallv(send)
+    received = comm.alltoallv(send, codec=codec)
     blocks = []
     flops = []
     for r in range(comm.size):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.util.bits import SUPPORTED_WIDTHS
@@ -54,6 +55,16 @@ class SimilarityConfig:
         read/filter/pack in the cost model (per-rank ``max`` instead of
         sum over the overlapped stages).  Functional results are
         bit-identical in both modes.
+    wire_codec:
+        Wire-format codec for the payloads the distributed Gram puts on
+        the network (see :mod:`repro.runtime.codec` and
+        ``docs/wire_format.md``).  ``"raw"`` (default) is the legacy
+        wire format — payloads charged at their in-memory size.
+        ``"varint"`` delta+varint-encodes sorted index payloads,
+        ``"rle"`` zero-word run-length-encodes word tiles, and
+        ``"adaptive"`` picks per payload by modelled encoded size.
+        Every policy is bit-exact: results are identical to ``"raw"``;
+        only the modelled wire bytes (and codec flop time) change.
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -78,6 +89,7 @@ class SimilarityConfig:
     gram_algorithm: str = "summa"
     kernel_policy: str = "adaptive"
     pipeline: str = "off"
+    wire_codec: str = "raw"
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -113,6 +125,11 @@ class SimilarityConfig:
             raise ValueError(
                 f"pipeline must be one of {PIPELINE_MODES}, "
                 f"got {self.pipeline!r}"
+            )
+        if self.wire_codec not in WIRE_CODECS:
+            raise ValueError(
+                f"wire_codec must be one of {WIRE_CODECS}, "
+                f"got {self.wire_codec!r}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

@@ -33,6 +33,9 @@ class BatchStats:
     #: Gram accumulation with the next batch's preparation (0 under the
     #: serial schedule and for the last batch).
     overlap_saved_seconds: float = 0.0
+    #: Wire-codec policy the batch's collectives ran under
+    #: (``config.wire_codec`` at run time; ``"raw"`` = legacy format).
+    wire_codec: str = "raw"
 
     @property
     def rows(self) -> int:
@@ -102,6 +105,16 @@ class SimilarityResult:
         return float(sum(b.overlap_saved_seconds for b in self.batches))
 
     @property
+    def wire_raw_bytes(self) -> float:
+        """Codec-mediated traffic of this run, as raw would charge it."""
+        return self.cost.total.wire_raw_bytes
+
+    @property
+    def wire_encoded_bytes(self) -> float:
+        """Codec-mediated traffic of this run, as actually charged."""
+        return self.cost.total.wire_encoded_bytes
+
+    @property
     def mean_batch_seconds(self) -> float:
         """Average modelled time per batch (the paper's headline metric).
 
@@ -142,8 +155,16 @@ class SimilarityResult:
         return [(i, j, v) for v, i, j in pairs[:top]]
 
     def summary(self) -> str:
-        from repro.util.units import format_count, format_time
+        from repro.util.units import format_bytes, format_count, format_time
 
+        wire_line = f"wire codec={self.config.wire_codec}"
+        if self.wire_encoded_bytes > 0.0:
+            ratio = self.wire_raw_bytes / self.wire_encoded_bytes
+            wire_line += (
+                f" (raw {format_bytes(self.wire_raw_bytes)} -> "
+                f"{format_bytes(self.wire_encoded_bytes)} on the wire, "
+                f"{ratio:.2f}x)"
+            )
         lines = [
             f"SimilarityAtScale: n={self.n} samples, m={format_count(self.m)} "
             f"attribute values",
@@ -158,6 +179,7 @@ class SimilarityResult:
             f"planned={self.planned_kernel or '-'}",
             f"pipeline={self.pipeline_mode} "
             f"(overlap hid {format_time(self.overlap_saved_seconds)})",
+            wire_line,
             f"simulated time: {format_time(self.simulated_seconds)} "
             f"(mean/batch {format_time(self.mean_batch_seconds)})",
             "",

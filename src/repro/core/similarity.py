@@ -14,10 +14,15 @@ accumulation, and the decision is recorded in each batch's
 under a schedule from :mod:`repro.runtime.pipeline`: ``pipeline="off"``
 is the paper's serial Listing 1 order, ``"double_buffer"`` overlaps
 batch ``b``'s Gram accumulation with batch ``b+1``'s
-read/filter/pack in the cost model.  All communication and compute
-is charged to the machine's BSP ledger; the functional results are
-bit-identical to a serial computation over the same input, whichever
-kernels run and whichever schedule is active.
+read/filter/pack in the cost model.  When a wire codec is configured
+(``wire_codec != "raw"``), every tile, coordinate, and reduction
+payload the loop puts on the network rides the codec layer
+(:mod:`repro.runtime.codec`): genuinely encoded and decoded per hop,
+charged at *encoded* size, tallied raw-vs-encoded in the ledger.  All
+communication and compute is charged to the machine's BSP ledger; the
+functional results are bit-identical to a serial computation over the
+same input, whichever kernels run, whichever schedule is active, and
+whichever wire codec is configured.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.core.config import SimilarityConfig
 from repro.core.filtering import apply_filter
 from repro.core.indicator import IndicatorSource, SetSource
 from repro.core.result import BatchStats, SimilarityResult
+from repro.runtime.codec import WireCodec, resolve_wire_codec
 from repro.runtime.comm import Communicator
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
@@ -71,7 +77,9 @@ class _PreparedBatch:
 
 
 def _batch_stats(
-    prepared: list[_PreparedBatch], timings: list[StageTiming]
+    prepared: list[_PreparedBatch],
+    timings: list[StageTiming],
+    wire_codec: str = "raw",
 ) -> list[BatchStats]:
     """Fuse prepared-batch metadata with the scheduler's stage timings."""
     return [
@@ -83,6 +91,7 @@ def _batch_stats(
             prepare_seconds=t.prepare_seconds,
             gram_seconds=t.accumulate_seconds,
             overlap_saved_seconds=t.overlap_saved_seconds,
+            wire_codec=wire_codec,
         )
         for p, t in zip(prepared, timings, strict=True)
     ]
@@ -139,6 +148,7 @@ class SimilarityAtScale:
 
     def _run_summa(self, source: IndicatorSource) -> SimilarityResult:
         machine, config = self.machine, self.config
+        codec = resolve_wire_codec(config.wire_codec)
         n, m = source.n, source.m
         grid_plan = plan_grid(
             machine.p, n, machine.spec, config,
@@ -167,7 +177,7 @@ class SimilarityAtScale:
             with machine.phase("pack"):
                 layer_mats = distribute_and_pack(
                     comm, grid, filt.chunks, filt.n_nonzero_rows, n,
-                    config.bit_width,
+                    config.bit_width, codec=codec,
                 )
             decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
             return _PreparedBatch(
@@ -185,10 +195,17 @@ class SimilarityAtScale:
                     ]
                     partial_a = [DistVector.zeros(grid, l, n) for l in range(c)]
                     for l in range(c):
-                        summa_gram_2d(layer_mats[l], partial_b[l], kernel=kernel)
-                        partial_a[l].add_inplace(colsums_2d(layer_mats[l]))
-                    reduced_b = fiber_reduce(grid, partial_b)
-                    reduced_a = fiber_reduce_vector(grid, partial_a)
+                        summa_gram_2d(
+                            layer_mats[l], partial_b[l], kernel=kernel,
+                            codec=codec,
+                        )
+                        partial_a[l].add_inplace(
+                            colsums_2d(layer_mats[l], codec=codec)
+                        )
+                    reduced_b = fiber_reduce(grid, partial_b, codec=codec)
+                    reduced_a = fiber_reduce_vector(
+                        grid, partial_a, codec=codec
+                    )
                     if b_main is None:
                         b_main, ahat_main = reduced_b, reduced_a
                     else:
@@ -196,19 +213,26 @@ class SimilarityAtScale:
                         ahat_main.add_inplace(reduced_a)
                 else:
                     for l in range(c):
-                        summa_gram_2d(layer_mats[l], b_layers[l], kernel=kernel)
-                        ahat_layers[l].add_inplace(colsums_2d(layer_mats[l]))
+                        summa_gram_2d(
+                            layer_mats[l], b_layers[l], kernel=kernel,
+                            codec=codec,
+                        )
+                        ahat_layers[l].add_inplace(
+                            colsums_2d(layer_mats[l], codec=codec)
+                        )
             prepared_meta.append(prep)
 
         timings = run_batches(
             machine, len(bounds), prepare, accumulate, mode=config.pipeline
         )
-        batches = _batch_stats(prepared_meta, timings)
+        batches = _batch_stats(prepared_meta, timings, config.wire_codec)
 
         with machine.phase("reduce"):
             if b_main is None:
-                b_main = fiber_reduce(grid, b_layers)
-                ahat_main = fiber_reduce_vector(grid, ahat_layers)
+                b_main = fiber_reduce(grid, b_layers, codec=codec)
+                ahat_main = fiber_reduce_vector(
+                    grid, ahat_layers, codec=codec
+                )
         assert ahat_main is not None
         sim_blocks, dist_blocks = self._derive_similarity(grid, b_main, ahat_main)
 
@@ -221,11 +245,19 @@ class SimilarityAtScale:
         )
         if config.gather_result:
             with machine.phase("gather"):
-                result.similarity = self._gather_blocks(grid, sim_blocks, n)
+                result.similarity = self._gather_blocks(
+                    grid, sim_blocks, n, codec
+                )
                 if dist_blocks is not None:
-                    result.distance = self._gather_blocks(grid, dist_blocks, n)
-                result.intersections = self._gather_blocks(grid, b_main, n)
-                result.sample_sizes = self._gather_vector(grid, ahat_main)
+                    result.distance = self._gather_blocks(
+                        grid, dist_blocks, n, codec
+                    )
+                result.intersections = self._gather_blocks(
+                    grid, b_main, n, codec
+                )
+                result.sample_sizes = self._gather_vector(
+                    grid, ahat_main, codec
+                )
         return result
 
     def _dispatch(
@@ -310,32 +342,42 @@ class SimilarityAtScale:
         return sim, dist
 
     def _gather_blocks(
-        self, grid: ProcessorGrid, mat: DistDenseMatrix, n: int
+        self,
+        grid: ProcessorGrid,
+        mat: DistDenseMatrix,
+        n: int,
+        codec: WireCodec | None = None,
     ) -> np.ndarray:
+        # Each local rank contributes exactly its own block; the block's
+        # face coordinates follow from the gather position, so the
+        # payloads are bare arrays and ride the wire codec when active.
         comm = grid.layer_comm(0)
-        payloads = []
-        for local in range(comm.size):
-            i, j = divmod(local, grid.cols)
-            payloads.append((i, j, mat.blocks[(i, j)]))
-        gathered = comm.gatherv(payloads, root=0)[0]
+        payloads = [
+            mat.blocks[divmod(local, grid.cols)] for local in range(comm.size)
+        ]
+        gathered = comm.gatherv(payloads, root=0, codec=codec)[0]
         out = np.zeros((n, n), dtype=next(iter(mat.blocks.values())).dtype)
-        for i, j, blk in gathered:
+        for local, blk in enumerate(gathered):
+            i, j = divmod(local, grid.cols)
             rlo, rhi = mat.row_bounds[i]
             clo, chi = mat.col_bounds[j]
             out[rlo:rhi, clo:chi] = blk
         return out
 
-    def _gather_vector(self, grid: ProcessorGrid, vec: DistVector) -> np.ndarray:
+    def _gather_vector(
+        self,
+        grid: ProcessorGrid,
+        vec: DistVector,
+        codec: WireCodec | None = None,
+    ) -> np.ndarray:
         comm = grid.layer_comm(0)
         payloads: list = [None] * comm.size
         for t in range(grid.cols):
-            payloads[grid.local_rank(0, t, 0)] = (t, vec.parts[t])
-        gathered = comm.gatherv(payloads, root=0)[0]
+            payloads[grid.local_rank(0, t, 0)] = vec.parts[t]
+        gathered = comm.gatherv(payloads, root=0, codec=codec)[0]
         out = np.zeros(vec.n, dtype=np.int64)
-        for item in gathered:
-            if item is None:
-                continue
-            t, part = item
+        for t in range(grid.cols):
+            part = gathered[grid.local_rank(0, t, 0)]
             lo, hi = vec.col_bounds[t]
             out[lo:hi] = part
         return out
@@ -344,6 +386,7 @@ class SimilarityAtScale:
 
     def _run_1d(self, source: IndicatorSource) -> SimilarityResult:
         machine, config = self.machine, self.config
+        codec = resolve_wire_codec(config.wire_codec)
         n, m = source.n, source.m
         comm = machine.world
         grid_plan = GridPlan(q=1, c=comm.size)
@@ -362,7 +405,8 @@ class SimilarityAtScale:
                 filt = apply_filter(comm, chunks, config.filter_strategy)
             with machine.phase("pack"):
                 blocks = distribute_and_pack_1d(
-                    comm, filt.chunks, filt.n_nonzero_rows, n, config.bit_width
+                    comm, filt.chunks, filt.n_nonzero_rows, n,
+                    config.bit_width, codec=codec,
                 )
             decision = self._dispatch(n, nnz, filt.n_nonzero_rows)
             return _PreparedBatch(
@@ -374,17 +418,17 @@ class SimilarityAtScale:
             blocks = prep.payload
             with machine.phase("spgemm"):
                 b_total += gram_1d_allreduce(
-                    comm, blocks, kernel=prep.decision.kernel
+                    comm, blocks, kernel=prep.decision.kernel, codec=codec
                 )
                 partial = [blk.column_popcounts() for blk in blocks]
                 comm.charge_compute([float(b.words.size) for b in blocks])
-                ahat += comm.allreduce(partial, op="sum")[0]
+                ahat += comm.allreduce(partial, op="sum", codec=codec)[0]
             prepared_meta.append(prep)
 
         timings = run_batches(
             machine, len(bounds), prepare, accumulate, mode=config.pipeline
         )
-        batches = _batch_stats(prepared_meta, timings)
+        batches = _batch_stats(prepared_meta, timings, config.wire_codec)
         with machine.phase("similarity"):
             unions = ahat[:, None] + ahat[None, :] - b_total
             sim = np.where(

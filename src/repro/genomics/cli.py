@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import SimilarityConfig
+from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
 from repro.genomics.phylogeny import tree_to_newick
@@ -66,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--wire-codec", choices=list(WIRE_CODECS), default="raw",
+        help=(
+            "wire-format codec for distributed-Gram payloads: raw = the "
+            "legacy format; varint/rle force one codec; adaptive picks "
+            "per payload by modelled encoded size (results are identical "
+            "under every choice; only modelled wire bytes change)"
+        ),
+    )
+    parser.add_argument(
         "--stream", action="store_true",
         help=(
             "stream chunked FASTA straight into the engine (no sample "
@@ -107,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
     config = SimilarityConfig(
         batch_count=args.batches, bit_width=args.bit_width,
         kernel_policy=args.kernel_policy, pipeline=args.pipeline,
+        wire_codec=args.wire_codec,
     )
     tool = GenomeAtScale(
         machine=machine, config=config, k=args.k, min_count=args.min_count

@@ -15,13 +15,25 @@ substrate (see DESIGN.md §2).  It provides:
   Synchronous Parallel model used by the paper's §III-C analysis;
 * :class:`~repro.runtime.topology.ProcessorGrid` — 2-D and 3-D
   (``sqrt(p/c) x sqrt(p/c) x c``) processor grids with row/column/layer
-  sub-communicators, as used by SUMMA and the 2.5D replication scheme.
+  sub-communicators, as used by SUMMA and the 2.5D replication scheme;
+* :mod:`~repro.runtime.codec` — lossless wire-format codecs
+  (delta+varint, zero-word RLE, and an adaptive per-payload policy)
+  that collectives can route payloads through, charging the ledger
+  *encoded* bytes and tallying raw-vs-encoded wire volume.
 
 Programs written against :class:`Communicator` are deterministic and
 produce bit-identical results to a serial computation; the ledger's
 ``simulated_seconds`` gives the modelled distributed runtime.
 """
 
+from repro.runtime.codec import (
+    WIRE_CODECS,
+    Frame,
+    WireCodec,
+    decode_frame,
+    encode_frame,
+    resolve_wire_codec,
+)
 from repro.runtime.comm import Communicator
 from repro.runtime.cost import CostLedger, PhaseCost
 from repro.runtime.engine import Machine
@@ -31,6 +43,12 @@ from repro.runtime.pipeline import PIPELINE_MODES, StageTiming, run_batches
 from repro.runtime.topology import ProcessorGrid, choose_grid_2d, choose_grid_3d
 
 __all__ = [
+    "WIRE_CODECS",
+    "Frame",
+    "WireCodec",
+    "decode_frame",
+    "encode_frame",
+    "resolve_wire_codec",
     "Communicator",
     "CostLedger",
     "PhaseCost",

@@ -68,12 +68,21 @@ def resolve_op(op: str | ReduceOp) -> ReduceOp:
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Approximate serialized size of a message payload, in bytes."""
+    """Approximate serialized size of a message payload, in bytes.
+
+    Byte-string payloads — ``bytes``/``bytearray`` and the
+    :class:`~repro.runtime.codec.Frame` objects the wire-codec layer
+    emits — are charged at their exact length; a ``memoryview`` is
+    charged at ``.nbytes`` (its ``len()`` counts *elements*, which
+    under-charges any view wider than one byte).
+    """
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
+    if isinstance(obj, memoryview):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, (bool, np.bool_)):
         return 1
@@ -148,6 +157,23 @@ def barrier_charge(spec: MachineSpec, group: Sequence[int]) -> Charge:
     )
 
 
+def bcast_charge(
+    spec: MachineSpec, group: Sequence[int], nbytes: float
+) -> Charge:
+    """BSP charge of a binomial-tree broadcast of ``nbytes`` per member."""
+    s = len(group)
+    rounds = _log2_ceil(s)
+    beta = spec.beta_for_group(group)
+    return Charge(
+        rounds=rounds,
+        alpha_seconds=rounds * spec.alpha,
+        comm_seconds=rounds * nbytes * beta,
+        total_bytes=(s - 1) * nbytes,
+        max_rank_bytes=rounds * nbytes,
+        messages=s - 1,
+    )
+
+
 def bcast(
     spec: MachineSpec, group: Sequence[int], values: list, root: int
 ) -> tuple[list, Charge]:
@@ -156,17 +182,7 @@ def bcast(
     if not 0 <= root < s:
         raise IndexError(f"root {root} out of range for group of {s}")
     payload = values[root]
-    nbytes = payload_nbytes(payload)
-    rounds = _log2_ceil(s)
-    beta = spec.beta_for_group(group)
-    charge = Charge(
-        rounds=rounds,
-        alpha_seconds=rounds * spec.alpha,
-        comm_seconds=rounds * nbytes * beta,
-        total_bytes=(s - 1) * nbytes,
-        max_rank_bytes=rounds * nbytes,
-        messages=s - 1,
-    )
+    charge = bcast_charge(spec, group, payload_nbytes(payload))
     return [payload] * s, charge
 
 
@@ -203,6 +219,75 @@ def reduce(
     return results, charge
 
 
+def resolve_allreduce_algorithm(nbytes: float, algorithm: str = "auto") -> str:
+    """Resolve ``"auto"`` to a concrete all-reduce algorithm by size.
+
+    Callers comparing two charges of the same collective (e.g. the
+    codec path's raw-vs-encoded wire counters) must resolve once and
+    pass the explicit name to both, or the comparison would straddle
+    the size threshold and mix algorithms.
+    """
+    if algorithm == "auto":
+        return "recursive_doubling" if nbytes <= 65536 else "rabenseifner"
+    return algorithm
+
+
+def allreduce_charge(
+    spec: MachineSpec,
+    group: Sequence[int],
+    nbytes: float,
+    algorithm: str = "auto",
+    combine_nbytes: float | None = None,
+) -> Charge:
+    """BSP charge of an all-reduce moving ``nbytes`` per member.
+
+    ``combine_nbytes`` sizes the reduction arithmetic separately from
+    the wire traffic — the codec path passes the *decoded* payload size
+    there, since ranks combine decoded values while (in the model)
+    forwarding encoded frames.
+    """
+    s = len(group)
+    if combine_nbytes is None:
+        combine_nbytes = nbytes
+    log_s = _log2_ceil(s)
+    beta = spec.beta_for_group(group)
+    algorithm = resolve_allreduce_algorithm(nbytes, algorithm)
+    if algorithm == "recursive_doubling":
+        rounds = log_s
+        comm = rounds * nbytes * beta
+        total_bytes = s * rounds * nbytes
+        flops = rounds * _combine_flops(combine_nbytes)
+    elif algorithm == "rabenseifner":
+        # Reduce-scatter + allgather: each rank moves ~2*nbytes total.
+        rounds = 2 * log_s
+        effective = 2.0 * nbytes * (s - 1) / s if s > 1 else 0.0
+        comm = effective * beta
+        total_bytes = s * effective
+        flops = (
+            _combine_flops(combine_nbytes) * (s - 1) / s if s > 1 else 0.0
+        )
+    elif algorithm == "ring":
+        rounds = 2 * (s - 1)
+        effective = 2.0 * nbytes * (s - 1) / s if s > 1 else 0.0
+        comm = effective * beta
+        total_bytes = s * effective
+        flops = (
+            _combine_flops(combine_nbytes) * (s - 1) / s if s > 1 else 0.0
+        )
+    else:
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+    return Charge(
+        rounds=rounds,
+        alpha_seconds=rounds * spec.alpha,
+        comm_seconds=comm,
+        compute_seconds=spec.compute_seconds(flops),
+        total_bytes=total_bytes,
+        max_rank_bytes=comm / beta if beta else 0.0,
+        messages=s * max(1, log_s) if s > 1 else 0,
+        flops=s * flops,
+    )
+
+
 def allreduce(
     spec: MachineSpec,
     group: Sequence[int],
@@ -217,40 +302,7 @@ def allreduce(
     for v in values[1:]:
         acc = fn(acc, v)
     nbytes = max((payload_nbytes(v) for v in values), default=0)
-    log_s = _log2_ceil(s)
-    beta = spec.beta_for_group(group)
-    if algorithm == "auto":
-        algorithm = "recursive_doubling" if nbytes <= 65536 else "rabenseifner"
-    if algorithm == "recursive_doubling":
-        rounds = log_s
-        comm = rounds * nbytes * beta
-        total_bytes = s * rounds * nbytes
-        flops = rounds * _combine_flops(nbytes)
-    elif algorithm == "rabenseifner":
-        # Reduce-scatter + allgather: each rank moves ~2*nbytes total.
-        rounds = 2 * log_s
-        effective = 2.0 * nbytes * (s - 1) / s if s > 1 else 0.0
-        comm = effective * beta
-        total_bytes = s * effective
-        flops = _combine_flops(nbytes) * (s - 1) / s if s > 1 else 0.0
-    elif algorithm == "ring":
-        rounds = 2 * (s - 1)
-        effective = 2.0 * nbytes * (s - 1) / s if s > 1 else 0.0
-        comm = effective * beta
-        total_bytes = s * effective
-        flops = _combine_flops(nbytes) * (s - 1) / s if s > 1 else 0.0
-    else:
-        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
-    charge = Charge(
-        rounds=rounds,
-        alpha_seconds=rounds * spec.alpha,
-        comm_seconds=comm,
-        compute_seconds=spec.compute_seconds(flops),
-        total_bytes=total_bytes,
-        max_rank_bytes=comm / beta if beta else 0.0,
-        messages=s * max(1, log_s) if s > 1 else 0,
-        flops=s * flops,
-    )
+    charge = allreduce_charge(spec, group, nbytes, algorithm)
     return [acc] * s, charge
 
 
@@ -290,20 +342,33 @@ def alltoallv(
             f"alltoallv expects an {s}x{s} chunk matrix, got "
             f"{len(chunks)}x{[len(r) for r in chunks]}"
         )
-    sent = [sum(payload_nbytes(c) for c in row) for row in chunks]
-    recv = [sum(payload_nbytes(chunks[i][j]) for i in range(s)) for j in range(s)]
+    sizes = [[payload_nbytes(c) for c in row] for row in chunks]
+    charge = alltoallv_charge(spec, group, sizes)
+    received = [[chunks[i][j] for i in range(s)] for j in range(s)]
+    return received, charge
+
+
+def alltoallv_charge(
+    spec: MachineSpec, group: Sequence[int], sizes: Sequence[Sequence[float]]
+) -> Charge:
+    """BSP h-relation charge for an all-to-all with the given byte matrix.
+
+    ``sizes[i][j]`` is what rank ``i`` sends to rank ``j`` — the codec
+    path passes frame sizes here while the payload matrix itself holds
+    the decoded values.
+    """
+    s = len(group)
+    sent = [sum(row) for row in sizes]
+    recv = [sum(sizes[i][j] for i in range(s)) for j in range(s)]
     off_rank = sum(
-        payload_nbytes(chunks[i][j]) for i in range(s) for j in range(s) if i != j
+        sizes[i][j] for i in range(s) for j in range(s) if i != j
     )
     h = max((max(a, b) for a, b in zip(sent, recv)), default=0)
     messages = sum(
-        1
-        for i in range(s)
-        for j in range(s)
-        if i != j and payload_nbytes(chunks[i][j]) > 0
+        1 for i in range(s) for j in range(s) if i != j and sizes[i][j] > 0
     )
     beta = spec.beta_for_group(group)
-    charge = Charge(
+    return Charge(
         rounds=1,
         alpha_seconds=spec.alpha,
         comm_seconds=h * beta,
@@ -311,8 +376,23 @@ def alltoallv(
         max_rank_bytes=h,
         messages=messages,
     )
-    received = [[chunks[i][j] for i in range(s)] for j in range(s)]
-    return received, charge
+
+
+def gatherv_charge(
+    spec: MachineSpec, group: Sequence[int], incoming: float
+) -> Charge:
+    """BSP charge of a binomial gather of ``incoming`` off-root bytes."""
+    s = len(group)
+    rounds = _log2_ceil(s)
+    beta = spec.beta_for_group(group)
+    return Charge(
+        rounds=rounds,
+        alpha_seconds=rounds * spec.alpha,
+        comm_seconds=incoming * beta,
+        total_bytes=incoming,
+        max_rank_bytes=incoming,
+        messages=s - 1,
+    )
 
 
 def gatherv(
@@ -324,16 +404,7 @@ def gatherv(
         raise IndexError(f"root {root} out of range for group of {s}")
     sizes = [payload_nbytes(v) for v in values]
     incoming = sum(sz for i, sz in enumerate(sizes) if i != root)
-    rounds = _log2_ceil(s)
-    beta = spec.beta_for_group(group)
-    charge = Charge(
-        rounds=rounds,
-        alpha_seconds=rounds * spec.alpha,
-        comm_seconds=incoming * beta,
-        total_bytes=incoming,
-        max_rank_bytes=incoming,
-        messages=s - 1,
-    )
+    charge = gatherv_charge(spec, group, incoming)
     results: list = [None] * s
     results[root] = list(values)
     return results, charge

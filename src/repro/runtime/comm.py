@@ -28,6 +28,7 @@ from repro.runtime import collectives as coll
 from repro.runtime.collectives import ReduceOp, payload_nbytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.codec import Frame, WireCodec
     from repro.runtime.engine import Machine
 
 
@@ -137,22 +138,75 @@ class Communicator:
             per_rank_seconds=per_rank,
         )
 
+    # ---- wire codec ------------------------------------------------------
+
+    def _charge_codec(
+        self, codec_name: str, per_rank_flops: Sequence[float]
+    ) -> None:
+        """Charge encode/decode work, tallied under ``codec:<name>``."""
+        per_rank = [self.spec.compute_seconds(f) for f in per_rank_flops]
+        self.ledger.charge_compute(
+            max(per_rank, default=0.0),
+            flops=sum(per_rank_flops),
+            ranks=self.ranks,
+            per_rank_seconds=per_rank,
+            kernel=f"codec:{codec_name}",
+        )
+
+    def _roundtrip(
+        self, codec: "WireCodec", value: Any
+    ) -> tuple["Frame", Any]:
+        """Genuinely encode + decode one payload (bit-exact by test)."""
+        frame = codec.encode(value)
+        return frame, codec.decode(frame)
+
     # ---- collectives -----------------------------------------------------
 
     def barrier(self) -> None:
         coll.barrier_charge(self.spec, self.ranks).apply(self.ledger, self.ranks)
 
-    def bcast(self, values: Sequence, root: int = 0) -> list:
+    def bcast(
+        self,
+        values: Sequence,
+        root: int = 0,
+        codec: "WireCodec | None" = None,
+    ) -> list:
         vals = self._check_values(values, "bcast")
+        # A single-rank group's "broadcast" never touches the wire, so
+        # the codec (and its flop cost) is rightly skipped.
+        if codec is not None and self.size > 1 and codec.supports(vals[root]):
+            return self._bcast_encoded(vals, root, codec)
         out, charge = coll.bcast(self.spec, self.ranks, vals, root)
         charge.apply(self.ledger, self.ranks)
         return out
 
-    def bcast_from(self, value: Any, root: int = 0) -> list:
+    def _bcast_encoded(
+        self, vals: list, root: int, codec: "WireCodec"
+    ) -> list:
+        if not 0 <= root < self.size:
+            raise IndexError(
+                f"root {root} out of range for group of {self.size}"
+            )
+        frame, decoded = self._roundtrip(codec, vals[root])
+        enc = coll.bcast_charge(self.spec, self.ranks, frame.nbytes)
+        raw = coll.bcast_charge(self.spec, self.ranks, frame.raw_nbytes)
+        enc.apply(self.ledger, self.ranks)
+        flops = [codec.decode_flops(frame)] * self.size
+        flops[root] = codec.encode_flops(frame)
+        self._charge_codec(frame.codec, flops)
+        self.ledger.record_wire(frame.codec, raw.total_bytes, enc.total_bytes)
+        return [decoded] * self.size
+
+    def bcast_from(
+        self,
+        value: Any,
+        root: int = 0,
+        codec: "WireCodec | None" = None,
+    ) -> list:
         """Broadcast a single root-held value (sugar over :meth:`bcast`)."""
         vals: list = [None] * self.size
         vals[root] = value
-        return self.bcast(vals, root=root)
+        return self.bcast(vals, root=root, codec=codec)
 
     def reduce(self, values: Sequence, op: str | ReduceOp, root: int = 0) -> list:
         vals = self._check_values(values, "reduce")
@@ -161,12 +215,58 @@ class Communicator:
         return out
 
     def allreduce(
-        self, values: Sequence, op: str | ReduceOp, algorithm: str = "auto"
+        self,
+        values: Sequence,
+        op: str | ReduceOp,
+        algorithm: str = "auto",
+        codec: "WireCodec | None" = None,
     ) -> list:
         vals = self._check_values(values, "allreduce")
+        if (
+            codec is not None
+            and self.size > 1
+            and all(codec.supports(v) for v in vals)
+        ):
+            return self._allreduce_encoded(vals, op, algorithm, codec)
         out, charge = coll.allreduce(self.spec, self.ranks, vals, op, algorithm)
         charge.apply(self.ledger, self.ranks)
         return out
+
+    def _allreduce_encoded(
+        self,
+        vals: list,
+        op: str | ReduceOp,
+        algorithm: str,
+        codec: "WireCodec",
+    ) -> list:
+        pairs = [self._roundtrip(codec, v) for v in vals]
+        frames = [f for f, _ in pairs]
+        fn = coll.resolve_op(op)
+        acc = pairs[0][1]
+        for _, v in pairs[1:]:
+            acc = fn(acc, v)
+        enc_nbytes = max(f.nbytes for f in frames)
+        raw_nbytes = max(f.raw_nbytes for f in frames)
+        # Resolve "auto" once, from what actually travels (the frames):
+        # costing raw and encoded under different algorithms would make
+        # the wire counters compare algorithm shapes, not compression.
+        algorithm = coll.resolve_allreduce_algorithm(enc_nbytes, algorithm)
+        enc = coll.allreduce_charge(
+            self.spec, self.ranks, enc_nbytes, algorithm,
+            combine_nbytes=raw_nbytes,
+        )
+        raw = coll.allreduce_charge(
+            self.spec, self.ranks, raw_nbytes, algorithm
+        )
+        enc.apply(self.ledger, self.ranks)
+        names = {f.codec for f in frames}
+        name = names.pop() if len(names) == 1 else "mixed"
+        self._charge_codec(
+            name,
+            [codec.encode_flops(f) + codec.decode_flops(f) for f in frames],
+        )
+        self.ledger.record_wire(name, raw.total_bytes, enc.total_bytes)
+        return [acc] * self.size
 
     def allgather(self, values: Sequence) -> list[list]:
         vals = self._check_values(values, "allgather")
@@ -174,18 +274,110 @@ class Communicator:
         charge.apply(self.ledger, self.ranks)
         return out
 
-    def alltoallv(self, chunks: Sequence[Sequence]) -> list[list]:
+    def alltoallv(
+        self,
+        chunks: Sequence[Sequence],
+        codec: "WireCodec | None" = None,
+    ) -> list[list]:
         rows = [list(row) for row in chunks]
         self._check_values(rows, "alltoallv")
+        if any(len(row) != self.size for row in rows):
+            raise ValueError(
+                f"alltoallv expects an {self.size}x{self.size} chunk "
+                f"matrix, got rows of {[len(r) for r in rows]}"
+            )
+        if codec is not None and all(
+            c is None or codec.supports(c) for row in rows for c in row
+        ):
+            return self._alltoallv_encoded(rows, codec)
         out, charge = coll.alltoallv(self.spec, self.ranks, rows)
         charge.apply(self.ledger, self.ranks)
         return out
 
-    def gatherv(self, values: Sequence, root: int = 0) -> list:
+    def _alltoallv_encoded(
+        self, rows: list[list], codec: "WireCodec"
+    ) -> list[list]:
+        s = self.size
+        enc_sizes = [[0.0] * s for _ in range(s)]
+        enc_flops = [0.0] * s
+        wire: dict[str, list[float]] = {}
+        for i in range(s):
+            for j in range(s):
+                chunk = rows[i][j]
+                if i == j or chunk is None:
+                    # Self-chunks never cross the wire; keep them as-is.
+                    enc_sizes[i][j] = payload_nbytes(chunk)
+                    continue
+                frame, decoded = self._roundtrip(codec, chunk)
+                rows[i][j] = decoded
+                enc_sizes[i][j] = frame.nbytes
+                enc_flops[i] += codec.encode_flops(frame)
+                enc_flops[j] += codec.decode_flops(frame)
+                tally = wire.setdefault(frame.codec, [0.0, 0.0])
+                tally[0] += frame.raw_nbytes
+                tally[1] += frame.nbytes
+        charge = coll.alltoallv_charge(self.spec, self.ranks, enc_sizes)
+        charge.apply(self.ledger, self.ranks)
+        if any(enc_flops):
+            self._charge_codec("mixed" if len(wire) > 1 else
+                               next(iter(wire)), enc_flops)
+        for name, (raw, enc) in wire.items():
+            self.ledger.record_wire(name, raw, enc)
+        return [[rows[i][j] for i in range(s)] for j in range(s)]
+
+    def gatherv(
+        self,
+        values: Sequence,
+        root: int = 0,
+        codec: "WireCodec | None" = None,
+    ) -> list:
         vals = self._check_values(values, "gatherv")
+        if codec is not None and all(
+            v is None or codec.supports(v)
+            for i, v in enumerate(vals)
+            if i != root
+        ):
+            return self._gatherv_encoded(vals, root, codec)
         out, charge = coll.gatherv(self.spec, self.ranks, vals, root)
         charge.apply(self.ledger, self.ranks)
         return out
+
+    def _gatherv_encoded(
+        self, vals: list, root: int, codec: "WireCodec"
+    ) -> list:
+        if not 0 <= root < self.size:
+            raise IndexError(
+                f"root {root} out of range for group of {self.size}"
+            )
+        gathered = list(vals)
+        flops = [0.0] * self.size
+        wire: dict[str, list[float]] = {}
+        enc_incoming = raw_incoming = 0.0
+        for i, v in enumerate(vals):
+            if i == root or v is None:
+                # The root's own part (and an empty slot) never crosses
+                # the wire.
+                continue
+            frame, decoded = self._roundtrip(codec, v)
+            gathered[i] = decoded
+            enc_incoming += frame.nbytes
+            raw_incoming += frame.raw_nbytes
+            flops[i] += codec.encode_flops(frame)
+            flops[root] += codec.decode_flops(frame)
+            tally = wire.setdefault(frame.codec, [0.0, 0.0])
+            tally[0] += frame.raw_nbytes
+            tally[1] += frame.nbytes
+        charge = coll.gatherv_charge(self.spec, self.ranks, enc_incoming)
+        charge.apply(self.ledger, self.ranks)
+        if any(flops):
+            self._charge_codec(
+                "mixed" if len(wire) > 1 else next(iter(wire)), flops
+            )
+        for name, (raw, enc) in wire.items():
+            self.ledger.record_wire(name, raw, enc)
+        results: list = [None] * self.size
+        results[root] = gathered
+        return results
 
     def scatterv(self, parts: Sequence, root: int = 0) -> list:
         out, charge = coll.scatterv(self.spec, self.ranks, list(parts), root)

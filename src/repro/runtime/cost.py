@@ -54,6 +54,15 @@ class PhaseCost:
     #: the ledger can answer "how much time went to each kernel?").
     kernel_flops: dict[str, float] = field(default_factory=dict)
     kernel_seconds: dict[str, float] = field(default_factory=dict)
+    #: Wire-volume counters of codec-mediated collectives: what the same
+    #: traffic would have cost raw vs. what the encoded frames actually
+    #: cost (both in the collective's ``total_bytes`` accounting), plus
+    #: a per-codec breakdown.  Collectives that bypass the codec layer
+    #: contribute nothing here (their volume is only in ``total_bytes``).
+    wire_raw_bytes: float = 0.0
+    wire_encoded_bytes: float = 0.0
+    codec_raw_bytes: dict[str, float] = field(default_factory=dict)
+    codec_encoded_bytes: dict[str, float] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -84,12 +93,35 @@ class PhaseCost:
             self.kernel_flops[name] = self.kernel_flops.get(name, 0.0) + f
         for name, s in other.kernel_seconds.items():
             self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + s
+        self.wire_raw_bytes += other.wire_raw_bytes
+        self.wire_encoded_bytes += other.wire_encoded_bytes
+        for name, b in other.codec_raw_bytes.items():
+            self.codec_raw_bytes[name] = (
+                self.codec_raw_bytes.get(name, 0.0) + b
+            )
+        for name, b in other.codec_encoded_bytes.items():
+            self.codec_encoded_bytes[name] = (
+                self.codec_encoded_bytes.get(name, 0.0) + b
+            )
 
     def charge_kernel(self, kernel: str, seconds: float, flops: float) -> None:
         """Attribute a compute charge to a named kernel within this phase."""
         self.kernel_flops[kernel] = self.kernel_flops.get(kernel, 0.0) + flops
         self.kernel_seconds[kernel] = (
             self.kernel_seconds.get(kernel, 0.0) + seconds
+        )
+
+    def record_wire(
+        self, codec: str, raw_bytes: float, encoded_bytes: float
+    ) -> None:
+        """Tally one codec-mediated collective's raw vs. encoded volume."""
+        self.wire_raw_bytes += raw_bytes
+        self.wire_encoded_bytes += encoded_bytes
+        self.codec_raw_bytes[codec] = (
+            self.codec_raw_bytes.get(codec, 0.0) + raw_bytes
+        )
+        self.codec_encoded_bytes[codec] = (
+            self.codec_encoded_bytes.get(codec, 0.0) + encoded_bytes
         )
 
 
@@ -275,6 +307,21 @@ class CostLedger:
                 per_rank_seconds if per_rank_seconds is not None else seconds,
             )
 
+    def record_wire(
+        self,
+        codec: str,
+        raw_bytes: float,
+        encoded_bytes: float,
+        phase: str | None = None,
+    ) -> None:
+        """Record a codec-mediated collective's raw vs. encoded volume.
+
+        Pure volume accounting — clocks are driven by the collective's
+        own (encoded-size) charge; this counter answers "how many bytes
+        did the codec keep off the wire?" per phase and per codec.
+        """
+        self._get(phase).record_wire(codec, raw_bytes, encoded_bytes)
+
     def charge_io(
         self,
         seconds: float,
@@ -323,6 +370,35 @@ class CostLedger:
             for name, flops in sorted(agg.kernel_flops.items())
         }
 
+    @property
+    def wire_raw_bytes(self) -> float:
+        """Codec-mediated traffic, charged as if sent raw."""
+        return self.total.wire_raw_bytes
+
+    @property
+    def wire_encoded_bytes(self) -> float:
+        """Codec-mediated traffic as actually charged (encoded frames)."""
+        return self.total.wire_encoded_bytes
+
+    @property
+    def wire_compression_ratio(self) -> float:
+        """``raw / encoded`` over all codec-mediated traffic (1.0 if none)."""
+        enc = self.wire_encoded_bytes
+        return self.wire_raw_bytes / enc if enc > 0.0 else 1.0
+
+    @property
+    def wire_codec_totals(self) -> dict[str, tuple[float, float]]:
+        """Per-codec ``(raw_bytes, encoded_bytes)`` over all phases."""
+        agg = self.total
+        names = sorted(set(agg.codec_raw_bytes) | set(agg.codec_encoded_bytes))
+        return {
+            name: (
+                agg.codec_raw_bytes.get(name, 0.0),
+                agg.codec_encoded_bytes.get(name, 0.0),
+            )
+            for name in names
+        }
+
     def snapshot(self) -> dict:
         """State marker for later :meth:`diff` (phases + makespan)."""
         out: dict[str, PhaseCost] = {}
@@ -359,6 +435,16 @@ class CostLedger:
                 for k, s in pc.kernel_seconds.items()
                 if s - prev.kernel_seconds.get(k, 0.0) != 0.0
             }
+            codec_raw = {
+                k: b - prev.codec_raw_bytes.get(k, 0.0)
+                for k, b in pc.codec_raw_bytes.items()
+                if b - prev.codec_raw_bytes.get(k, 0.0) != 0.0
+            }
+            codec_encoded = {
+                k: b - prev.codec_encoded_bytes.get(k, 0.0)
+                for k, b in pc.codec_encoded_bytes.items()
+                if b - prev.codec_encoded_bytes.get(k, 0.0) != 0.0
+            }
             delta = PhaseCost(
                 supersteps=pc.supersteps - prev.supersteps,
                 wall_seconds=pc.wall_seconds - prev.wall_seconds,
@@ -372,12 +458,19 @@ class CostLedger:
                 total_flops=pc.total_flops - prev.total_flops,
                 kernel_flops=kernel_flops,
                 kernel_seconds=kernel_seconds,
+                wire_raw_bytes=pc.wire_raw_bytes - prev.wire_raw_bytes,
+                wire_encoded_bytes=(
+                    pc.wire_encoded_bytes - prev.wire_encoded_bytes
+                ),
+                codec_raw_bytes=codec_raw,
+                codec_encoded_bytes=codec_encoded,
             )
             if (
                 delta.supersteps
                 or delta.seconds
                 or delta.total_bytes
                 or delta.total_flops
+                or delta.wire_raw_bytes
             ):
                 out.phases[name] = delta
         out._makespan_override = self.makespan - before.get("makespan", 0.0)
@@ -429,4 +522,21 @@ class CostLedger:
                 lines.append(
                     f"{name:<18}{format_time(seconds):>12}{flops:>12.3g}"
                 )
+        wire = self.wire_codec_totals
+        if wire:
+            lines.append("")
+            lines.append(
+                f"{'wire codec':<18}{'raw':>14}{'encoded':>14}{'ratio':>8}"
+            )
+            for name, (raw, enc) in wire.items():
+                ratio = raw / enc if enc > 0.0 else float("inf")
+                lines.append(
+                    f"{name:<18}{format_bytes(raw):>14}"
+                    f"{format_bytes(enc):>14}{ratio:>7.2f}x"
+                )
+            lines.append(
+                f"{'WIRE TOTAL':<18}{format_bytes(self.wire_raw_bytes):>14}"
+                f"{format_bytes(self.wire_encoded_bytes):>14}"
+                f"{self.wire_compression_ratio:>7.2f}x"
+            )
         return "\n".join(lines)

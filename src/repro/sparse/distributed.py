@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.codec import WireCodec
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.bitmatrix import BitMatrix
 from repro.sparse.coo import CooMatrix
@@ -93,6 +94,7 @@ class DistWordMatrix:
         n_rows_bits: int,
         n_cols: int,
         bit_width: int = 64,
+        codec: WireCodec | None = None,
     ) -> "DistWordMatrix":
         """Redistribute per-rank COO chunks into the 2-D block layout.
 
@@ -100,7 +102,9 @@ class DistWordMatrix:
         layer's local rank ``r`` (in *global* batch coordinates).  One
         all-to-all moves every nonzero to its owner block, then each owner
         packs its block locally — mirroring the paper's write of the
-        masked entries into the distributed Cyclops matrix.
+        masked entries into the distributed Cyclops matrix.  ``codec``
+        routes the coordinate payloads through the wire-format codec
+        (sorted index stacks are the delta+varint codec's home turf).
         """
         comm = grid.layer_comm(layer)
         q = grid.rows
@@ -129,7 +133,7 @@ class DistWordMatrix:
                 payload = np.stack([coo.rows[sel], coo.cols[sel]])
                 row[int(d)] = payload
             send.append(row)
-        received = comm.alltoallv(send)
+        received = comm.alltoallv(send, codec=codec)
 
         matrix = cls(
             grid=grid,

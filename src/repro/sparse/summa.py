@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.codec import WireCodec
 from repro.runtime.comm import Communicator
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.bitmatrix import BitMatrix
@@ -45,6 +46,7 @@ def summa_gram_2d(
     out: DistDenseMatrix,
     block_bytes: int | None = None,
     kernel: str = "bitpacked",
+    codec: WireCodec | None = None,
 ) -> None:
     """Accumulate ``out += R^T R`` on one grid layer via SUMMA.
 
@@ -53,7 +55,11 @@ def summa_gram_2d(
     (3) — one of :data:`repro.sparse.dispatch.KERNEL_NAMES`, normally
     chosen per batch by the density-adaptive dispatcher.  The compute
     charge carries the kernel label so the ledger's per-kernel breakdown
-    stays faithful to what actually ran.
+    stays faithful to what actually ran.  ``codec`` routes every panel
+    broadcast through the wire-format codec layer
+    (:mod:`repro.runtime.codec`): tiles are genuinely encoded and
+    decoded (bit-exact round trip), the ledger is charged *encoded*
+    bytes, and raw-vs-encoded volume is tallied per codec.
     """
     grid = matrix.grid
     layer = matrix.layer
@@ -71,11 +77,11 @@ def summa_gram_2d(
         # (1) column broadcasts of panel s: owner (s, t) -> column t.
         for t in range(q):
             col = grid.col_comm(t, layer)
-            col.bcast_from(matrix.block(s, t), root=s)
+            col.bcast_from(matrix.block(s, t), root=s, codec=codec)
         # (2) row broadcasts from the diagonal: (i, i) -> row i.
         for i in range(q):
             row = grid.row_comm(i, layer)
-            row.bcast_from(matrix.block(s, i), root=i)
+            row.bcast_from(matrix.block(s, i), root=i, codec=codec)
         # (3) local gram on every face rank, through the dispatched kernel.
         flops = []
         working = 0.0
@@ -93,7 +99,9 @@ def summa_gram_2d(
 
 
 def fiber_reduce(
-    grid: ProcessorGrid, partials: list[DistDenseMatrix]
+    grid: ProcessorGrid,
+    partials: list[DistDenseMatrix],
+    codec: WireCodec | None = None,
 ) -> DistDenseMatrix:
     """Sum per-layer partial results across replication fibers.
 
@@ -119,11 +127,15 @@ def fiber_reduce(
         for j in range(grid.cols):
             fiber = grid.fiber_comm(i, j)
             vals = [p.blocks[(i, j)] for p in partials]
-            result.blocks[(i, j)] = fiber.allreduce(vals, op="sum")[0]
+            result.blocks[(i, j)] = fiber.allreduce(
+                vals, op="sum", codec=codec
+            )[0]
     return result
 
 
-def colsums_2d(matrix: DistWordMatrix) -> DistVector:
+def colsums_2d(
+    matrix: DistWordMatrix, codec: WireCodec | None = None
+) -> DistVector:
     """Distributed column popcounts: the batch contribution to ``a-hat``.
 
     Each rank popcounts its block's columns; column communicators reduce
@@ -141,13 +153,15 @@ def colsums_2d(matrix: DistWordMatrix) -> DistVector:
             partials.append(res.value)
             flops.append(res.flops)
         col = grid.col_comm(t, layer)
-        out.parts[t] = col.allreduce(partials, op="sum")[0]
+        out.parts[t] = col.allreduce(partials, op="sum", codec=codec)[0]
     grid.layer_comm(layer).charge_compute(flops)
     return out
 
 
 def fiber_reduce_vector(
-    grid: ProcessorGrid, partials: list[DistVector]
+    grid: ProcessorGrid,
+    partials: list[DistVector],
+    codec: WireCodec | None = None,
 ) -> DistVector:
     """Sum per-layer ``a-hat`` contributions across replication layers."""
     if len(partials) != grid.layers:
@@ -165,7 +179,7 @@ def fiber_reduce_vector(
         # replicated down columns so a single fiber reduction suffices.
         fiber = grid.fiber_comm(0, t)
         vals = [p.parts[t] for p in partials]
-        result.parts[t] = fiber.allreduce(vals, op="sum")[0]
+        result.parts[t] = fiber.allreduce(vals, op="sum", codec=codec)[0]
     return result
 
 
@@ -173,6 +187,7 @@ def gram_1d_allreduce(
     comm: Communicator,
     local_blocks: list[BitMatrix],
     kernel: str = "bitpacked",
+    codec: WireCodec | None = None,
 ) -> np.ndarray:
     """Communication-inefficient baseline: local grams + full allreduce.
 
@@ -197,4 +212,4 @@ def gram_1d_allreduce(
         partials.append(res.value)
         flops.append(res.flops)
     comm.charge_compute(flops, kernel=kernel)
-    return comm.allreduce(partials, op="sum")[0]
+    return comm.allreduce(partials, op="sum", codec=codec)[0]

@@ -34,6 +34,25 @@ class TestPayloadNbytes:
     def test_string(self):
         assert coll.payload_nbytes("abc") == 3
 
+    def test_bytes_and_bytearray(self):
+        assert coll.payload_nbytes(b"") == 0
+        assert coll.payload_nbytes(b"\x00\x01\x02") == 3
+        assert coll.payload_nbytes(bytearray(17)) == 17
+
+    def test_memoryview_charges_bytes_not_elements(self):
+        arr = np.zeros(4, dtype=np.float64)
+        view = memoryview(arr)
+        assert len(view) == 4          # elements...
+        assert coll.payload_nbytes(view) == 32  # ...but 32 bytes on the wire
+        assert coll.payload_nbytes(memoryview(b"abcdef")[1:4]) == 3
+
+    def test_codec_frames(self):
+        from repro.runtime.codec import encode_frame
+
+        frame = encode_frame(np.arange(10), "adaptive")
+        assert coll.payload_nbytes(frame) == frame.nbytes
+        assert coll.payload_nbytes(frame.data) == frame.nbytes
+
 
 class TestResolveOp:
     def test_named(self):

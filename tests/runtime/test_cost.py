@@ -162,3 +162,67 @@ class TestOverlapCredit:
         assert "overlap" not in ledger.report()
         ledger.credit_overlap([2.0, 2.0])
         assert "overlap" in ledger.report()
+
+
+class TestWireCounters:
+    def test_record_wire_accumulates_per_phase_and_codec(self):
+        ledger = CostLedger()
+        with ledger.phase("spgemm"):
+            ledger.record_wire("rle", raw_bytes=1000.0, encoded_bytes=100.0)
+            ledger.record_wire("varint", raw_bytes=500.0, encoded_bytes=250.0)
+        with ledger.phase("gather"):
+            ledger.record_wire("rle", raw_bytes=200.0, encoded_bytes=40.0)
+        assert ledger.wire_raw_bytes == pytest.approx(1700.0)
+        assert ledger.wire_encoded_bytes == pytest.approx(390.0)
+        assert ledger.phases["spgemm"].wire_raw_bytes == pytest.approx(1500.0)
+        assert ledger.wire_codec_totals == {
+            "rle": (1200.0, 140.0),
+            "varint": (500.0, 250.0),
+        }
+        assert ledger.wire_compression_ratio == pytest.approx(1700 / 390)
+
+    def test_ratio_is_one_without_codec_traffic(self):
+        assert CostLedger().wire_compression_ratio == 1.0
+
+    def test_merge_folds_wire_counters(self):
+        a, b = PhaseCost(), PhaseCost()
+        a.record_wire("rle", 100.0, 10.0)
+        b.record_wire("rle", 50.0, 5.0)
+        b.record_wire("varint", 30.0, 20.0)
+        a.merge(b)
+        assert a.wire_raw_bytes == pytest.approx(180.0)
+        assert a.codec_raw_bytes == {"rle": 150.0, "varint": 30.0}
+        assert a.codec_encoded_bytes == {"rle": 15.0, "varint": 20.0}
+
+    def test_snapshot_diff_isolates_wire_counters(self):
+        ledger = CostLedger()
+        with ledger.phase("spgemm"):
+            ledger.record_wire("rle", 100.0, 10.0)
+        snap = ledger.snapshot()
+        with ledger.phase("spgemm"):
+            ledger.record_wire("rle", 40.0, 4.0)
+        with ledger.phase("gather"):
+            ledger.record_wire("varint", 8.0, 6.0)
+        delta = ledger.diff(snap)
+        assert delta.wire_raw_bytes == pytest.approx(48.0)
+        assert delta.wire_encoded_bytes == pytest.approx(10.0)
+        assert delta.phases["spgemm"].codec_raw_bytes == {"rle": 40.0}
+        assert delta.phases["gather"].codec_encoded_bytes == {"varint": 6.0}
+        # The pre-snapshot traffic stays out of the diff entirely.
+        assert ledger.wire_raw_bytes == pytest.approx(148.0)
+
+    def test_report_prints_wire_table_when_present(self):
+        ledger = CostLedger()
+        assert "wire codec" not in ledger.report()
+        ledger.record_wire("rle", 2048.0, 512.0)
+        report = ledger.report()
+        assert "wire codec" in report
+        assert "rle" in report
+        assert "4.00x" in report
+
+    def test_reset_clears_wire_counters(self):
+        ledger = CostLedger()
+        ledger.record_wire("rle", 10.0, 1.0)
+        ledger.reset()
+        assert ledger.wire_raw_bytes == 0.0
+        assert ledger.wire_codec_totals == {}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs checker: keep README/docs code blocks and links from rotting.
 
-Three checks over ``README.md`` and every ``docs/*.md``:
+Five checks over ``README.md`` and every ``docs/*.md``:
 
 1. **doctest** — fenced ``python`` blocks containing ``>>>`` prompts are
    executed with :mod:`doctest` (with ``src`` on the path), so every
@@ -11,7 +11,12 @@ Three checks over ``README.md`` and every ``docs/*.md``:
    (examples with placeholder paths or big workloads are not executed,
    but a renamed function or argument still fails the build);
 3. **links** — relative markdown links must point at files that exist
-   in the repository (external http(s)/mailto links are left alone).
+   in the repository (external http(s)/mailto links are left alone);
+4. **wiki links** — ``[[target]]``-style relative links must resolve to
+   an existing file (``target`` or ``target.md``);
+5. **orphans** — every ``docs/*.md`` page must be reachable from the
+   documentation hubs (linked from ``README.md`` or
+   ``docs/architecture.md``), so new pages cannot land unlisted.
 
 Run:  python tools/check_docs.py            # exit 1 on any failure
       python tools/check_docs.py --verbose  # list every check
@@ -35,12 +40,22 @@ FENCE_RE = re.compile(
 )
 # [text](target) — excluding images' alt text is irrelevant, same syntax.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# [[target]] wiki-style links (with optional #anchor / |label parts).
+WIKILINK_RE = re.compile(r"\[\[([^\]]+?)\]\]")
+
+#: Pages every docs/*.md file must be linked from (relative to root).
+HUB_PAGES = ("README.md", "docs/architecture.md")
 
 
-def doc_files() -> list[Path]:
-    files = [REPO_ROOT / "README.md"]
-    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
     return [f for f in files if f.exists()]
+
+
+def _wikilink_target(raw: str) -> str:
+    """Strip ``|label`` and ``#anchor`` decorations from a wiki link."""
+    return raw.split("|")[0].split("#")[0].strip()
 
 
 def check_python_block(
@@ -77,7 +92,10 @@ def check_python_block(
             )
 
 
-def check_links(path: Path, text: str, errors: list[str], verbose: bool) -> None:
+def check_links(
+    path: Path, text: str, errors: list[str], verbose: bool,
+    root: Path = REPO_ROOT,
+) -> None:
     # Strip fenced code first so shell snippets can't look like links.
     prose = FENCE_RE.sub("", text)
     for target in LINK_RE.findall(prose):
@@ -86,24 +104,87 @@ def check_links(path: Path, text: str, errors: list[str], verbose: bool) -> None
         resolved = (path.parent / target.split("#")[0]).resolve()
         if not resolved.exists():
             errors.append(
-                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+                f"{path.relative_to(root)}: broken link -> {target}"
             )
         elif verbose:
             print(f"  link ok: {path.name} -> {target}")
 
 
-def run_checks(verbose: bool = False) -> list[str]:
+def check_wikilinks(
+    path: Path, text: str, errors: list[str], verbose: bool,
+    root: Path = REPO_ROOT,
+) -> None:
+    """``[[target]]`` links must name an existing relative file."""
+    prose = FENCE_RE.sub("", text)
+    for raw in WIKILINK_RE.findall(prose):
+        target = _wikilink_target(raw)
+        if not target:
+            continue
+        base = path.parent / target
+        if base.exists() or (path.parent / (target + ".md")).exists():
+            if verbose:
+                print(f"  wikilink ok: {path.name} -> {target}")
+        else:
+            errors.append(
+                f"{path.relative_to(root)}: dead wiki link -> [[{raw}]]"
+            )
+
+
+def _linked_targets(path: Path) -> set[Path]:
+    """Every local file a page links to (markdown + wiki syntax)."""
+    text = path.read_text()
+    prose = FENCE_RE.sub("", text)
+    targets: set[Path] = set()
+    for target in LINK_RE.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.add((path.parent / target.split("#")[0]).resolve())
+    for raw in WIKILINK_RE.findall(prose):
+        target = _wikilink_target(raw)
+        if not target:
+            continue
+        base = path.parent / target
+        targets.add(base.resolve())
+        targets.add((path.parent / (target + ".md")).resolve())
+    return targets
+
+
+def check_orphans(
+    errors: list[str], verbose: bool, root: Path = REPO_ROOT
+) -> None:
+    """Every docs/*.md page must be linked from a hub page."""
+    linked: set[Path] = set()
+    hubs = []
+    for rel in HUB_PAGES:
+        hub = root / rel
+        if hub.exists():
+            hubs.append(rel)
+            linked |= _linked_targets(hub)
+    for page in sorted((root / "docs").glob("*.md")):
+        if page.resolve() in linked:
+            if verbose:
+                print(f"  reachable: {page.relative_to(root)}")
+        else:
+            errors.append(
+                f"{page.relative_to(root)}: orphan page (not linked from "
+                f"{' or '.join(hubs)})"
+            )
+
+
+def run_checks(verbose: bool = False, root: Path = REPO_ROOT) -> list[str]:
     errors: list[str] = []
-    for path in doc_files():
+    for path in doc_files(root):
         text = path.read_text()
         if verbose:
-            print(f"{path.relative_to(REPO_ROOT)}:")
+            print(f"{path.relative_to(root)}:")
         for index, match in enumerate(FENCE_RE.finditer(text)):
             if match.group("lang").lower() in ("python", "py"):
                 check_python_block(
                     path, index, match.group("body"), errors, verbose
                 )
-        check_links(path, text, errors, verbose)
+        check_links(path, text, errors, verbose, root)
+        check_wikilinks(path, text, errors, verbose, root)
+    check_orphans(errors, verbose, root)
     return errors
 
 
