@@ -10,7 +10,6 @@ Scaled reproduction: n=1,024 heavy-tailed hypersparse samples, ranks
 16 -> 128 with the same batch-halving protocol.
 """
 
-import pytest
 
 from benchmarks.conftest import format_table
 from repro import jaccard_similarity

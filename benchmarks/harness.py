@@ -33,6 +33,18 @@ check of every policy's similarity matrix against the ``raw`` run — the
 headline the codec layer has to keep earning is the raw/adaptive
 wire-byte reduction.
 
+A fourth section maps the error-vs-wire-bytes frontier of the sketch
+estimators (``minhash`` / ``bbit_minhash`` / ``hll``) against the exact
+adaptive-codec path on the same Fig. 2 workloads and appends to
+``BENCH_sketch.json``: per estimator the encoded wire bytes, the mean /
+max absolute Jaccard error against the exact similarity matrix, the
+analytic 95%% bound, and the wire-byte reduction vs exact.  The summary
+names the best estimator meeting the 2%% mean-error budget — the
+headline the sketch engine has to keep earning is a >=10x wire cut at
+<=2%% mean error on the Fig. 2a workload.  Smoke mode exercises every
+estimator at reduced sketch sizes so the CI bench-regression gate
+covers them without full-size runs.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
                                               # BENCH_pipeline.json +
@@ -65,6 +77,7 @@ from repro.sparse.dispatch import KERNEL_POLICIES  # noqa: E402
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 DEFAULT_PIPELINE_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 DEFAULT_WIRE_OUTPUT = REPO_ROOT / "BENCH_wire.json"
+DEFAULT_SKETCH_OUTPUT = REPO_ROOT / "BENCH_sketch.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -108,6 +121,21 @@ SMOKE_WORKLOADS = {
         m=50_000, n=128, density=1e-4, skew=1.5, seed=13,
         nodes=1, ranks_per_node=4, batch_count=2,
     ),
+}
+
+#: Sketch configurations of the error-vs-wire-bytes frontier: every
+#: estimator the config accepts, sized so the b-bit path lands inside
+#: the 2% mean-error budget on the dense Fig. 2a regime (the bound
+#: shrinks as 1/sqrt(size); b=8 keeps the wire at one byte per lane).
+SKETCH_CONFIGS = {
+    "minhash": dict(sketch_size=512),
+    "bbit_minhash": dict(sketch_size=512, sketch_bits=8),
+    "hll": dict(sketch_size=4096),
+}
+SMOKE_SKETCH_CONFIGS = {
+    "minhash": dict(sketch_size=128),
+    "bbit_minhash": dict(sketch_size=256, sketch_bits=8),
+    "hll": dict(sketch_size=512),
 }
 
 #: Fig. 3-style sparsity sweep: densities straddling the blocked/outer
@@ -315,8 +343,13 @@ def run_wire_policy(spec: dict, policy: str) -> tuple[dict, object]:
     return record, result.similarity
 
 
-def run_wire_workload(name: str, spec: dict) -> dict:
-    """All wire codecs on one workload, plus the raw-vs-adaptive summary."""
+def run_wire_workload(name: str, spec: dict) -> tuple[dict, object]:
+    """All wire codecs on one workload, plus the raw-vs-adaptive summary.
+
+    Also returns the (bit-exact) similarity matrix so the sketch
+    section can reuse this workload's exact adaptive run as its
+    baseline instead of recomputing it.
+    """
     policies = {}
     reference = None
     bit_exact = True
@@ -356,11 +389,17 @@ def run_wire_workload(name: str, spec: dict) -> dict:
         f"  -> adaptive keeps {reduction:.2f}x off the wire "
         f"(bit-exact: {bit_exact})"
     )
-    return {"params": spec, "policies": policies, "summary": summary}
+    record = {"params": spec, "policies": policies, "summary": summary}
+    return record, reference
 
 
-def run_wire_harness(smoke: bool = False) -> dict:
-    """The wire-codec section: one trajectory entry."""
+def run_wire_harness(smoke: bool = False) -> tuple[dict, dict]:
+    """The wire-codec section: one trajectory entry.
+
+    Returns ``(entry, baselines)`` where ``baselines[name]`` carries
+    each workload's exact adaptive record and similarity matrix for
+    the sketch section to reuse.
+    """
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
     entry = {
         "label": "smoke" if smoke else "full",
@@ -368,9 +407,133 @@ def run_wire_harness(smoke: bool = False) -> dict:
         "numpy": np.__version__,
         "workloads": {},
     }
+    baselines = {}
     for name, spec in workloads.items():
         print(f"== {name} ({spec['figure']}) wire codecs ==")
-        entry["workloads"][name] = run_wire_workload(name, dict(spec))
+        record, similarity = run_wire_workload(name, dict(spec))
+        entry["workloads"][name] = record
+        baselines[name] = (record["policies"]["adaptive"], similarity)
+    return entry, baselines
+
+
+def run_sketch_estimator(
+    spec: dict, estimator: str, sketch_kwargs: dict, exact_similarity
+) -> dict:
+    """One (workload, estimator) point of the error/wire frontier."""
+    source = _source(spec)
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+    config = SimilarityConfig(
+        batch_count=spec["batch_count"], gather_result=True,
+        compute_distance=False, wire_codec="adaptive",
+        estimator=estimator, **sketch_kwargs,
+    )
+    t0 = time.perf_counter()
+    result = jaccard_similarity(source, machine=machine, config=config)
+    real = time.perf_counter() - t0
+    off_diag = ~np.eye(result.n, dtype=bool)
+    err = np.abs(result.similarity - exact_similarity)[off_diag]
+    return {
+        "sketch_params": dict(sketch_kwargs),
+        "simulated_seconds": result.simulated_seconds,
+        "communication_bytes": result.cost.communication_bytes,
+        "wire_raw_bytes": result.wire_raw_bytes,
+        "wire_encoded_bytes": result.wire_encoded_bytes,
+        "sketch_payload_bytes": result.sketch_payload_bytes,
+        "mean_abs_error": float(err.mean()),
+        "max_abs_error": float(err.max()),
+        "error_bound_95": result.error_bound,
+        "real_seconds": real,
+    }
+
+
+def run_sketch_workload(
+    name: str, spec: dict, configs: dict, baseline: tuple | None = None
+) -> dict:
+    """Every estimator vs the exact adaptive-codec path on one workload.
+
+    ``baseline`` is the ``(record, similarity)`` pair of this
+    workload's exact adaptive run when the wire section already
+    executed it (one full-size exact run per workload instead of two);
+    when absent the baseline is computed here.
+    """
+    if baseline is None:
+        baseline = run_wire_policy(spec, "adaptive")
+    exact_record, exact_similarity = baseline
+    exact_wire = exact_record["wire_encoded_bytes"]
+    print(
+        f"  {name:<24} {'exact':<14} "
+        f"wire {exact_wire:.3g} B (adaptive codec baseline)"
+    )
+    estimators = {}
+    for estimator, kwargs in configs.items():
+        record = run_sketch_estimator(spec, estimator, kwargs, exact_similarity)
+        record["wire_reduction_vs_exact"] = (
+            exact_wire / record["wire_encoded_bytes"]
+            if record["wire_encoded_bytes"]
+            else float("inf")
+        )
+        estimators[estimator] = record
+        print(
+            f"  {name:<24} {estimator:<14} "
+            f"wire {record['wire_encoded_bytes']:.3g} B "
+            f"({record['wire_reduction_vs_exact']:.1f}x less)  "
+            f"mae {record['mean_abs_error']:.4f} "
+            f"(bound {record['error_bound_95']:.4f})"
+        )
+    in_budget = {
+        e: r for e, r in estimators.items() if r["mean_abs_error"] <= 0.02
+    }
+    best = (
+        max(in_budget, key=lambda e: in_budget[e]["wire_reduction_vs_exact"])
+        if in_budget
+        else None
+    )
+    summary = {
+        "exact_wire_encoded_bytes": exact_wire,
+        "exact_communication_bytes": exact_record["communication_bytes"],
+        "best_estimator_within_2pct": best,
+        "best_wire_reduction_vs_exact": (
+            in_budget[best]["wire_reduction_vs_exact"] if best else 0.0
+        ),
+        "best_mean_abs_error": (
+            in_budget[best]["mean_abs_error"] if best else 1.0
+        ),
+    }
+    if best:
+        print(
+            f"  -> {best} keeps "
+            f"{summary['best_wire_reduction_vs_exact']:.1f}x off the wire "
+            f"at {summary['best_mean_abs_error']:.4f} mean error"
+        )
+    else:
+        print("  -> no estimator met the 2% mean-error budget")
+    return {"params": spec, "estimators": estimators, "summary": summary}
+
+
+def run_sketch_harness(
+    smoke: bool = False, baselines: dict | None = None
+) -> dict:
+    """The sketch-estimator section: one trajectory entry.
+
+    Every estimator runs in smoke mode too (at reduced sketch sizes),
+    so the CI regression gate covers the whole family without
+    full-size runs.  ``baselines`` (from :func:`run_wire_harness`)
+    supplies the exact adaptive runs so they are not recomputed.
+    """
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    configs = SMOKE_SKETCH_CONFIGS if smoke else SKETCH_CONFIGS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) sketch estimators ==")
+        entry["workloads"][name] = run_sketch_workload(
+            name, dict(spec), configs,
+            baseline=(baselines or {}).get(name),
+        )
     return entry
 
 
@@ -433,6 +596,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--sketch-output", type=Path, default=None,
+        help=(
+            f"sketch-estimator trajectory file to append to (default "
+            f"{DEFAULT_SKETCH_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -454,7 +625,7 @@ def main(argv: list[str] | None = None) -> int:
             "pipeline trajectory not written (--output was redirected; "
             "pass --pipeline-output to record it)"
         )
-    wire_entry = run_wire_harness(smoke=args.smoke)
+    wire_entry, wire_baselines = run_wire_harness(smoke=args.smoke)
     wire_output = args.wire_output
     if wire_output is None and not args.smoke and args.output is None:
         wire_output = DEFAULT_WIRE_OUTPUT
@@ -464,6 +635,19 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "wire trajectory not written (--output was redirected; "
             "pass --wire-output to record it)"
+        )
+    sketch_entry = run_sketch_harness(
+        smoke=args.smoke, baselines=wire_baselines
+    )
+    sketch_output = args.sketch_output
+    if sketch_output is None and not args.smoke and args.output is None:
+        sketch_output = DEFAULT_SKETCH_OUTPUT
+    if sketch_output is not None:
+        append_entry(sketch_entry, sketch_output)
+    elif not args.smoke:
+        print(
+            "sketch trajectory not written (--output was redirected; "
+            "pass --sketch-output to record it)"
         )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
@@ -488,6 +672,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{s['wire_reduction_raw_vs_adaptive']:.2f}x off the wire "
             f"(bit-exact: {s['all_policies_bit_exact']})"
         )
+    for name, wl in sketch_entry["workloads"].items():
+        s = wl["summary"]
+        if s["best_estimator_within_2pct"]:
+            print(
+                f"{name}: {s['best_estimator_within_2pct']} keeps "
+                f"{s['best_wire_reduction_vs_exact']:.1f}x off the wire vs "
+                f"exact at {s['best_mean_abs_error']:.4f} mean error"
+            )
+        else:
+            print(f"{name}: no estimator met the 2% mean-error budget")
     return 0
 
 

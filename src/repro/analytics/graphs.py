@@ -10,7 +10,6 @@ Jarvis–Patrick clustering [50] and missing-link prediction [28].
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro.core.config import SimilarityConfig
 from repro.core.result import SimilarityResult

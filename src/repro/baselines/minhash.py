@@ -13,6 +13,10 @@ highly dissimilar sets unless very large sketch sizes are used".  The
 ``bench_minhash_accuracy`` benchmark reproduces exactly that trade-off
 against this implementation, with SimilarityAtScale's exact values as
 the reference.
+
+The hash primitives are shared with the production sketch subsystem
+(:mod:`repro.core.sketch`), so this serial baseline and the distributed
+sketch engine agree bit-for-bit on what a hash is.
 """
 
 from __future__ import annotations
@@ -22,30 +26,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_2 = np.uint64(0x94D049BB133111EB)
-_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+from repro.core.sketch import hash_values, splitmix64
 
+__all__ = [
+    "hash_values",
+    "splitmix64",
+    "sketch",
+    "jaccard_estimate",
+    "mash_distance",
+    "MinHashIndex",
+    "make_pair_with_jaccard",
+]
 
-def _splitmix64(x: np.ndarray) -> np.ndarray:
-    """The splitmix64 finalizer: a cheap, well-mixed 64-bit hash."""
-    x = x.astype(np.uint64, copy=True)
-    with np.errstate(over="ignore"):
-        x += _GOLDEN
-        x ^= x >> np.uint64(30)
-        x *= _MIX_1
-        x ^= x >> np.uint64(27)
-        x *= _MIX_2
-        x ^= x >> np.uint64(31)
-    return x
-
-
-def hash_values(values: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Hash integer attribute values to uniform 64-bit keys."""
-    vals = np.asarray(values, dtype=np.uint64)
-    with np.errstate(over="ignore"):
-        salted = vals + np.uint64(seed) * _GOLDEN
-    return _splitmix64(salted)
+# Backwards-compatible alias for the pre-promotion private name.
+_splitmix64 = splitmix64
 
 
 def sketch(values, size: int, seed: int = 0) -> np.ndarray:

@@ -27,9 +27,19 @@ from repro.core.indicator import (
 )
 from repro.core.result import BatchStats, SimilarityResult
 from repro.core.similarity import SimilarityAtScale, jaccard_similarity
+from repro.core.sketch import (
+    ESTIMATORS,
+    SKETCH_ESTIMATORS,
+    make_sketch,
+    sketch_error_bound,
+)
 
 __all__ = [
     "SimilarityConfig",
+    "ESTIMATORS",
+    "SKETCH_ESTIMATORS",
+    "make_sketch",
+    "sketch_error_bound",
     "IndicatorSource",
     "SetSource",
     "CooSource",

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.sketch import (
+    ESTIMATORS,
+    MAX_SKETCH_BITS,
+    MIN_SKETCH_BITS,
+)
 from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
@@ -65,6 +70,30 @@ class SimilarityConfig:
         ``"adaptive"`` picks per payload by modelled encoded size.
         Every policy is bit-exact: results are identical to ``"raw"``;
         only the modelled wire bytes (and codec flop time) change.
+    estimator:
+        How the all-pairs Jaccard values are computed.  ``"exact"``
+        (default) runs the paper's bit-matrix pipeline.  The sketch
+        estimators (see :mod:`repro.core.sketch` and
+        ``docs/sketches.md``) trade provable accuracy for
+        order-of-magnitude wire-byte cuts: ``"minhash"`` ships bottom-s
+        hash sketches (Mash-style), ``"bbit_minhash"`` ships b-bit
+        packed lane fingerprints (Li–König), ``"hll"`` ships
+        HyperLogLog union-cardinality registers.  Sketch runs route
+        through :mod:`repro.sparse.sketch_exchange` and ignore
+        ``gram_algorithm``/``kernel_policy``; every estimate carries
+        the analytic 95% error bound in ``result.error_bound``.
+    sketch_size:
+        Sketch budget per sample: bottom-``s`` size for ``minhash``,
+        lane count ``k`` for ``bbit_minhash``, register count (rounded
+        up to a power of two) for ``hll``.  Larger is more accurate and
+        more traffic; the bound shrinks as ``1/sqrt(sketch_size)``.
+    sketch_bits:
+        Bits kept per b-bit MinHash lane (wire size ``k*b`` bits per
+        sample; collision floor ``2^-b`` corrected by the estimator).
+        Ignored by the other estimators.
+    sketch_seed:
+        Root seed of every sketch hash; sketches are deterministic in
+        (seed, sample values) whatever the rank layout or batching.
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -90,6 +119,10 @@ class SimilarityConfig:
     kernel_policy: str = "adaptive"
     pipeline: str = "off"
     wire_codec: str = "raw"
+    estimator: str = "exact"
+    sketch_size: int = 256
+    sketch_bits: int = 8
+    sketch_seed: int = 0
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -130,6 +163,21 @@ class SimilarityConfig:
             raise ValueError(
                 f"wire_codec must be one of {WIRE_CODECS}, "
                 f"got {self.wire_codec!r}"
+            )
+        if self.estimator not in ESTIMATORS:
+            raise ValueError(
+                f"estimator must be one of {ESTIMATORS}, "
+                f"got {self.estimator!r}"
+            )
+        if self.sketch_size <= 0:
+            raise ValueError(
+                f"sketch_size must be positive, got {self.sketch_size}"
+            )
+        if not MIN_SKETCH_BITS <= self.sketch_bits <= MAX_SKETCH_BITS:
+            raise ValueError(
+                f"sketch_bits must be in "
+                f"[{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
+                f"got {self.sketch_bits}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

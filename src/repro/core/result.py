@@ -36,6 +36,9 @@ class BatchStats:
     #: Wire-codec policy the batch's collectives ran under
     #: (``config.wire_codec`` at run time; ``"raw"`` = legacy format).
     wire_codec: str = "raw"
+    #: Estimator the run used (``config.estimator`` at run time); sketch
+    #: batches fold coordinates into sketches instead of Gram tiles.
+    estimator: str = "exact"
 
     @property
     def rows(self) -> int:
@@ -76,6 +79,13 @@ class SimilarityResult:
     planned_kernel: str | None = None
     #: Batch schedule the run used (``config.pipeline`` at run time).
     pipeline_mode: str = "off"
+    #: Estimator the run used (``config.estimator`` at run time).
+    estimator: str = "exact"
+    #: Uniform worst-case 95% additive bound on every estimated J
+    #: (``None`` for exact runs; see ``docs/sketches.md``).
+    error_bound: float | None = None
+    #: Total raw (pre-codec) sketch payload bytes gathered (sketch runs).
+    sketch_payload_bytes: int = 0
 
     @property
     def active_ranks(self) -> int:
@@ -165,9 +175,21 @@ class SimilarityResult:
                 f"{format_bytes(self.wire_encoded_bytes)} on the wire, "
                 f"{ratio:.2f}x)"
             )
+        if self.estimator == "exact":
+            estimator_line = "estimator=exact"
+        else:
+            estimator_line = (
+                f"estimator={self.estimator} "
+                f"sketch_size={self.config.sketch_size} "
+                f"sketch_bits={self.config.sketch_bits} "
+                f"(estimated J +/- {self.error_bound:.4f} at 95%, "
+                f"sketch payload "
+                f"{format_bytes(self.sketch_payload_bytes)})"
+            )
         lines = [
             f"SimilarityAtScale: n={self.n} samples, m={format_count(self.m)} "
             f"attribute values",
+            estimator_line,
             f"machine={self.machine_name} p={self.p} "
             f"grid={self.grid_q}x{self.grid_q}x{self.grid_c} "
             f"(active {self.active_ranks}/{self.p})",

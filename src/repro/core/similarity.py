@@ -23,12 +23,17 @@ communication and compute is charged to the machine's BSP ledger; the
 functional results are bit-identical to a serial computation over the
 same input, whichever kernels run, whichever schedule is active, and
 whichever wire codec is configured.
+
+When a sketch estimator is configured (``estimator != "exact"``) the
+same batched read loop feeds per-sample sketches instead of packed Gram
+tiles, and the run produces an error-bounded *estimate* through the
+sketch gather/estimate path of :mod:`repro.sparse.sketch_exchange` —
+see :mod:`repro.core.sketch` and ``docs/sketches.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -47,6 +52,11 @@ from repro.runtime.pipeline import StageTiming, run_batches
 from repro.runtime.topology import ProcessorGrid
 from repro.sparse.dispatch import DispatchDecision, choose_kernel
 from repro.sparse.distributed import DistDenseMatrix, DistVector
+from repro.sparse.sketch_exchange import (
+    SketchFamily,
+    exchange_and_estimate,
+    owned_samples,
+)
 from repro.sparse.summa import (
     colsums_2d,
     fiber_reduce,
@@ -80,6 +90,7 @@ def _batch_stats(
     prepared: list[_PreparedBatch],
     timings: list[StageTiming],
     wire_codec: str = "raw",
+    estimator: str = "exact",
 ) -> list[BatchStats]:
     """Fuse prepared-batch metadata with the scheduler's stage timings."""
     return [
@@ -92,6 +103,7 @@ def _batch_stats(
             gram_seconds=t.accumulate_seconds,
             overlap_saved_seconds=t.overlap_saved_seconds,
             wire_codec=wire_codec,
+            estimator=estimator,
         )
         for p, t in zip(prepared, timings, strict=True)
     ]
@@ -135,7 +147,9 @@ class SimilarityAtScale:
         if source.n <= 0:
             raise ValueError("need at least one data sample")
         before = self.machine.ledger.snapshot()
-        if self.config.gram_algorithm == "1d_allreduce":
+        if self.config.estimator != "exact":
+            result = self._run_sketch(source)
+        elif self.config.gram_algorithm == "1d_allreduce":
             result = self._run_1d(source)
         else:
             result = self._run_summa(source)
@@ -225,7 +239,9 @@ class SimilarityAtScale:
         timings = run_batches(
             machine, len(bounds), prepare, accumulate, mode=config.pipeline
         )
-        batches = _batch_stats(prepared_meta, timings, config.wire_codec)
+        batches = _batch_stats(
+            prepared_meta, timings, config.wire_codec, config.estimator
+        )
 
         with machine.phase("reduce"):
             if b_main is None:
@@ -428,7 +444,9 @@ class SimilarityAtScale:
         timings = run_batches(
             machine, len(bounds), prepare, accumulate, mode=config.pipeline
         )
-        batches = _batch_stats(prepared_meta, timings, config.wire_codec)
+        batches = _batch_stats(
+            prepared_meta, timings, config.wire_codec, config.estimator
+        )
         with machine.phase("similarity"):
             unions = ahat[:, None] + ahat[None, :] - b_total
             sim = np.where(
@@ -448,6 +466,96 @@ class SimilarityAtScale:
             result.sample_sizes = ahat
             if config.compute_distance:
                 result.distance = 1.0 - sim
+        return result
+
+    # ---- sketch estimation path ------------------------------------------------
+
+    def _run_sketch(self, source: IndicatorSource) -> SimilarityResult:
+        """Sketch-based estimation (``config.estimator != "exact"``).
+
+        Streams the same batched reads as the exact drivers, but folds
+        each rank's coordinates into per-sample sketches instead of
+        packed Gram tiles; the all-pairs estimation happens after a
+        codec-mediated sketch gather (see
+        :mod:`repro.sparse.sketch_exchange`).  ``gram_algorithm`` and
+        ``kernel_policy`` are ignored on this path.
+        """
+        machine, config = self.machine, self.config
+        codec = resolve_wire_codec(config.wire_codec)
+        n, m = source.n, source.m
+        comm = machine.world
+        grid_plan = GridPlan(q=1, c=comm.size)
+        batch_plan = plan_batches(
+            m, n, source.nnz_estimate(), machine.spec, config, grid_plan
+        )
+        families = [
+            SketchFamily(
+                estimator=config.estimator,
+                sample_ids=owned_samples(n, r, comm.size),
+                size=config.sketch_size,
+                bits=config.sketch_bits,
+                seed=config.sketch_seed,
+            )
+            for r in range(comm.size)
+        ]
+        bounds = batch_plan.bounds
+        prepared_meta: list[_PreparedBatch] = []
+        kernel = f"sketch:{config.estimator}"
+
+        def prepare(idx: int):
+            lo, hi = bounds[idx]
+            chunks, nnz = self._read_batch(comm, source, lo, hi)
+            return lo, hi, chunks, nnz
+
+        def accumulate(idx: int, prep) -> None:
+            lo, hi, chunks, nnz = prep
+            with machine.phase("sketch"):
+                comm.run_local(
+                    lambda r: families[r].update_from_coo(chunks[r], lo)
+                )
+                comm.charge_compute(
+                    [
+                        families[r].update_flops(chunks[r].nnz)
+                        for r in range(comm.size)
+                    ],
+                    kernel=kernel,
+                )
+            rows = [c.rows for c in chunks if c.nnz]
+            nonzero_rows = (
+                int(np.unique(np.concatenate(rows)).size) if rows else 0
+            )
+            decision = DispatchDecision(
+                kernel=kernel, policy="sketch",
+                density=nnz / max((hi - lo) * n, 1),
+            )
+            prepared_meta.append(
+                _PreparedBatch(lo, hi, nnz, nonzero_rows, decision, [])
+            )
+
+        timings = run_batches(
+            machine, len(bounds), prepare, accumulate, mode=config.pipeline
+        )
+        batches = _batch_stats(
+            prepared_meta, timings, config.wire_codec, config.estimator
+        )
+        with machine.phase("exchange"):
+            outcome = exchange_and_estimate(comm, families, n, codec=codec)
+
+        result = SimilarityResult(
+            n=n, m=m, config=config, machine_name=machine.spec.name,
+            p=machine.p, grid_q=1, grid_c=comm.size, cost=machine.ledger,
+            batches=batches,
+            planned_kernel=kernel,
+            pipeline_mode=config.pipeline,
+            estimator=config.estimator,
+            error_bound=outcome.error_bound,
+            sketch_payload_bytes=outcome.sketch_payload_bytes,
+        )
+        if config.gather_result:
+            result.similarity = outcome.similarity
+            result.sample_sizes = outcome.sample_sizes
+            if config.compute_distance:
+                result.distance = 1.0 - outcome.similarity
         return result
 
     # ---- validation -------------------------------------------------------------

@@ -1,0 +1,615 @@
+"""Sketch data structures for error-bounded approximate Jaccard.
+
+The paper's exact bit-matrix pipeline is communication-optimal for
+*exact* Jaccard; its own Table II comparison point — MinHash tools like
+Mash and BinDash — marks the other end of the accuracy/traffic
+trade-off.  This module provides that end as a first-class subsystem:
+three sketch types with a common protocol, each carrying an analytic
+error bound, each streamable (batched updates commute with one-shot
+construction) and mergeable (sketch of a union from sketches of the
+parts).
+
+``minhash`` — :class:`KMinValuesSketch`
+    Bottom-``s`` (k-min-values) MinHash: the ``s`` smallest 64-bit
+    hashes of the set.  The Mash estimator reads J off the shared
+    fraction of the union's bottom-``s``; standard error is
+    ``sqrt(J(1-J)/s)``.
+
+``bbit_minhash`` — :class:`BBitMinHashSketch`
+    ``k`` independent one-permutation lanes, each keeping only the low
+    ``b`` bits of a fingerprint of its minimum hash (Li & König).  Wire
+    size is ``k*b`` bits per sample — 8x smaller than bottom-k at
+    ``b=8`` — at the price of a known collision floor ``C = 2^-b``
+    corrected out by the unbiased estimator ``(m - C) / (1 - C)``.
+
+``hll`` — :class:`HyperLogLogSketch`
+    HyperLogLog union-cardinality registers.  Merge is an elementwise
+    register ``max`` (associative, commutative, idempotent), so the
+    union cardinality of any pair is sketchable from per-sample
+    sketches; J follows by inclusion–exclusion against the exact
+    per-sample sizes.  Relative cardinality error is ``1.04/sqrt(r)``
+    for ``r`` registers.
+
+The serial baseline in :mod:`repro.baselines.minhash` re-exports the
+hash primitives defined here, so both layers agree bit-for-bit on what
+a hash is.  The distributed exchange lives in
+:mod:`repro.sparse.sketch_exchange`; estimator semantics and the wire
+layout of packed sketches are documented in ``docs/sketches.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.prng import derive_seed
+
+#: Sketch-based estimator names (the lossy family).
+SKETCH_ESTIMATORS = ("minhash", "bbit_minhash", "hll")
+
+#: Every estimator accepted by ``SimilarityConfig.estimator``.
+ESTIMATORS = ("exact",) + SKETCH_ESTIMATORS
+
+#: Two-sided 95% normal quantile used by every analytic bound.
+Z_95 = 1.959963984540054
+
+#: Supported ``b`` range for b-bit packed MinHash lanes.
+MIN_SKETCH_BITS, MAX_SKETCH_BITS = 1, 16
+
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+_TWO_64 = 2.0**64
+
+
+def _clamp_union_count(estimate: float, a: int, b: int) -> int:
+    """Clamp a union-cardinality estimate to its exact bounds.
+
+    ``|A ∪ B|`` always lies in ``[max(|A|, |B|), |A| + |B|]``; merged
+    sketches track their cardinality as an estimate clamped to that
+    window (exact inputs make the window tight for disjoint or nested
+    parts).
+    """
+    return int(min(a + b, max(a, b, round(estimate))))
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a cheap, well-mixed 64-bit hash."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += _GOLDEN
+        x ^= x >> np.uint64(30)
+        x *= _MIX_1
+        x ^= x >> np.uint64(27)
+        x *= _MIX_2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def hash_values(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash integer attribute values to uniform 64-bit keys."""
+    vals = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        salted = vals + np.uint64(seed) * _GOLDEN
+    return splitmix64(salted)
+
+
+def _as_value_array(values) -> np.ndarray:
+    """Coerce any iterable of non-negative ints to a unique int64 array."""
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.int64, copy=False)
+    else:
+        arr = np.asarray(sorted(values), dtype=np.int64)
+    return np.unique(arr)
+
+
+# ---- b-bit lane packing ---------------------------------------------------
+
+
+def pack_lanes(lanes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack ``k`` ``bits``-wide lane values into a dense uint64 word array.
+
+    Lane ``l`` occupies bit positions ``[l*bits, (l+1)*bits)`` of the
+    word stream, LSB-first — the layout ``docs/sketches.md`` documents
+    for the wire.  Values may straddle a word boundary when ``bits``
+    does not divide 64.
+    """
+    if not MIN_SKETCH_BITS <= bits <= MAX_SKETCH_BITS:
+        raise ValueError(
+            f"bits must be in [{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
+            f"got {bits}"
+        )
+    lanes = np.ascontiguousarray(lanes, dtype=np.uint64)
+    if np.any(lanes >> np.uint64(bits)):
+        raise ValueError(f"lane values exceed {bits} bits")
+    k = lanes.size
+    n_words = -(-(k * bits) // 64)
+    words = np.zeros(n_words, dtype=np.uint64)
+    pos = np.arange(k, dtype=np.int64) * bits
+    word_idx = pos // 64
+    offset = (pos % 64).astype(np.uint64)
+    np.bitwise_or.at(words, word_idx, lanes << offset)
+    straddle = (pos % 64) + bits > 64
+    if np.any(straddle):
+        hi = lanes[straddle] >> (np.uint64(64) - offset[straddle])
+        np.bitwise_or.at(words, word_idx[straddle] + 1, hi)
+    return words
+
+
+def unpack_lanes(words: np.ndarray, bits: int, k: int) -> np.ndarray:
+    """Invert :func:`pack_lanes` into ``k`` lane values."""
+    if not MIN_SKETCH_BITS <= bits <= MAX_SKETCH_BITS:
+        raise ValueError(
+            f"bits must be in [{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
+            f"got {bits}"
+        )
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.size < -(-(k * bits) // 64):
+        raise ValueError(
+            f"{words.size} word(s) cannot hold {k} lanes of {bits} bits"
+        )
+    mask = (np.uint64(1) << np.uint64(bits)) - np.uint64(1)
+    pos = np.arange(k, dtype=np.int64) * bits
+    word_idx = pos // 64
+    offset = (pos % 64).astype(np.uint64)
+    lanes = (words[word_idx] >> offset) & mask
+    straddle = (pos % 64) + bits > 64
+    if np.any(straddle):
+        hi = words[word_idx[straddle] + 1] << (
+            np.uint64(64) - offset[straddle]
+        )
+        lanes[straddle] = (lanes[straddle] | hi) & mask
+    return lanes
+
+
+# ---- uint64 bit lengths (exact, vectorized) -------------------------------
+
+
+def _bit_length_u64(x: np.ndarray) -> np.ndarray:
+    """Exact ``int.bit_length`` of each uint64 (0 for 0), vectorized."""
+    x = np.ascontiguousarray(x, dtype=np.uint64)
+    out = np.zeros(x.shape, dtype=np.int64)
+    work = x.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = work >= (np.uint64(1) << np.uint64(shift))
+        out[big] += shift
+        work[big] >>= np.uint64(shift)
+    out[x != 0] += 1
+    return out
+
+
+# ---- k-min-values MinHash -------------------------------------------------
+
+
+@dataclass
+class KMinValuesSketch:
+    """Bottom-``size`` MinHash sketch: the smallest hashes, sorted.
+
+    ``hashes`` always holds at most ``size`` sorted unique values; sets
+    with fewer than ``size`` distinct elements keep everything (the
+    estimate then degenerates to exact Jaccard, as in Mash).
+    """
+
+    size: int
+    seed: int = 0
+    hashes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64)
+    )
+    #: Distinct values inserted via ``update`` (exact when batched
+    #: inserts are disjoint); after ``merge``, the clamped
+    #: union-cardinality estimate (see :func:`_clamp_union_count`).
+    n_values: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"sketch size must be positive, got {self.size}")
+
+    @classmethod
+    def from_values(
+        cls, values, size: int, seed: int = 0
+    ) -> "KMinValuesSketch":
+        sk = cls(size=size, seed=seed)
+        sk.update(values)
+        return sk
+
+    def update(self, values) -> "KMinValuesSketch":
+        """Fold more attribute values in (streaming insertion)."""
+        vals = _as_value_array(values)
+        if vals.size == 0:
+            return self
+        fresh = np.unique(hash_values(vals, self.seed))
+        merged = np.union1d(self.hashes, fresh)
+        # n_values tracks distinct *hashes* seen, which equals distinct
+        # values up to 64-bit hash collisions — the same approximation
+        # every MinHash tool makes.
+        self.n_values += merged.size - self.hashes.size
+        self.hashes = merged[: self.size]
+        return self
+
+    def merge(self, other: "KMinValuesSketch") -> "KMinValuesSketch":
+        """Sketch of the union of the two underlying sets.
+
+        The merged ``n_values`` is the union cardinality — exact while
+        the merged sketch is unsaturated (it then holds every hash of
+        the union), the standard k-min-values estimate
+        ``(s - 1) / U_(s)`` once saturated — clamped to the exact
+        ``[max, sum]`` window the part counts imply.
+        """
+        self._check_compatible(other)
+        merged = np.union1d(self.hashes, other.hashes)
+        out = KMinValuesSketch(size=self.size, seed=self.seed)
+        out.hashes = merged[: self.size]
+        if merged.size < self.size:
+            estimate = float(merged.size)
+        else:
+            kth = float(out.hashes[-1]) / _TWO_64
+            estimate = (self.size - 1) / kth if kth > 0 else merged.size
+        out.n_values = _clamp_union_count(
+            estimate, self.n_values, other.n_values
+        )
+        return out
+
+    def _check_compatible(self, other: "KMinValuesSketch") -> None:
+        if self.size != other.size or self.seed != other.seed:
+            raise ValueError(
+                f"incompatible sketches: size/seed "
+                f"({self.size}, {self.seed}) vs ({other.size}, {other.seed})"
+            )
+
+    def jaccard(self, other: "KMinValuesSketch") -> float:
+        """Mash estimator: shared fraction of the union's bottom-``s``."""
+        self._check_compatible(other)
+        if self.hashes.size == 0 and other.hashes.size == 0:
+            return 1.0
+        union = np.union1d(self.hashes, other.hashes)[: self.size]
+        if union.size == 0:
+            return 1.0
+        in_a = np.isin(union, self.hashes, assume_unique=True)
+        in_b = np.isin(union, other.hashes, assume_unique=True)
+        return float((in_a & in_b).sum() / union.size)
+
+    def error_bound(self, z: float = Z_95) -> float:
+        """Worst-case (J = 1/2) additive bound on the estimate."""
+        return min(1.0, z * 0.5 / math.sqrt(self.size))
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes of the hash payload."""
+        return int(self.hashes.nbytes)
+
+
+# ---- b-bit packed MinHash -------------------------------------------------
+
+
+@dataclass
+class BBitMinHashSketch:
+    """``k`` one-value-per-lane MinHash lanes, truncated to ``b`` bits.
+
+    During accumulation every lane keeps its full 64-bit minimum
+    (streaming updates stay exact); :meth:`fingerprints` rehashes the
+    minima and keeps the low ``b`` bits — the only part that ever
+    crosses the wire, packed by :func:`pack_lanes`.
+    """
+
+    size: int
+    bits: int = 8
+    seed: int = 0
+    mins: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Distinct values inserted via ``update`` (exact when batched
+    #: inserts are disjoint); after ``merge``, the clamped
+    #: union-cardinality estimate (see :func:`_clamp_union_count`).
+    n_values: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"sketch size must be positive, got {self.size}")
+        if not MIN_SKETCH_BITS <= self.bits <= MAX_SKETCH_BITS:
+            raise ValueError(
+                f"bits must be in [{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
+                f"got {self.bits}"
+            )
+        if self.mins is None:
+            self.mins = np.full(self.size, _U64_MAX, dtype=np.uint64)
+
+    @classmethod
+    def from_values(
+        cls, values, size: int, bits: int = 8, seed: int = 0
+    ) -> "BBitMinHashSketch":
+        sk = cls(size=size, bits=bits, seed=seed)
+        sk.update(values)
+        return sk
+
+    def _lane_salts(self) -> np.ndarray:
+        rng_seed = derive_seed(self.seed, "bbit", "lanes")
+        with np.errstate(over="ignore"):
+            return splitmix64(
+                np.arange(self.size, dtype=np.uint64)
+                + np.uint64(rng_seed)
+            )
+
+    def update(self, values) -> "BBitMinHashSketch":
+        """Fold more attribute values in (streaming insertion)."""
+        vals = _as_value_array(values)
+        if vals.size == 0:
+            return self
+        self.n_values += vals.size
+        base = hash_values(vals, self.seed)
+        salts = self._lane_salts()
+        # One well-mixed hash per value, re-keyed per lane by xor-salt +
+        # multiply: h_l(v) = splitmix-style mix of (h(v) xor salt_l).
+        # Chunk lanes so the (values x lanes) table stays cache-sized.
+        step = max(1, 1 << 22 >> max(1, vals.size).bit_length())
+        for lo in range(0, self.size, step):
+            sl = salts[lo : lo + step]
+            with np.errstate(over="ignore"):
+                table = (base[:, None] ^ sl[None, :]) * _MIX_1
+                table ^= table >> np.uint64(29)
+                table *= _MIX_2
+            np.minimum(
+                self.mins[lo : lo + sl.size],
+                table.min(axis=0),
+                out=self.mins[lo : lo + sl.size],
+            )
+        return self
+
+    def merge(self, other: "BBitMinHashSketch") -> "BBitMinHashSketch":
+        """Sketch of the union: elementwise lane minima.
+
+        The merged ``n_values`` is estimated from the lane minima (the
+        minimum of ``n`` uniform draws averages ``1/(n+1)``, so
+        ``n ≈ k / sum(min_i) - 1``), clamped to the exact
+        ``[max, sum]`` window the part counts imply.
+        """
+        self._check_compatible(other)
+        out = BBitMinHashSketch(size=self.size, bits=self.bits, seed=self.seed)
+        out.mins = np.minimum(self.mins, other.mins)
+        normalized = float((out.mins / _TWO_64).sum())
+        estimate = self.size / normalized - 1 if normalized > 0 else 0.0
+        out.n_values = _clamp_union_count(
+            estimate, self.n_values, other.n_values
+        )
+        return out
+
+    def _check_compatible(self, other: "BBitMinHashSketch") -> None:
+        if (
+            self.size != other.size
+            or self.bits != other.bits
+            or self.seed != other.seed
+        ):
+            raise ValueError(
+                f"incompatible sketches: (size, bits, seed) "
+                f"({self.size}, {self.bits}, {self.seed}) vs "
+                f"({other.size}, {other.bits}, {other.seed})"
+            )
+
+    def fingerprints(self) -> np.ndarray:
+        """Low-``b``-bit lane fingerprints (what travels on the wire).
+
+        The minima are rehashed before truncation so two *different*
+        lane minima collide with probability ``2^-b`` regardless of the
+        structure of the raw hash values.
+        """
+        mask = (np.uint64(1) << np.uint64(self.bits)) - np.uint64(1)
+        return splitmix64(self.mins) & mask
+
+    def packed(self) -> np.ndarray:
+        """The b-bit-packed wire payload (see :func:`pack_lanes`)."""
+        return pack_lanes(self.fingerprints(), self.bits)
+
+    @property
+    def collision_floor(self) -> float:
+        """``C = 2^-b``: the match probability of unrelated lanes."""
+        return 2.0 ** -self.bits
+
+    def jaccard(self, other: "BBitMinHashSketch") -> float:
+        """Li–König unbiased estimator ``(m - C) / (1 - C)``, clipped."""
+        self._check_compatible(other)
+        if self.n_values == 0 and other.n_values == 0:
+            return 1.0
+        if self.n_values == 0 or other.n_values == 0:
+            return 0.0
+        matches = float(
+            (self.fingerprints() == other.fingerprints()).mean()
+        )
+        return estimate_bbit_jaccard(matches, self.bits)
+
+    def error_bound(self, z: float = Z_95) -> float:
+        """Worst-case additive bound of the corrected estimator."""
+        c = self.collision_floor
+        return min(1.0, z * 0.5 / math.sqrt(self.size) / (1.0 - c))
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes of the packed payload."""
+        return (-(-(self.size * self.bits) // 64)) * 8
+
+
+def estimate_bbit_jaccard(match_fraction: float, bits: int) -> float:
+    """Collision-corrected Jaccard from a lane match fraction."""
+    c = 2.0 ** -bits
+    return float(min(1.0, max(0.0, (match_fraction - c) / (1.0 - c))))
+
+
+# ---- HyperLogLog ----------------------------------------------------------
+
+#: Standard HLL bias constants alpha_r for small register counts.
+_HLL_ALPHA_SMALL = {16: 0.673, 32: 0.697, 64: 0.709}
+
+
+@dataclass
+class HyperLogLogSketch:
+    """HyperLogLog union-cardinality registers.
+
+    ``registers`` holds ``2**precision`` rank-of-first-one maxima.
+    Merging two sketches (elementwise ``max``) yields exactly the
+    sketch of the union — the property the pairwise union-cardinality
+    estimates in the distributed exchange rely on.
+    """
+
+    precision: int
+    seed: int = 0
+    registers: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Distinct values inserted via ``update`` (exact when batched
+    #: inserts are disjoint); after ``merge``, the clamped
+    #: union-cardinality estimate (see :func:`_clamp_union_count`).
+    n_values: int = 0
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.precision <= 18:
+            raise ValueError(
+                f"precision must be in [4, 18], got {self.precision}"
+            )
+        if self.registers is None:
+            self.registers = np.zeros(1 << self.precision, dtype=np.uint8)
+
+    @classmethod
+    def from_values(
+        cls, values, precision: int, seed: int = 0
+    ) -> "HyperLogLogSketch":
+        sk = cls(precision=precision, seed=seed)
+        sk.update(values)
+        return sk
+
+    @property
+    def n_registers(self) -> int:
+        return 1 << self.precision
+
+    def update(self, values) -> "HyperLogLogSketch":
+        """Fold more attribute values in (streaming insertion)."""
+        vals = _as_value_array(values)
+        if vals.size == 0:
+            return self
+        self.n_values += vals.size
+        h = hash_values(vals, self.seed)
+        p = np.uint64(self.precision)
+        idx = (h >> (np.uint64(64) - p)).astype(np.int64)
+        rest = h & ((np.uint64(1) << (np.uint64(64) - p)) - np.uint64(1))
+        # rho = number of leading zeros of the remaining 64-p bits, + 1.
+        rho = (64 - self.precision + 1 - _bit_length_u64(rest)).astype(
+            np.uint8
+        )
+        np.maximum.at(self.registers, idx, rho)
+        return self
+
+    def merge(self, other: "HyperLogLogSketch") -> "HyperLogLogSketch":
+        """Sketch of the union: elementwise register maxima.
+
+        The merged ``n_values`` is the register-based union-cardinality
+        estimate, clamped to the exact ``[max, sum]`` window the part
+        counts imply (so the inclusion–exclusion estimator stays sound
+        on merged sketches).
+        """
+        self._check_compatible(other)
+        out = HyperLogLogSketch(precision=self.precision, seed=self.seed)
+        out.registers = np.maximum(self.registers, other.registers)
+        out.n_values = _clamp_union_count(
+            out.cardinality(), self.n_values, other.n_values
+        )
+        return out
+
+    def _check_compatible(self, other: "HyperLogLogSketch") -> None:
+        if self.precision != other.precision or self.seed != other.seed:
+            raise ValueError(
+                f"incompatible sketches: precision/seed "
+                f"({self.precision}, {self.seed}) vs "
+                f"({other.precision}, {other.seed})"
+            )
+
+    def cardinality(self) -> float:
+        """Bias-corrected HLL estimate with linear-counting fallback."""
+        return hll_cardinality(self.registers[None, :])[0]
+
+    def jaccard(self, other: "HyperLogLogSketch") -> float:
+        """Inclusion–exclusion against the exact per-sketch sizes."""
+        self._check_compatible(other)
+        if self.n_values == 0 and other.n_values == 0:
+            return 1.0
+        if self.n_values == 0 or other.n_values == 0:
+            return 0.0
+        union = self.merge(other).cardinality()
+        if union <= 0.0:
+            return 1.0
+        inter = self.n_values + other.n_values - union
+        return float(min(1.0, max(0.0, inter / union)))
+
+    def error_bound(self, z: float = Z_95) -> float:
+        """Worst-case (J = 1) additive bound via error propagation.
+
+        ``J = (a + b - u) / u`` with exact ``a``, ``b`` gives
+        ``sigma_J = (1 + J) * sigma_u / u <= 2 * 1.04 / sqrt(r)``.
+        """
+        return min(1.0, z * 2.0 * 1.04 / math.sqrt(self.n_registers))
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes of the register payload."""
+        return int(self.registers.nbytes)
+
+
+def hll_alpha(n_registers: int) -> float:
+    """The HLL bias-correction constant ``alpha_r``."""
+    if n_registers in _HLL_ALPHA_SMALL:
+        return _HLL_ALPHA_SMALL[n_registers]
+    return 0.7213 / (1.0 + 1.079 / n_registers)
+
+
+def hll_cardinality(registers: np.ndarray) -> np.ndarray:
+    """Row-wise HLL cardinality estimates of a ``(rows, r)`` array."""
+    regs = np.ascontiguousarray(registers)
+    if regs.ndim != 2:
+        raise ValueError(f"expected a 2-D register array, got {regs.ndim}-D")
+    r = regs.shape[1]
+    harmonic = np.power(2.0, -regs.astype(np.float64)).sum(axis=1)
+    raw = hll_alpha(r) * r * r / harmonic
+    zeros = (regs == 0).sum(axis=1)
+    out = raw.copy()
+    small = (raw <= 2.5 * r) & (zeros > 0)
+    with np.errstate(divide="ignore"):
+        linear = r * np.log(r / np.maximum(zeros, 1).astype(np.float64))
+    out[small] = linear[small]
+    return out
+
+
+# ---- factory --------------------------------------------------------------
+
+
+def hll_precision_for(sketch_size: int) -> int:
+    """Smallest HLL precision with at least ``sketch_size`` registers."""
+    if sketch_size <= 0:
+        raise ValueError(
+            f"sketch size must be positive, got {sketch_size}"
+        )
+    return max(4, min(18, max(4, (sketch_size - 1).bit_length())))
+
+
+def make_sketch(
+    estimator: str, size: int, bits: int = 8, seed: int = 0
+):
+    """Build an empty sketch of the given estimator family.
+
+    ``size`` is the sketch-size knob of :class:`SimilarityConfig`:
+    bottom-``s`` for ``minhash``, lane count ``k`` for ``bbit_minhash``,
+    and (rounded up to a power of two) register count for ``hll``.
+    """
+    if estimator == "minhash":
+        return KMinValuesSketch(size=size, seed=seed)
+    if estimator == "bbit_minhash":
+        return BBitMinHashSketch(size=size, bits=bits, seed=seed)
+    if estimator == "hll":
+        return HyperLogLogSketch(
+            precision=hll_precision_for(size), seed=seed
+        )
+    raise ValueError(
+        f"estimator must be one of {SKETCH_ESTIMATORS}, got {estimator!r}"
+    )
+
+
+def sketch_error_bound(
+    estimator: str, size: int, bits: int = 8, z: float = Z_95
+) -> float:
+    """The analytic worst-case bound of an estimator configuration."""
+    return make_sketch(estimator, size, bits).error_bound(z)

@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import SimilarityConfig
+from repro.core.sketch import ESTIMATORS
 from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
 from repro.sparse.dispatch import KERNEL_POLICIES
@@ -76,6 +77,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--estimator", choices=list(ESTIMATORS), default="exact",
+        help=(
+            "similarity estimator: exact = the paper's bit-matrix "
+            "pipeline; minhash/bbit_minhash/hll ship per-sample "
+            "sketches instead and estimate J with an analytic 95%% "
+            "error bound (printed in the cost report)"
+        ),
+    )
+    parser.add_argument(
+        "--sketch-size", type=int, default=256,
+        help=(
+            "sketch budget per sample: bottom-s size (minhash), lane "
+            "count (bbit_minhash), or register count (hll); the bound "
+            "shrinks as 1/sqrt(size) (default 256)"
+        ),
+    )
+    parser.add_argument(
+        "--sketch-bits", type=int, default=8,
+        help="bits kept per b-bit MinHash lane (default 8)",
+    )
+    parser.add_argument(
         "--stream", action="store_true",
         help=(
             "stream chunked FASTA straight into the engine (no sample "
@@ -117,7 +139,8 @@ def main(argv: list[str] | None = None) -> int:
     config = SimilarityConfig(
         batch_count=args.batches, bit_width=args.bit_width,
         kernel_policy=args.kernel_policy, pipeline=args.pipeline,
-        wire_codec=args.wire_codec,
+        wire_codec=args.wire_codec, estimator=args.estimator,
+        sketch_size=args.sketch_size, sketch_bits=args.sketch_bits,
     )
     tool = GenomeAtScale(
         machine=machine, config=config, k=args.k, min_count=args.min_count

@@ -20,7 +20,11 @@ data distribution.  This package re-implements that subset:
 * :mod:`~repro.sparse.distributed` — block-distributed matrices over
   processor grids, with redistribution;
 * :mod:`~repro.sparse.summa` — communication-avoiding distributed Gram:
-  2-D SUMMA and the 2.5D replicated variant of §III-C.
+  2-D SUMMA and the 2.5D replicated variant of §III-C;
+* :mod:`~repro.sparse.sketch_exchange` — distributed all-pairs Jaccard
+  *estimation* from gathered per-sample sketches (MinHash / b-bit /
+  HLL; see :mod:`repro.core.sketch`), the lossy counterpart to the
+  exact SUMMA path.
 """
 
 from repro.sparse.bitmatrix import BitMatrix
@@ -40,6 +44,12 @@ from repro.sparse.semiring import (
     MAX_TIMES,
     POPCOUNT_AND,
     Semiring,
+)
+from repro.sparse.sketch_exchange import (
+    ExchangeOutcome,
+    SketchFamily,
+    exchange_and_estimate,
+    owned_samples,
 )
 from repro.sparse.spgemm import (
     colsum_bitpacked,
@@ -71,4 +81,8 @@ __all__ = [
     "gram_popcount_blocked",
     "colsum_bitpacked",
     "colsum_csr",
+    "ExchangeOutcome",
+    "SketchFamily",
+    "exchange_and_estimate",
+    "owned_samples",
 ]

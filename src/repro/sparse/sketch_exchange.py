@@ -1,0 +1,398 @@
+"""Distributed all-pairs Jaccard estimation from gathered sketches.
+
+The exact pipeline ships packed indicator *tiles*; this module ships
+*sketches* — a lossy, error-bounded representation whose wire size is
+independent of ``m`` (attribute universe) and linear in ``n`` (samples).
+The exchange pattern is deliberately simple and communication-minimal:
+
+1. every rank builds sketches for the samples it owns (cyclic
+   assignment ``j % p == r``, matching the reader layout of
+   :mod:`repro.core.indicator`), streamed batch by batch;
+2. per-rank sketch payloads are **gathered** to the root through
+   :meth:`~repro.runtime.comm.Communicator.gatherv`, riding the PR-3
+   wire codecs — packed b-bit words and HLL registers travel as RLE/raw
+   frames, sorted bottom-k hash payloads delta+varint-encode — so the
+   :class:`~repro.runtime.cost.CostLedger` charges real encoded bytes;
+3. a global-statistics **allreduce** (total values hashed, payload
+   bytes) gives every rank the run's sketch totals;
+4. the root estimates all pairs vectorized and derives the similarity
+   matrix with the analytic error bound attached.
+
+Payload families (wire layout in ``docs/sketches.md``):
+
+=============  =====================================================
+estimator      per-rank payload arrays
+=============  =====================================================
+minhash        ``sizes`` int64, ``lengths`` int64, ``hashes`` uint64
+bbit_minhash   ``sizes`` int64, ``words`` uint64 2-D (b-bit packed)
+hll            ``sizes`` int64, ``registers`` uint8 2-D
+=============  =====================================================
+
+``sizes`` carries the exact per-sample distinct-value counts: 8 bytes a
+sample buys exact empty-set handling and the HLL inclusion–exclusion
+denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sketch import (
+    SKETCH_ESTIMATORS,
+    hll_cardinality,
+    hll_precision_for,
+    make_sketch,
+    unpack_lanes,
+)
+from repro.runtime.codec import WireCodec
+from repro.runtime.comm import Communicator
+from repro.sparse.coo import CooMatrix
+
+
+def owned_samples(n: int, rank: int, n_ranks: int) -> np.ndarray:
+    """Global sample ids owned by ``rank`` (cyclic reader assignment)."""
+    return np.arange(rank, n, n_ranks, dtype=np.int64)
+
+
+@dataclass
+class SketchFamily:
+    """Per-rank sketch state for the samples one rank owns."""
+
+    estimator: str
+    sample_ids: np.ndarray
+    size: int
+    bits: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.estimator not in SKETCH_ESTIMATORS:
+            raise ValueError(
+                f"estimator must be one of {SKETCH_ESTIMATORS}, "
+                f"got {self.estimator!r}"
+            )
+        self.sketches = [
+            make_sketch(self.estimator, self.size, self.bits, self.seed)
+            for _ in range(self.sample_ids.size)
+        ]
+        self._local_of = {
+            int(j): i for i, j in enumerate(self.sample_ids)
+        }
+
+    @property
+    def n_local(self) -> int:
+        return self.sample_ids.size
+
+    def update_from_coo(self, chunk: CooMatrix, row_offset: int) -> None:
+        """Fold one batch's coordinates into the owned sketches.
+
+        ``chunk`` holds batch-local rows and *global* sample columns, as
+        produced by :meth:`IndicatorSource.read_batch`; ``row_offset``
+        is the batch's global row base ``lo``.
+        """
+        if chunk.nnz == 0:
+            return
+        order = np.argsort(chunk.cols, kind="stable")
+        cols = chunk.cols[order]
+        values = chunk.rows[order] + row_offset
+        starts = np.flatnonzero(np.r_[True, cols[1:] != cols[:-1]])
+        bounds = np.r_[starts, cols.size]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            local = self._local_of.get(int(cols[a]))
+            if local is None:
+                raise ValueError(
+                    f"sample {int(cols[a])} not owned by this rank"
+                )
+            self.sketches[local].update(np.sort(values[a:b]))
+
+    def update_flops(self, nnz: int) -> float:
+        """Modelled sketch-update cost of folding ``nnz`` coordinates."""
+        if self.estimator == "bbit_minhash":
+            return float(nnz) * self.size  # one lane mix per (value, lane)
+        if self.estimator == "minhash":
+            # Hash + merge into the bottom-s buffer.
+            return float(nnz) * (1.0 + np.log2(max(self.size, 2)))
+        return 3.0 * nnz  # hll: hash, index split, register max
+
+    def sizes(self) -> np.ndarray:
+        """Exact distinct-value counts of the owned samples."""
+        return np.array(
+            [sk.n_values for sk in self.sketches], dtype=np.int64
+        )
+
+    def payloads(self) -> dict[str, np.ndarray]:
+        """The wire arrays this rank contributes to the gather."""
+        out = {"sizes": self.sizes()}
+        if self.estimator == "minhash":
+            hashes = [sk.hashes for sk in self.sketches]
+            out["lengths"] = np.array(
+                [h.size for h in hashes], dtype=np.int64
+            )
+            out["hashes"] = (
+                np.concatenate(hashes)
+                if hashes
+                else np.empty(0, dtype=np.uint64)
+            )
+        elif self.estimator == "bbit_minhash":
+            out["words"] = (
+                np.stack([sk.packed() for sk in self.sketches])
+                if self.sketches
+                else np.empty((0, 0), dtype=np.uint64)
+            )
+        else:
+            out["registers"] = (
+                np.stack([sk.registers for sk in self.sketches])
+                if self.sketches
+                else np.empty((0, 0), dtype=np.uint8)
+            )
+        return out
+
+    def payload_nbytes(self) -> int:
+        return int(sum(v.nbytes for v in self.payloads().values()))
+
+    def error_bound(self) -> float:
+        return make_sketch(
+            self.estimator, self.size, self.bits, self.seed
+        ).error_bound()
+
+
+# ---- root-side estimation -------------------------------------------------
+
+
+def _fill_symmetric(n: int, fill) -> np.ndarray:
+    """Build a symmetric unit-diagonal matrix from a row callback.
+
+    ``fill(i)`` returns the estimates for pairs ``(i, j > i)``.
+    """
+    sim = np.eye(n, dtype=np.float64)
+    for i in range(n - 1):
+        row = fill(i)
+        sim[i, i + 1 :] = row
+        sim[i + 1 :, i] = row
+    return sim
+
+
+def _apply_empty_rules(
+    sim: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Exact J for pairs involving empty sets (0, or 1 for both empty)."""
+    empty = sizes == 0
+    if not empty.any():
+        return sim
+    sim[empty, :] = 0.0
+    sim[:, empty] = 0.0
+    both = np.outer(empty, empty)
+    sim[both] = 1.0
+    np.fill_diagonal(sim, 1.0)
+    return sim
+
+
+def estimate_minhash_pairs(
+    sketch_hashes: list[np.ndarray], sizes: np.ndarray, size: int
+) -> np.ndarray:
+    """All-pairs Mash estimates from bottom-``s`` hash arrays."""
+    n = len(sketch_hashes)
+
+    def fill(i: int) -> np.ndarray:
+        a = sketch_hashes[i]
+        out = np.empty(n - i - 1, dtype=np.float64)
+        for off, j in enumerate(range(i + 1, n)):
+            b = sketch_hashes[j]
+            if a.size == 0 and b.size == 0:
+                out[off] = 1.0
+                continue
+            union = np.union1d(a, b)[:size]
+            if union.size == 0:
+                out[off] = 1.0
+                continue
+            both = (
+                np.isin(union, a, assume_unique=True)
+                & np.isin(union, b, assume_unique=True)
+            ).sum()
+            out[off] = both / union.size
+        return out
+
+    return _apply_empty_rules(_fill_symmetric(n, fill), sizes)
+
+
+def estimate_bbit_pairs(
+    fingerprints: np.ndarray, sizes: np.ndarray, bits: int
+) -> np.ndarray:
+    """All-pairs collision-corrected estimates from lane fingerprints."""
+    n = fingerprints.shape[0]
+    c = 2.0 ** -bits
+
+    def fill(i: int) -> np.ndarray:
+        matches = (
+            (fingerprints[i + 1 :] == fingerprints[i]).mean(axis=1)
+        )
+        return np.clip((matches - c) / (1.0 - c), 0.0, 1.0)
+
+    return _apply_empty_rules(_fill_symmetric(n, fill), sizes)
+
+
+def estimate_hll_pairs(
+    registers: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """All-pairs inclusion–exclusion estimates from HLL registers."""
+    n = registers.shape[0]
+    szs = sizes.astype(np.float64)
+
+    def fill(i: int) -> np.ndarray:
+        union_regs = np.maximum(registers[i + 1 :], registers[i])
+        unions = np.maximum(hll_cardinality(union_regs), 1e-12)
+        inter = szs[i] + szs[i + 1 :] - unions
+        return np.clip(inter / unions, 0.0, 1.0)
+
+    return _apply_empty_rules(_fill_symmetric(n, fill), sizes)
+
+
+def estimate_flops(estimator: str, n: int, size: int) -> float:
+    """Modelled root-side cost of the all-pairs estimation."""
+    pairs = n * (n - 1) / 2.0
+    per_pair = {"minhash": 4.0, "bbit_minhash": 1.0, "hll": 3.0}[estimator]
+    return pairs * per_pair * size
+
+
+# ---- the distributed exchange ---------------------------------------------
+
+
+@dataclass
+class ExchangeOutcome:
+    """What the sketch exchange hands back to the driver."""
+
+    #: Estimated all-pairs similarity (root's copy; symmetric, unit
+    #: diagonal, clipped to [0, 1]).
+    similarity: np.ndarray
+    #: Exact per-sample distinct-value counts (the gathered ``sizes``).
+    sample_sizes: np.ndarray
+    #: Uniform worst-case 95% additive bound of the estimator config.
+    error_bound: float
+    #: Raw (pre-codec) bytes of all gathered sketch payloads.
+    sketch_payload_bytes: int
+    #: Total distinct values hashed across all ranks.
+    total_values: int
+
+
+def _maybe(arr: np.ndarray) -> np.ndarray | None:
+    """Empty arrays travel as ``None`` so the codec path stays engaged."""
+    return arr if arr.size else None
+
+
+def _gather_arrays(
+    comm: Communicator,
+    per_rank: list[np.ndarray],
+    codec: WireCodec | None,
+) -> list[np.ndarray] | None:
+    """Gather one payload array per rank to root 0, codec-mediated."""
+    gathered = comm.gatherv(
+        [_maybe(a) for a in per_rank], root=0, codec=codec
+    )[0]
+    if gathered is None:
+        return None
+    return [
+        g if g is not None else np.empty(0, dtype=a.dtype)
+        for g, a in zip(gathered, per_rank)
+    ]
+
+
+def exchange_and_estimate(
+    comm: Communicator,
+    families: list[SketchFamily],
+    n: int,
+    codec: WireCodec | None = None,
+) -> ExchangeOutcome:
+    """Gather every rank's sketches to root 0 and estimate all pairs.
+
+    ``families[r]`` is rank ``r``'s :class:`SketchFamily`; all must
+    share one estimator configuration.  Communication is charged to the
+    communicator's ledger (codec-encoded when ``codec`` is given); the
+    estimation compute is charged to the root rank under the
+    ``sketch:estimate`` kernel label.
+    """
+    if len(families) != comm.size:
+        raise ValueError(
+            f"need one family per rank ({comm.size}), got {len(families)}"
+        )
+    fam = families[0]
+    for other in families[1:]:
+        if (
+            other.estimator != fam.estimator
+            or other.size != fam.size
+            or other.bits != fam.bits
+            or other.seed != fam.seed
+        ):
+            raise ValueError(
+                f"families disagree on the sketch configuration: "
+                f"({fam.estimator}, {fam.size}, {fam.bits}, {fam.seed}) "
+                f"vs ({other.estimator}, {other.size}, {other.bits}, "
+                f"{other.seed})"
+            )
+    payloads = [f.payloads() for f in families]
+    gathered: dict[str, list[np.ndarray]] = {}
+    for key in payloads[0]:
+        gathered[key] = _gather_arrays(
+            comm, [p[key] for p in payloads], codec
+        )
+
+    # Global totals every rank learns (allreduce): values hashed and
+    # payload bytes contributed.
+    totals = comm.allreduce(
+        [
+            np.array(
+                [
+                    int(p["sizes"].sum()),
+                    sum(v.nbytes for v in p.values()),
+                ],
+                dtype=np.int64,
+            )
+            for p in payloads
+        ],
+        op="sum",
+        codec=codec,
+    )[0]
+
+    # Root-side reassembly into global sample order.
+    sizes = np.zeros(n, dtype=np.int64)
+    for r, f in enumerate(families):
+        sizes[f.sample_ids] = gathered["sizes"][r]
+
+    if fam.estimator == "minhash":
+        sketch_hashes: list[np.ndarray] = [None] * n  # type: ignore
+        for r, f in enumerate(families):
+            lengths = gathered["lengths"][r]
+            values = gathered["hashes"][r]
+            bounds = np.r_[0, np.cumsum(lengths)]
+            for i, j in enumerate(f.sample_ids):
+                sketch_hashes[int(j)] = values[bounds[i] : bounds[i + 1]]
+        sim = estimate_minhash_pairs(sketch_hashes, sizes, fam.size)
+    elif fam.estimator == "bbit_minhash":
+        fingerprints = np.zeros((n, fam.size), dtype=np.uint64)
+        for r, f in enumerate(families):
+            words = gathered["words"][r]
+            for i, j in enumerate(f.sample_ids):
+                fingerprints[int(j)] = unpack_lanes(
+                    words[i], fam.bits, fam.size
+                )
+        sim = estimate_bbit_pairs(fingerprints, sizes, fam.bits)
+    else:
+        n_regs = 1 << hll_precision_for(fam.size)
+        registers = np.zeros((n, n_regs), dtype=np.uint8)
+        for r, f in enumerate(families):
+            regs = gathered["registers"][r]
+            if regs.size:
+                registers[f.sample_ids] = regs
+        sim = estimate_hll_pairs(registers, sizes)
+
+    comm.sub([0]).charge_compute(
+        estimate_flops(fam.estimator, n, fam.size),
+        kernel="sketch:estimate",
+    )
+    return ExchangeOutcome(
+        similarity=sim,
+        sample_sizes=sizes,
+        error_bound=fam.error_bound(),
+        sketch_payload_bytes=int(totals[1]),
+        total_values=int(totals[0]),
+    )

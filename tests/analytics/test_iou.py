@@ -1,6 +1,5 @@
 """Tests for the bounding-box IoU framing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

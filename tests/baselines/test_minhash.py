@@ -138,3 +138,46 @@ class TestMakePair:
     def test_universe_too_small(self, rng):
         with pytest.raises(ValueError, match="universe"):
             make_pair_with_jaccard(rng, 10, 100, 0.0)
+
+
+class TestPromotedPrimitives:
+    """The baseline now shares its hash core with repro.core.sketch."""
+
+    def test_hash_is_the_sketch_subsystem_hash(self):
+        from repro.core import sketch as sketch_mod
+
+        assert hash_values is sketch_mod.hash_values
+
+    def test_sketch_agrees_with_kmin_values_sketch(self):
+        from repro.core.sketch import KMinValuesSketch
+
+        values = np.arange(500)
+        baseline = sketch(values, size=64, seed=3)
+        promoted = KMinValuesSketch.from_values(values, 64, seed=3)
+        assert np.array_equal(baseline, promoted.hashes)
+
+    def test_empty_set_sketch(self):
+        assert sketch([], size=16).size == 0
+        assert jaccard_estimate(
+            sketch([], 16), sketch([], 16), 16
+        ) == 1.0
+
+    def test_size_exceeding_universe_is_exact(self):
+        a = np.arange(40)
+        b = np.arange(20, 60)
+        est = jaccard_estimate(
+            sketch(a, 1000), sketch(b, 1000), 1000
+        )
+        assert est == pytest.approx(20 / 60)
+
+    def test_seed_determinism_across_rank_partitions(self):
+        # Hashing is pointwise, so any partition of the values produces
+        # the same sketch once merged — the property the distributed
+        # exchange relies on for cross-rank determinism.
+        values = np.arange(300)
+        whole = sketch(values, size=32, seed=9)
+        parts = np.concatenate(
+            [hash_values(values[r::4], seed=9) for r in range(4)]
+        )
+        merged = np.unique(parts)[:32]
+        assert np.array_equal(whole, merged)

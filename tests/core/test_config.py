@@ -41,3 +41,30 @@ class TestValidation:
         cfg = SimilarityConfig()
         with pytest.raises(AttributeError):
             cfg.bit_width = 32
+
+
+class TestEstimatorValidation:
+    def test_default_exact(self):
+        cfg = SimilarityConfig()
+        assert cfg.estimator == "exact"
+        assert cfg.sketch_size == 256
+        assert cfg.sketch_bits == 8
+        assert cfg.sketch_seed == 0
+
+    def test_sketch_estimators_accepted(self):
+        for est in ("minhash", "bbit_minhash", "hll"):
+            assert SimilarityConfig(estimator=est).estimator == est
+
+    def test_bad_estimator(self):
+        with pytest.raises(ValueError, match="estimator"):
+            SimilarityConfig(estimator="simhash")
+
+    def test_bad_sketch_size(self):
+        with pytest.raises(ValueError, match="sketch_size"):
+            SimilarityConfig(sketch_size=0)
+
+    def test_bad_sketch_bits(self):
+        with pytest.raises(ValueError, match="sketch_bits"):
+            SimilarityConfig(sketch_bits=0)
+        with pytest.raises(ValueError, match="sketch_bits"):
+            SimilarityConfig(sketch_bits=17)

@@ -1,0 +1,69 @@
+"""Tests for the genome-at-scale CLI, including the estimator flags."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.genomics.cli import build_parser, main
+
+SMOKE_FASTA = (
+    Path(__file__).resolve().parent.parent / "data" / "smoke_fasta"
+)
+
+
+class TestParser:
+    def test_estimator_flags(self):
+        args = build_parser().parse_args(
+            [
+                "x.fasta", "-o", "out",
+                "--estimator", "bbit_minhash",
+                "--sketch-size", "512",
+                "--sketch-bits", "4",
+            ]
+        )
+        assert args.estimator == "bbit_minhash"
+        assert args.sketch_size == 512
+        assert args.sketch_bits == 4
+
+    def test_estimator_defaults(self):
+        args = build_parser().parse_args(["x.fasta", "-o", "out"])
+        assert args.estimator == "exact"
+        assert args.sketch_size == 256
+        assert args.sketch_bits == 8
+
+    def test_rejects_unknown_estimator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["x.fasta", "-o", "out", "--estimator", "simhash"]
+            )
+
+
+class TestEndToEnd:
+    """The committed smoke FASTA must flow through both estimator modes.
+
+    This mirrors the CI CLI-smoke step (tools/check_cli_smoke.py) at
+    tier-1 speed: both modes exit 0 and agree within the sketch bound.
+    """
+
+    def run_cli(self, tmp_path, subdir, extra):
+        out = tmp_path / subdir
+        rc = main(
+            [str(SMOKE_FASTA), "-o", str(out), "--tree", "none", *extra]
+        )
+        assert rc == 0
+        return np.load(out / "similarity.npy")
+
+    def test_exact_vs_minhash_within_bound(self, tmp_path, capsys):
+        exact = self.run_cli(tmp_path, "exact", ["--estimator", "exact"])
+        approx = self.run_cli(
+            tmp_path,
+            "minhash",
+            ["--estimator", "minhash", "--sketch-size", "256"],
+        )
+        report = (tmp_path / "minhash" / "cost_report.txt").read_text()
+        assert "estimated J +/-" in report
+        bound = float(
+            report.split("estimated J +/- ")[1].split(" at 95%")[0]
+        )
+        assert np.abs(exact - approx).max() <= bound

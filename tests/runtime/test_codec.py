@@ -12,7 +12,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime import codec as codec_mod
 from repro.runtime.codec import (
     HEADER_NBYTES,
     MAGIC,
@@ -30,7 +29,6 @@ from repro.runtime.codec import (
     zigzag_decode,
     zigzag_encode,
 )
-from repro.runtime.comm import Communicator
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
 from repro.sparse.bitmatrix import BitMatrix

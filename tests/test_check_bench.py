@@ -1,0 +1,168 @@
+"""Tests for the benchmark regression gate (tools/check_bench.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+import check_bench  # noqa: E402
+
+
+def write_trajectory(path: Path, label: str, summary: dict) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "runs": [
+                    {
+                        "label": label,
+                        "workloads": {"wl": {"summary": summary}},
+                    }
+                ],
+            }
+        )
+    )
+
+
+def write_thresholds(path: Path, label: str, floors: dict) -> None:
+    path.write_text(
+        json.dumps({"labels": {label: {"kernels": {"wl": floors}}}})
+    )
+
+
+@pytest.fixture
+def tmp_gate(tmp_path):
+    def run(summary: dict, floors: dict, label: str = "smoke") -> list[str]:
+        bench = tmp_path / "bench.json"
+        thresholds = tmp_path / "thresholds.json"
+        write_trajectory(bench, label, summary)
+        write_thresholds(thresholds, label, floors)
+        return check_bench.run_gate(
+            label, {"kernels": bench}, thresholds_path=thresholds
+        )
+
+    return run
+
+
+class TestGateLogic:
+    def test_floor_pass(self, tmp_gate):
+        assert tmp_gate({"speedup": 2.0}, {"speedup": 1.5}) == []
+
+    def test_floor_fail(self, tmp_gate):
+        problems = tmp_gate({"speedup": 1.2}, {"speedup": 1.5})
+        assert len(problems) == 1
+        assert "violates" in problems[0]
+
+    def test_ceiling_via_max_suffix(self, tmp_gate):
+        assert tmp_gate({"error": 0.01}, {"error_max": 0.02}) == []
+        assert tmp_gate({"error": 0.03}, {"error_max": 0.02})
+
+    def test_bool_must_match(self, tmp_gate):
+        assert tmp_gate({"exact": True}, {"exact": True}) == []
+        assert tmp_gate({"exact": False}, {"exact": True})
+
+    def test_missing_metric_fails(self, tmp_gate):
+        problems = tmp_gate({"other": 1.0}, {"speedup": 1.5})
+        assert any("missing" in p for p in problems)
+
+    def test_equal_value_passes_floor(self, tmp_gate):
+        assert tmp_gate({"speedup": 1.5}, {"speedup": 1.5}) == []
+
+
+class TestFileHandling:
+    def test_missing_file(self, tmp_path):
+        thresholds = tmp_path / "thresholds.json"
+        write_thresholds(thresholds, "smoke", {"speedup": 1.0})
+        problems = check_bench.run_gate(
+            "smoke",
+            {"kernels": tmp_path / "nope.json"},
+            thresholds_path=thresholds,
+        )
+        assert any("does not exist" in p for p in problems)
+
+    def test_missing_label(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        thresholds = tmp_path / "thresholds.json"
+        write_trajectory(bench, "full", {"speedup": 9.0})
+        write_thresholds(thresholds, "smoke", {"speedup": 1.0})
+        problems = check_bench.run_gate(
+            "smoke", {"kernels": bench}, thresholds_path=thresholds
+        )
+        assert any("no run labelled" in p for p in problems)
+
+    def test_missing_workload(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        thresholds = tmp_path / "thresholds.json"
+        bench.write_text(
+            json.dumps(
+                {"runs": [{"label": "smoke", "workloads": {}}]}
+            )
+        )
+        write_thresholds(thresholds, "smoke", {"speedup": 1.0})
+        problems = check_bench.run_gate(
+            "smoke", {"kernels": bench}, thresholds_path=thresholds
+        )
+        assert any("workload missing" in p for p in problems)
+
+    def test_latest_labelled_run_wins(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        thresholds = tmp_path / "thresholds.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "runs": [
+                        {
+                            "label": "smoke",
+                            "workloads": {
+                                "wl": {"summary": {"speedup": 0.5}}
+                            },
+                        },
+                        {
+                            "label": "smoke",
+                            "workloads": {
+                                "wl": {"summary": {"speedup": 3.0}}
+                            },
+                        },
+                    ]
+                }
+            )
+        )
+        write_thresholds(thresholds, "smoke", {"speedup": 1.0})
+        assert (
+            check_bench.run_gate(
+                "smoke", {"kernels": bench}, thresholds_path=thresholds
+            )
+            == []
+        )
+
+    def test_no_thresholds_for_label(self, tmp_path):
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps({"labels": {}}))
+        problems = check_bench.run_gate(
+            "smoke", {}, thresholds_path=thresholds
+        )
+        assert any("no thresholds" in p for p in problems)
+
+
+class TestCommittedState:
+    """The repo's own trajectories must satisfy the committed floors."""
+
+    def test_full_gate_passes_on_committed_trajectories(self):
+        problems = check_bench.run_gate(
+            "full",
+            dict(check_bench.SECTIONS),
+            thresholds_path=check_bench.DEFAULT_THRESHOLDS,
+        )
+        assert problems == []
+
+    def test_thresholds_file_well_formed(self):
+        doc = json.loads(check_bench.DEFAULT_THRESHOLDS.read_text())
+        assert set(doc["labels"]) == {"full", "smoke"}
+        for label in doc["labels"].values():
+            for section in label:
+                assert section in check_bench.SECTIONS

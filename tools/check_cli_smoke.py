@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""End-to-end CLI smoke: exact vs minhash on the committed tiny FASTA.
+
+Runs the ``genome-at-scale`` CLI twice over ``tests/data/smoke_fasta``
+— once with ``--estimator exact`` and once with ``--estimator minhash``
+— and asserts that
+
+1. both invocations exit 0 and write a similarity matrix, and
+2. the two matrices agree within the analytic 95% bound the sketch run
+   prints in its cost report.
+
+This is the cheapest whole-pipeline check there is: FASTA parsing,
+k-mer extraction, the distributed engine, the sketch subsystem, and the
+result writers all have to work for it to pass.
+
+Run:  python tools/check_cli_smoke.py [--workdir DIR] [--sketch-size S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FASTA_DIR = REPO_ROOT / "tests" / "data" / "smoke_fasta"
+
+#: The bound line ``result.summary()`` prints for sketch runs.
+BOUND_RE = re.compile(r"estimated J \+/- ([0-9.]+) at 95%")
+
+
+def run_cli(out_dir: Path, extra_args: list[str]) -> None:
+    """Run the CLI as a subprocess; raise on a nonzero exit."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.genomics.cli",
+        str(FASTA_DIR),
+        "-o",
+        str(out_dir),
+        "--tree",
+        "none",
+        *extra_args,
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"CLI exited {proc.returncode} for args {extra_args}")
+
+
+def check(workdir: Path, sketch_size: int, verbose: bool = False) -> str:
+    """Run both CLI modes and compare; returns a summary line."""
+    exact_dir = workdir / "exact"
+    sketch_dir = workdir / "minhash"
+    run_cli(exact_dir, ["--estimator", "exact"])
+    run_cli(
+        sketch_dir,
+        ["--estimator", "minhash", "--sketch-size", str(sketch_size)],
+    )
+    exact = np.load(exact_dir / "similarity.npy")
+    approx = np.load(sketch_dir / "similarity.npy")
+    if exact.shape != approx.shape:
+        raise SystemExit(
+            f"shape mismatch: exact {exact.shape} vs sketch {approx.shape}"
+        )
+    report = (sketch_dir / "cost_report.txt").read_text()
+    match = BOUND_RE.search(report)
+    if match is None:
+        raise SystemExit("sketch cost report prints no 'estimated J +/- ...' bound")
+    bound = float(match.group(1))
+    diff = float(np.abs(exact - approx).max())
+    if verbose:
+        print(f"exact similarity:\n{np.round(exact, 4)}")
+        print(f"minhash similarity:\n{np.round(approx, 4)}")
+    if diff > bound:
+        raise SystemExit(
+            f"estimate disagrees with exact beyond the printed bound: "
+            f"max |diff| = {diff:.4f} > {bound:.4f}"
+        )
+    return (
+        f"cli smoke ok: {exact.shape[0]} samples, max |exact - minhash| "
+        f"= {diff:.4f} <= printed bound {bound:.4f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="where to write the two output trees (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--sketch-size",
+        type=int,
+        default=256,
+        help="bottom-s size of the minhash run (default 256)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="print both matrices")
+    args = parser.parse_args(argv)
+    if not FASTA_DIR.is_dir():
+        raise SystemExit(f"committed FASTA directory missing: {FASTA_DIR}")
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        print(check(args.workdir, args.sketch_size, args.verbose))
+    else:
+        with tempfile.TemporaryDirectory(prefix="cli_smoke_") as tmp:
+            print(check(Path(tmp), args.sketch_size, args.verbose))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
