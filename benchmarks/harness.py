@@ -45,14 +45,27 @@ headline the sketch engine has to keep earning is a >=10x wire cut at
 estimator at reduced sketch sizes so the CI bench-regression gate
 covers them without full-size runs.
 
+A fifth section benchmarks the serving layer (``repro.service``): the
+Fig. 2 workloads are persisted into an on-disk index and every sample
+is issued as a threshold query, once through the pruning cascade
+(size-ratio bound -> sketch prefilter -> exact verify) and once
+brute-force (exact verification of every candidate).  Appends to
+``BENCH_query.json``: the candidate pruning ratio, an exactness flag
+(the cascade must return exactly the brute-force pairs), and real/
+modelled query latency for both paths.  The headline the query engine
+has to keep earning is a >=5x candidate pruning ratio at exact
+results on at least one Fig. 2 workload.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
                                               # BENCH_pipeline.json +
-                                              # BENCH_wire.json
+                                              # BENCH_wire.json +
+                                              # BENCH_sketch.json +
+                                              # BENCH_query.json
       python benchmarks/harness.py --smoke    # tiny sizes (CI), writes
                                               # nothing unless --output/
                                               # --pipeline-output/
-                                              # --wire-output
+                                              # --wire-output/...
 """
 
 from __future__ import annotations
@@ -78,6 +91,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 DEFAULT_PIPELINE_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 DEFAULT_WIRE_OUTPUT = REPO_ROOT / "BENCH_wire.json"
 DEFAULT_SKETCH_OUTPUT = REPO_ROOT / "BENCH_sketch.json"
+DEFAULT_QUERY_OUTPUT = REPO_ROOT / "BENCH_query.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -537,6 +551,137 @@ def run_sketch_harness(
     return entry
 
 
+#: Query-section parameters: the threshold each workload is served at
+#: and how many of its samples are issued as queries.  Thresholds sit
+#: above the workloads' background similarity so the cascade has
+#: something to prune; every query still matches at least its own
+#: stored copy (queries go by values, so the self pair must survive
+#: the whole cascade with J = 1).
+QUERY_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=48),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=64),
+}
+SMOKE_QUERY_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=12),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=16),
+}
+
+
+def _materialize_values(source) -> list[np.ndarray]:
+    """Every sample's full sorted value set, read through the source."""
+    per_sample: dict[int, np.ndarray] = {}
+    n_readers = 4
+    for r in range(n_readers):
+        coo = source.read_batch(0, source.m, r, n_readers)
+        for j in np.unique(coo.cols):
+            per_sample[int(j)] = np.unique(coo.rows[coo.cols == j])
+    return [
+        per_sample.get(j, np.empty(0, dtype=np.int64))
+        for j in range(source.n)
+    ]
+
+
+def run_query_workload(name: str, spec: dict, qspec: dict, root) -> dict:
+    """Serve one workload from an on-disk index: cascade vs brute force."""
+    from repro.core.config import SimilarityConfig as _Config
+    from repro.service import IndexStore, SimilarityIndex
+
+    source = _source(spec)
+    values = _materialize_values(source)
+    store = IndexStore.create(
+        root, m=spec["m"], codec="adaptive", families=("minhash",),
+        sketch_size=256,
+    )
+    store.append_many(
+        [(f"s{j:05d}", vals) for j, vals in enumerate(values)]
+    )
+    threshold = qspec["threshold"]
+    queries = list(range(min(qspec["n_queries"], source.n)))
+
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+    cascade = SimilarityIndex(
+        store, machine=machine,
+        config=_Config(query_prefilter="cascade", query_cache_size=0),
+    )
+    brute = SimilarityIndex(
+        store, machine=machine,
+        config=_Config(query_prefilter="off", query_cache_size=0),
+    )
+    candidates = verified = 0
+    cascade_real = brute_real = 0.0
+    cascade_sim = brute_sim = 0.0
+    matches = 0
+    exact = True
+    for j in queries:
+        t0 = time.perf_counter()
+        res = cascade.query_values(values[j], threshold=threshold)
+        cascade_real += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ref = brute.query_values(values[j], threshold=threshold)
+        brute_real += time.perf_counter() - t0
+        cascade_sim += res.simulated_seconds
+        brute_sim += ref.simulated_seconds
+        candidates += res.n_candidates
+        verified += res.n_verified
+        matches += len(res.matches)
+        exact = exact and (
+            [(m.name, m.similarity) for m in res.matches]
+            == [(m.name, m.similarity) for m in ref.matches]
+        )
+    q = len(queries)
+    pruning = candidates / max(verified, 1)
+    summary = {
+        "threshold": threshold,
+        "n_queries": q,
+        "n_genomes": source.n,
+        "total_candidates": candidates,
+        "total_verified": verified,
+        "total_matches": matches,
+        "pruning_ratio": pruning,
+        "exact_vs_bruteforce": bool(exact),
+        "mean_query_seconds_cascade": cascade_real / q,
+        "mean_query_seconds_bruteforce": brute_real / q,
+        "mean_simulated_seconds_cascade": cascade_sim / q,
+        "mean_simulated_seconds_bruteforce": brute_sim / q,
+        "latency_speedup_vs_bruteforce": (
+            brute_real / cascade_real if cascade_real > 0 else float("inf")
+        ),
+        "simulated_speedup_vs_bruteforce": (
+            brute_sim / cascade_sim if cascade_sim > 0 else float("inf")
+        ),
+        "store_bytes": store.total_bytes(),
+    }
+    print(
+        f"  {name:<24} t={threshold:<5g} {q} queries: "
+        f"{pruning:.1f}x pruning ({candidates} -> {verified} verified), "
+        f"{matches} match(es), exact={exact}, modelled "
+        f"{summary['simulated_speedup_vs_bruteforce']:.1f}x over brute "
+        f"force ({summary['latency_speedup_vs_bruteforce']:.1f}x real)"
+    )
+    return {"params": dict(spec, **qspec), "summary": summary}
+
+
+def run_query_harness(smoke: bool = False) -> dict:
+    """The query-engine section: one trajectory entry."""
+    import tempfile
+
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    qspecs = SMOKE_QUERY_SPECS if smoke else QUERY_SPECS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) threshold queries ==")
+        with tempfile.TemporaryDirectory(prefix="bench_index_") as tmp:
+            entry["workloads"][name] = run_query_workload(
+                name, dict(spec), qspecs[name], Path(tmp) / "index"
+            )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -604,6 +749,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--query-output", type=Path, default=None,
+        help=(
+            f"query-engine trajectory file to append to (default "
+            f"{DEFAULT_QUERY_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -649,6 +802,17 @@ def main(argv: list[str] | None = None) -> int:
             "sketch trajectory not written (--output was redirected; "
             "pass --sketch-output to record it)"
         )
+    query_entry = run_query_harness(smoke=args.smoke)
+    query_output = args.query_output
+    if query_output is None and not args.smoke and args.output is None:
+        query_output = DEFAULT_QUERY_OUTPUT
+    if query_output is not None:
+        append_entry(query_entry, query_output)
+    elif not args.smoke:
+        print(
+            "query trajectory not written (--output was redirected; "
+            "pass --query-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -682,6 +846,14 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(f"{name}: no estimator met the 2% mean-error budget")
+    for name, wl in query_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: query cascade prunes {s['pruning_ratio']:.1f}x of "
+            f"candidates at t={s['threshold']:g} "
+            f"(exact: {s['exact_vs_bruteforce']}, modelled "
+            f"{s['simulated_speedup_vs_bruteforce']:.1f}x over brute force)"
+        )
     return 0
 
 

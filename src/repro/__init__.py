@@ -11,6 +11,9 @@ Top-level layout:
   filtered, bitmask-compressed distributed Jaccard similarity.
 * :mod:`repro.genomics` — the GenomeAtScale tool: FASTA/k-mer pipeline,
   synthetic cohort generators, phylogenetics.
+* :mod:`repro.service`  — the serving layer: persistent on-disk
+  similarity index, incremental border-block updates, the
+  threshold/top-k query cascade, LRU query caching.
 * :mod:`repro.baselines`— exact, MinHash/Mash, cosine/Libra and
   MapReduce-style comparators.
 * :mod:`repro.analytics`— the paper's §II framings (graphs, documents,

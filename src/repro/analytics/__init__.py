@@ -10,7 +10,8 @@ onto the indicator matrix.  This package provides those framings:
 * :mod:`~repro.analytics.documents` — document similarity over word or
   shingle sets, plagiarism detection (§II-G);
 * :mod:`~repro.analytics.clustering` — Jaccard k-medoids for
-  categorical data, hierarchical clustering, proximity-based outlier
+  categorical data, hierarchical clustering, threshold clustering via
+  the query engine's size-ratio pruning bound, proximity-based outlier
   detection (§II-C, §II-D);
 * :mod:`~repro.analytics.iou` — bounding-box intersection-over-union as
   a Jaccard instance (§II-E).
@@ -20,6 +21,7 @@ from repro.analytics.clustering import (
     hierarchical_clusters,
     jaccard_kmedoids,
     proximity_outliers,
+    threshold_clusters,
 )
 from repro.analytics.documents import (
     document_similarity,
@@ -47,6 +49,7 @@ __all__ = [
     "hierarchical_clusters",
     "jaccard_kmedoids",
     "proximity_outliers",
+    "threshold_clusters",
     "document_similarity",
     "plagiarism_candidates",
     "shingle_set",

@@ -104,6 +104,71 @@ def hierarchical_clusters(
     return labels
 
 
+def threshold_clusters(samples, threshold: float) -> np.ndarray:
+    """Connected components of the ``J >= threshold`` similarity graph.
+
+    The threshold variant of single-linkage clustering: two samples
+    land in one cluster iff a chain of pairs with ``J >= threshold``
+    connects them.  Instead of scanning all ``n^2`` pairs, candidate
+    pairs come from the query engine's exact size-ratio pruning bound
+    (:func:`repro.service.query.size_ratio_window`): sorted by set
+    size, sample ``i`` only needs to be verified against the samples
+    whose size falls in ``[t * |A_i|, |A_i| / t]`` — every pair outside
+    the window provably has ``J < t``.  Only surviving candidates pay
+    for an exact intersection.
+
+    Returns cluster labels (``0..k-1``, numbered by first appearance).
+    """
+    from repro.service.query import exact_jaccard, size_ratio_window
+
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    arrays = [
+        np.unique(np.asarray(sorted(s), dtype=np.int64)) for s in samples
+    ]
+    n = len(arrays)
+    sizes = np.array([a.size for a in arrays], dtype=np.int64)
+    order = np.argsort(sizes, kind="stable")
+
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    # Size-sorted sweep: for each sample (ascending size), the bound
+    # caps how much larger a partner may be, so the inner scan stops at
+    # the first size outside the window.
+    sorted_sizes = sizes[order]
+    for pos in range(n):
+        i = int(order[pos])
+        _, hi = size_ratio_window(int(sizes[i]), threshold)
+        for pos2 in range(pos + 1, n):
+            if sorted_sizes[pos2] > hi:
+                break
+            j = int(order[pos2])
+            if find(i) == find(j):
+                continue
+            if exact_jaccard(arrays[i], arrays[j]) >= threshold:
+                parent[find(j)] = find(i)
+        # Samples of equal size sort adjacently, so the break above
+        # never skips an in-window partner.
+
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for i in range(n):
+        root = find(i)
+        if labels[root] < 0:
+            labels[root] = next_label
+            next_label += 1
+        labels[i] = labels[root]
+    return labels
+
+
 def proximity_outliers(
     samples,
     k_neighbors: int = 3,

@@ -17,6 +17,14 @@ from repro.util.bits import SUPPORTED_WIDTHS
 FILTER_STRATEGIES = ("allgather", "transpose", "off")
 GRAM_ALGORITHMS = ("summa", "1d_allreduce")
 
+#: Candidate-pruning depth of the service-layer query cascade
+#: (:mod:`repro.service.query`).  ``"off"`` = brute-force exact
+#: verification of every candidate; ``"size"`` = the exact size-ratio
+#: bound only; ``"cascade"`` = size bound + sketch prefilter + exact
+#: verification.  Defined here (not in the service package) so the
+#: config layer never imports upward.
+QUERY_PREFILTERS = ("off", "size", "cascade")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -94,6 +102,19 @@ class SimilarityConfig:
     sketch_seed:
         Root seed of every sketch hash; sketches are deterministic in
         (seed, sample values) whatever the rank layout or batching.
+    query_prefilter:
+        Candidate-pruning depth of the service-layer query cascade
+        (:mod:`repro.service.query`): ``"cascade"`` (default) applies
+        the exact size-ratio bound, then the conservative sketch
+        prefilter, then exact verification; ``"size"`` skips the sketch
+        stage; ``"off"`` verifies every candidate (brute force).
+        ``"off"`` and ``"size"`` are unconditionally exact;
+        ``"cascade"`` is exact at the sketches' 95% confidence (a
+        candidate is pruned only when its estimate plus the analytic
+        bound is still below the threshold).
+    query_cache_size:
+        Entry capacity of the service layer's LRU query/result cache;
+        0 disables caching (every query recomputes).
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -123,6 +144,8 @@ class SimilarityConfig:
     sketch_size: int = 256
     sketch_bits: int = 8
     sketch_seed: int = 0
+    query_prefilter: str = "cascade"
+    query_cache_size: int = 128
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -178,6 +201,15 @@ class SimilarityConfig:
                 f"sketch_bits must be in "
                 f"[{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
                 f"got {self.sketch_bits}"
+            )
+        if self.query_prefilter not in QUERY_PREFILTERS:
+            raise ValueError(
+                f"query_prefilter must be one of {QUERY_PREFILTERS}, "
+                f"got {self.query_prefilter!r}"
+            )
+        if self.query_cache_size < 0:
+            raise ValueError(
+                f"query_cache_size must be >= 0, got {self.query_cache_size}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

@@ -1,19 +1,28 @@
 """Command-line interface: ``genome-at-scale``.
 
-Runs the full pipeline on a directory of FASTA files against a
-configurable simulated machine and writes the similarity/distance
-matrices, a PHYLIP export, a Newick tree, and the BSP cost report.
+Two modes:
+
+* **batch** (the default, no subcommand): runs the full all-pairs
+  pipeline on a directory of FASTA files against a configurable
+  simulated machine and writes the similarity/distance matrices, a
+  PHYLIP export, a Newick tree, and the BSP cost report.
+* **index** (``genome-at-scale index build|add|query``): the
+  persistent serving layer — build an on-disk similarity index from
+  FASTA samples, extend it incrementally (border-block Gram updates),
+  and answer threshold/top-k queries through the pruning cascade of
+  :mod:`repro.service.query`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import SimilarityConfig
+from repro.core.config import QUERY_PREFILTERS, SimilarityConfig
 from repro.core.sketch import ESTIMATORS
 from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
@@ -113,6 +122,183 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_index_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--index", type=Path, required=True,
+                        help="index store directory")
+    parser.add_argument("-k", type=int, default=31,
+                        help="k-mer length (odd; default 31)")
+    parser.add_argument("--min-count", type=int, default=1,
+                        help="k-mer abundance threshold (default 1)")
+    parser.add_argument("--machine", choices=["laptop", "stampede2"],
+                        default="laptop", help="machine model preset")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="node count for the stampede2 preset")
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="rank count for the laptop preset")
+
+
+def build_index_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genome-at-scale index",
+        description=(
+            "Persistent similarity index: build, extend incrementally, "
+            "and serve threshold/top-k queries (repro.service)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser(
+        "build", help="create an index from FASTA samples"
+    )
+    build.add_argument(
+        "inputs", nargs="+", type=Path,
+        help="FASTA files, or a single directory of .fasta/.fa files",
+    )
+    _add_index_common(build)
+    build.add_argument(
+        "--wire-codec", choices=list(WIRE_CODECS), default="adaptive",
+        help=(
+            "codec policy of the stored shards and the border-block "
+            "collectives (default adaptive)"
+        ),
+    )
+    build.add_argument(
+        "--sketch-size", type=int, default=256,
+        help="stored sketch budget per genome (default 256)",
+    )
+    build.add_argument(
+        "--sketch-bits", type=int, default=8,
+        help="bits per stored b-bit MinHash lane (default 8)",
+    )
+
+    add = sub.add_parser(
+        "add", help="incrementally add FASTA samples to an index"
+    )
+    add.add_argument(
+        "inputs", nargs="+", type=Path,
+        help="FASTA files, or a single directory of .fasta/.fa files",
+    )
+    _add_index_common(add)
+
+    query = sub.add_parser(
+        "query", help="threshold/top-k query of one sample against an index"
+    )
+    query.add_argument(
+        "inputs", nargs=1, type=Path, help="the query FASTA file"
+    )
+    _add_index_common(query)
+    query.add_argument(
+        "--threshold", type=float, default=None,
+        help="return every genome with J >= threshold",
+    )
+    query.add_argument(
+        "--top-k", type=int, default=None,
+        help="return the k most similar genomes",
+    )
+    query.add_argument(
+        "--prefilter", choices=list(QUERY_PREFILTERS), default="cascade",
+        help=(
+            "cascade depth: off = brute-force exact; size = size-ratio "
+            "bound only; cascade (default) adds the conservative sketch "
+            "prefilter before exact verification"
+        ),
+    )
+    query.add_argument(
+        "--estimator", choices=list(ESTIMATORS), default="exact",
+        help=(
+            "stored sketch family the prefilter estimates with (exact = "
+            "the store's first family; the final similarities are exact "
+            "in every case)"
+        ),
+    )
+    query.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the matches and cascade stats as JSON",
+    )
+    return parser
+
+
+def _index_tool(args: argparse.Namespace, **config_overrides) -> GenomeAtScale:
+    if args.machine == "stampede2":
+        spec = stampede2_knl(args.nodes)
+    else:
+        spec = laptop(args.ranks)
+    config = SimilarityConfig(**config_overrides)
+    return GenomeAtScale(
+        machine=Machine(spec), config=config, k=args.k,
+        min_count=args.min_count,
+    )
+
+
+def index_main(argv: list[str]) -> int:
+    args = build_index_parser().parse_args(argv)
+    fasta_paths = collect_inputs(args.inputs)
+    if args.command == "build":
+        tool = _index_tool(
+            args, wire_codec=args.wire_codec,
+            sketch_size=args.sketch_size, sketch_bits=args.sketch_bits,
+        )
+        store = tool.build_index(fasta_paths, args.index)
+        print(store.summary())
+        print(tool.machine.ledger.report())
+        print(f"\nindexed {store.n_genomes} sample(s) into {args.index}")
+        return 0
+    if args.command == "add":
+        tool = _index_tool(args)
+        report = tool.extend_index(args.index, fasta_paths)
+        print(
+            f"added {len(report.added)} sample(s) "
+            f"({', '.join(report.added)}): index now holds "
+            f"{report.n_after} genome(s); border block "
+            f"{report.border_shape[0]}x{report.border_shape[1]} over "
+            f"{report.batches} batch(es), simulated "
+            f"{report.simulated_seconds:.6f}s"
+        )
+        return 0
+    # query
+    if args.threshold is None and args.top_k is None:
+        raise SystemExit("index query requires --threshold and/or --top-k")
+    if len(fasta_paths) != 1:
+        raise SystemExit(
+            f"index query takes exactly one query FASTA file, got "
+            f"{len(fasta_paths)} (pass a single file, not a directory)"
+        )
+    tool = _index_tool(
+        args, query_prefilter=args.prefilter, estimator=args.estimator
+    )
+    result = tool.query_index(
+        args.index, fasta_paths[0],
+        threshold=args.threshold, top_k=args.top_k,
+    )
+    print(result.summary())
+    for m in result.matches:
+        print(f"  {m.name:<24} J = {m.similarity:.6f}")
+    if not result.matches:
+        print("  (no genome qualified)")
+    if args.json is not None:
+        payload = {
+            "query": str(fasta_paths[0]),
+            "threshold": result.threshold,
+            "top_k": result.top_k,
+            "prefilter": result.prefilter,
+            "estimator": result.estimator,
+            "error_bound": result.error_bound,
+            "n_candidates": result.n_candidates,
+            "n_after_size": result.n_after_size,
+            "n_verified": result.n_verified,
+            "pruning_ratio": result.pruning_ratio,
+            "store_version": result.store_version,
+            "matches": [
+                {"name": m.name, "index": m.index,
+                 "similarity": m.similarity}
+                for m in result.matches
+            ],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    return 0
+
+
 def collect_inputs(inputs: list[Path]) -> list[Path]:
     if len(inputs) == 1 and inputs[0].is_dir():
         found = sorted(
@@ -129,6 +315,14 @@ def collect_inputs(inputs: list[Path]) -> list[Path]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Dispatch to the index subcommands only when the second token is
+    # one of them, so a FASTA file or directory literally named
+    # "index" still reaches the batch parser.
+    if argv[:1] == ["index"] and (
+        len(argv) == 1 or argv[1] in ("build", "add", "query", "-h", "--help")
+    ):
+        return index_main(argv[1:])
     args = build_parser().parse_args(argv)
     fasta_paths = collect_inputs(args.inputs)
     if args.machine == "stampede2":

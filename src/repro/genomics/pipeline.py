@@ -4,6 +4,12 @@ Connects the genomics front end (FASTA -> cleaned canonical k-mer sets
 -> sorted numeric sample files) to the SimilarityAtScale back end
 (batched distributed Jaccard) and the downstream analyses (distance
 export, phylogenies).
+
+The index methods (:meth:`GenomeAtScale.build_index`,
+:meth:`~GenomeAtScale.extend_index`, :meth:`~GenomeAtScale.query_index`)
+bridge the same front end to the persistent serving layer
+(:mod:`repro.service`): build once, add genomes incrementally, answer
+threshold/top-k queries without recomputing all pairs.
 """
 
 from __future__ import annotations
@@ -164,6 +170,137 @@ class GenomeAtScale:
             fasta_paths, Path(workdir) / "samples", names
         )
         return self.run_store(store, cleaning=reports)
+
+    # ---- the persistent index (repro.service) --------------------------
+
+    def _clean_inputs(
+        self, fasta_paths: list[str | Path], names: list[str] | None
+    ) -> list[tuple[str, "np.ndarray"]]:
+        """FASTA files -> (name, cleaned k-mer codes) pairs."""
+        paths = [Path(p) for p in fasta_paths]
+        if not paths:
+            raise ValueError("need at least one FASTA file")
+        if names is None:
+            names = [p.stem for p in paths]
+        if len(names) != len(paths):
+            raise ValueError(
+                f"{len(names)} names for {len(paths)} FASTA files"
+            )
+        out = []
+        for name, path in zip(names, paths):
+            codes, _ = clean_sample(
+                read_fasta(path), self.k, min_count=self.min_count,
+                canonical=self.canonical,
+            )
+            out.append((name, codes))
+        return out
+
+    def build_index(
+        self,
+        fasta_paths: list[str | Path],
+        index_dir: str | Path,
+        names: list[str] | None = None,
+    ):
+        """FASTA files -> a persistent, query-ready similarity index.
+
+        Creates an :class:`~repro.service.store.IndexStore` keyed by
+        this tool's k-mer space, appends every sample, and persists the
+        exact all-pairs Gram so later :meth:`extend_index` calls only
+        compute border blocks.  Returns the store.
+        """
+        from repro.genomics.kmer import kmer_space_size
+        from repro.service import IndexStore, add_genomes
+
+        config = self.config if self.config is not None else SimilarityConfig()
+        store = IndexStore.create(
+            index_dir,
+            m=kmer_space_size(self.k),
+            codec=config.wire_codec,
+            sketch_size=config.sketch_size,
+            sketch_bits=config.sketch_bits,
+            sketch_seed=config.sketch_seed,
+            metadata={
+                "k": self.k,
+                "canonical": self.canonical,
+                "min_count": self.min_count,
+            },
+        )
+        add_genomes(
+            store, self._clean_inputs(fasta_paths, names),
+            machine=self.machine, config=config,
+        )
+        return store
+
+    def _open_index(self, index_dir: str | Path):
+        from repro.service import IndexStore
+
+        store = IndexStore.open(index_dir)
+        if store.metadata.get("k") != self.k:
+            raise ValueError(
+                f"index at {index_dir} was built with k="
+                f"{store.metadata.get('k')}, tool is configured for "
+                f"k={self.k}"
+            )
+        if store.metadata.get("canonical") != self.canonical:
+            # A canonical-mode mismatch puts queries and adds on a
+            # different k-mer code space — similarities would be
+            # silently wrong, and an add would corrupt the stored Gram.
+            raise ValueError(
+                f"index at {index_dir} was built with canonical="
+                f"{store.metadata.get('canonical')}, tool is configured "
+                f"for canonical={self.canonical}"
+            )
+        if store.metadata.get("min_count") != self.min_count:
+            # Same cleaning threshold everywhere, or new genomes keep
+            # k-mers the indexed ones were stripped of.
+            raise ValueError(
+                f"index at {index_dir} was built with min_count="
+                f"{store.metadata.get('min_count')}, tool is configured "
+                f"for min_count={self.min_count}"
+            )
+        return store
+
+    def extend_index(
+        self,
+        index_dir: str | Path,
+        fasta_paths: list[str | Path],
+        names: list[str] | None = None,
+    ):
+        """Incrementally add samples to an existing index.
+
+        Only the new-vs-existing border block of the Gram is computed
+        (see :mod:`repro.service.incremental`); the stored result is
+        bit-identical to rebuilding from scratch.  Returns the
+        :class:`~repro.service.incremental.IncrementalReport`.
+        """
+        from repro.service import add_genomes
+
+        store = self._open_index(index_dir)
+        return add_genomes(
+            store, self._clean_inputs(fasta_paths, names),
+            machine=self.machine, config=self.config,
+        )
+
+    def query_index(
+        self,
+        index_dir: str | Path,
+        fasta_path: str | Path,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ):
+        """Threshold/top-k query of one FASTA sample against an index.
+
+        Returns the :class:`~repro.service.query.QueryResult` of the
+        cascade (size bound -> sketch prefilter -> exact verify).
+        """
+        from repro.service import SimilarityIndex
+
+        store = self._open_index(index_dir)
+        (_, codes), = self._clean_inputs([fasta_path], None)
+        engine = SimilarityIndex(
+            store, machine=self.machine, config=self.config
+        )
+        return engine.query_values(codes, threshold=threshold, top_k=top_k)
 
     def run_streaming(
         self,

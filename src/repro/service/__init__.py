@@ -1,0 +1,55 @@
+"""Persistent similarity index + threshold/top-k query serving layer.
+
+The fourth architectural layer of the repo: the batch engine
+(:mod:`repro.core`) computes, the codecs (:mod:`repro.runtime.codec`)
+compress, the sketches (:mod:`repro.core.sketch`) estimate — this
+package **persists and serves**:
+
+* :mod:`repro.service.store` — a versioned on-disk index of genomes
+  (sorted value columns + sketches as codec frames) with an optional
+  persisted all-pairs Gram result;
+* :mod:`repro.service.incremental` — add genomes by computing only the
+  new-vs-existing border block (bit-identical to a rebuild);
+* :mod:`repro.service.query` — the threshold/top-k query engine with
+  the size-ratio / sketch / exact-verify cascade, charged under
+  ``query:*`` kernels;
+* :mod:`repro.service.cache` — the LRU query/result cache.
+
+See ``docs/service.md`` for the store layout and the cascade
+correctness argument.
+"""
+
+from repro.service.cache import CacheStats, QueryCache
+from repro.service.incremental import (
+    IncrementalReport,
+    add_genomes,
+    rebuild,
+    similarity_from_gram,
+)
+from repro.service.query import (
+    QueryMatch,
+    QueryResult,
+    SimilarityIndex,
+    exact_jaccard,
+    size_ratio_mask,
+    size_ratio_window,
+)
+from repro.service.store import GenomeEntry, IndexStore, StoreError
+
+__all__ = [
+    "CacheStats",
+    "QueryCache",
+    "IncrementalReport",
+    "add_genomes",
+    "rebuild",
+    "similarity_from_gram",
+    "QueryMatch",
+    "QueryResult",
+    "SimilarityIndex",
+    "exact_jaccard",
+    "size_ratio_mask",
+    "size_ratio_window",
+    "GenomeEntry",
+    "IndexStore",
+    "StoreError",
+]

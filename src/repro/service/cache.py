@@ -1,0 +1,97 @@
+"""LRU query/result cache for the similarity index (serving layer).
+
+A :class:`QueryCache` memoizes query results keyed by everything that
+determines the answer — the query digest, the query parameters, and the
+store *version* (so any mutation of the index invalidates every cached
+entry without an explicit flush).  Eviction is least-recently-used;
+hit/miss/eviction counters are kept so the serving layer can surface a
+hit rate in ``QueryResult.summary()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache's lifetime (monotone except ``size``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit(s) / {self.misses} miss(es) "
+            f"({self.hit_rate:.0%}), {self.size}/{self.capacity} entries"
+        )
+
+
+class QueryCache:
+    """A least-recently-used mapping with hit/miss accounting.
+
+    ``capacity`` is the maximum number of retained entries; ``0``
+    disables retention entirely (every lookup is a miss, nothing is
+    stored) while keeping the counters alive, so a cache-less
+    configuration still reports its miss traffic.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed to most-recently-used, or ``None``."""
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self._misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

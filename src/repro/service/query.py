@@ -1,0 +1,514 @@
+"""Threshold / top-k similarity queries over a persistent index.
+
+The all-pairs-similarity literature (Özkural & Aykanat's 1-D/2-D
+all-pairs algorithms, Bayardo et al.'s size-based pruning) shows that
+*threshold* queries admit aggressive candidate pruning an exact
+all-pairs engine never exploits.  :class:`SimilarityIndex` answers
+``J(query, genome) >= t`` (and top-``k``) queries over an
+:class:`~repro.service.store.IndexStore` through a **cascading filter**
+whose stages discard candidates strictly before the expensive exact
+verification:
+
+1. **size-ratio bound** (exact, never wrong):
+   ``J(A, B) >= t  =>  t * |A| <= |B| <= |A| / t`` — because
+   ``J <= min(|A|,|B|) / max(|A|,|B|)``.  Candidate sizes live in the
+   manifest, so this stage costs one comparison per candidate.
+2. **sketch prefilter** (conservative at the configured confidence):
+   the stored sketches (PR 4's MinHash / b-bit / HLL families) give an
+   estimate ``est`` with an analytic 95% additive bound ``eps``; a
+   candidate is pruned only when ``est + eps < t``, so no true positive
+   is pruned while the estimate honours its bound.
+3. **exact verification** on the survivors only: a sorted-array
+   intersection against the stored values, exactly what a brute-force
+   pass would compute for every candidate.
+
+Every stage charges the machine's :class:`~repro.runtime.cost.CostLedger`
+under a ``query:*`` kernel label (``query:size``, ``query:sketch``,
+``query:verify``), so the serving cost is accounted like any other
+kernel.  Results are memoized in an LRU :class:`~repro.service.cache.QueryCache`
+keyed on the query digest and the store version (any index mutation
+invalidates every cached answer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.baselines.exact import intersection_size_sorted
+from repro.core.config import QUERY_PREFILTERS, SimilarityConfig
+from repro.core.sketch import (
+    SKETCH_ESTIMATORS,
+    estimate_bbit_jaccard,
+    hll_cardinality,
+    make_sketch,
+    sketch_error_bound,
+    unpack_lanes,
+)
+from repro.runtime.engine import Machine
+from repro.runtime.machine import laptop
+from repro.service.cache import CacheStats, QueryCache
+from repro.service.store import IndexStore, StoreError, _as_values
+
+#: Tolerance of the threshold comparisons: protects the exact-equality
+#: guarantee against float rounding in ``t * |A|``-style products, far
+#: below any meaningful similarity difference.
+_EPS = 1e-12
+
+
+# ---- the exact size-ratio bound ------------------------------------------
+
+
+def size_ratio_window(size: int, threshold: float) -> tuple[int, int]:
+    """The ``|B|`` window compatible with ``J(A, B) >= threshold``.
+
+    ``J <= min(|A|,|B|) / max(|A|,|B|)``, so ``J >= t`` forces
+    ``t * |A| <= |B| <= |A| / t`` (for ``t > 0``); a threshold of 0
+    admits every size, and an empty query only matches empty genomes.
+
+    >>> size_ratio_window(100, 0.5)
+    (50, 200)
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    if threshold == 0.0:
+        return (0, int(np.iinfo(np.int64).max))
+    if size == 0:
+        return (0, 0)
+    lo = int(math.ceil(threshold * size - _EPS))
+    hi = int(math.floor(size / threshold + _EPS))
+    return lo, hi
+
+
+def size_ratio_mask(
+    sizes: np.ndarray, size: int, threshold: float
+) -> np.ndarray:
+    """Vectorized :func:`size_ratio_window` membership test."""
+    lo, hi = size_ratio_window(size, threshold)
+    sizes = np.asarray(sizes)
+    return (sizes >= lo) & (sizes <= hi)
+
+
+def exact_jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Exact J of two sorted unique value arrays (J(0, 0) = 1).
+
+    The intersection count comes from the baselines' one-pass
+    ``searchsorted`` scan — ``O(min log max)``, no materialized
+    intersection array — since this sits on the query engine's hot
+    verify path.
+    """
+    if a.size == 0 and b.size == 0:
+        return 1.0
+    if a.size == 0 or b.size == 0:
+        return 0.0
+    inter = intersection_size_sorted(a, b)
+    return inter / (a.size + b.size - inter)
+
+
+# ---- results --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One qualifying genome: its name, store position, and exact J."""
+
+    name: str
+    index: int
+    similarity: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one threshold/top-k query produced.
+
+    ``matches`` is sorted by descending similarity (ties by ascending
+    store position).  The ``n_*`` counters expose the cascade funnel:
+    ``n_candidates >= n_after_size >= n_after_sketch == n_verified``.
+    """
+
+    matches: tuple[QueryMatch, ...]
+    threshold: float | None
+    top_k: int | None
+    prefilter: str
+    estimator: str
+    error_bound: float | None
+    n_candidates: int
+    n_after_size: int
+    n_after_sketch: int
+    store_version: int
+    simulated_seconds: float
+    from_cache: bool = False
+    cache_stats: CacheStats | None = field(default=None, compare=False)
+
+    @property
+    def n_verified(self) -> int:
+        """Exact verifications the cascade paid for."""
+        return self.n_after_sketch
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Candidates per exact verification (1.0 = brute force)."""
+        return self.n_candidates / max(self.n_verified, 1)
+
+    @property
+    def names(self) -> list[str]:
+        return [m.name for m in self.matches]
+
+    def summary(self) -> str:
+        what = []
+        if self.threshold is not None:
+            what.append(f"threshold={self.threshold:g}")
+        if self.top_k is not None:
+            what.append(f"top_k={self.top_k}")
+        bound = (
+            f" (95% bound +/- {self.error_bound:.4f})"
+            if self.error_bound is not None
+            else ""
+        )
+        lines = [
+            f"query [{' '.join(what)}]: {len(self.matches)} match(es), "
+            f"prefilter={self.prefilter} estimator={self.estimator}{bound}",
+            f"cascade: {self.n_candidates} candidate(s) -> "
+            f"{self.n_after_size} after size bound -> "
+            f"{self.n_after_sketch} verified exactly "
+            f"({self.pruning_ratio:.1f}x pruning)",
+            f"store version {self.store_version}, simulated "
+            f"{self.simulated_seconds:.6f}s"
+            + (" [served from cache]" if self.from_cache else ""),
+        ]
+        if self.cache_stats is not None:
+            lines.append(f"cache: {self.cache_stats}")
+        return "\n".join(lines)
+
+
+# ---- the serving engine ---------------------------------------------------
+
+
+class SimilarityIndex:
+    """Threshold / top-k query engine over an :class:`IndexStore`.
+
+    Parameters
+    ----------
+    store:
+        The persistent index to serve from.
+    machine:
+        The simulated machine whose ledger the ``query:*`` kernels are
+        charged to; defaults to a 4-rank laptop (queries execute on one
+        serving rank).
+    config:
+        ``query_prefilter`` selects the cascade depth (``"off"`` =
+        brute-force exact, ``"size"`` = size bound only — both exact
+        unconditionally; ``"cascade"`` adds the sketch prefilter, exact
+        at the sketches' 95% confidence), ``query_cache_size`` sizes
+        the LRU result cache, and ``estimator`` picks the stored sketch
+        family the prefilter uses (``"exact"`` falls back to the
+        store's first family).
+    """
+
+    def __init__(
+        self,
+        store: IndexStore,
+        machine: Machine | None = None,
+        config: SimilarityConfig | None = None,
+    ):
+        self.store = store
+        self.machine = machine if machine is not None else Machine(laptop(4))
+        self.config = config if config is not None else SimilarityConfig()
+        if self.config.query_prefilter not in QUERY_PREFILTERS:
+            raise ValueError(
+                f"query_prefilter must be one of {QUERY_PREFILTERS}, "
+                f"got {self.config.query_prefilter!r}"
+            )
+        self.cache = QueryCache(self.config.query_cache_size)
+        self._cached_version: int | None = None
+        self._payloads: dict[str, list[np.ndarray]] = {}
+        self._values: dict[int, np.ndarray] = {}
+
+    # ---- configuration ------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        """The stored sketch family the prefilter estimates with."""
+        est = self.config.estimator
+        if est in SKETCH_ESTIMATORS:
+            if est not in self.store.families:
+                raise StoreError(
+                    f"estimator {est!r} is not stored in this index "
+                    f"(stored families: {self.store.families})"
+                )
+            return est
+        return self.store.families[0]
+
+    @property
+    def error_bound(self) -> float:
+        """Analytic 95% additive bound of the prefilter estimates."""
+        return sketch_error_bound(
+            self.family, self.store.sketch_size, self.store.sketch_bits
+        )
+
+    # ---- public API ----------------------------------------------------
+
+    def query(
+        self,
+        values=None,
+        name: str | None = None,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        """Query by values or by the name of an indexed genome."""
+        if (values is None) == (name is None):
+            raise ValueError("pass exactly one of values or name")
+        if name is not None:
+            return self.query_name(name, threshold=threshold, top_k=top_k)
+        return self.query_values(values, threshold=threshold, top_k=top_k)
+
+    def query_name(
+        self,
+        name: str,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        """Query an indexed genome against the rest of the index."""
+        return self.query_values(
+            self.store.load_values(name),
+            threshold=threshold,
+            top_k=top_k,
+            exclude_name=name,
+        )
+
+    def query_values(
+        self,
+        values,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        exclude_name: str | None = None,
+    ) -> QueryResult:
+        """Run the cascade for one query set of attribute values."""
+        vals = _as_values(values)
+        if vals.size and (vals[0] < 0 or vals[-1] >= self.store.m):
+            raise ValueError(
+                f"query values outside [0, {self.store.m})"
+            )
+        if threshold is None and top_k is None:
+            raise ValueError("pass threshold, top_k, or both")
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        if top_k is not None and top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        prefilter = self.config.query_prefilter
+        # The sketch family only matters (and is only required to be
+        # stored) when the cascade's sketch stage will actually run.
+        family = self.family if prefilter == "cascade" else None
+        key = (
+            hashlib.sha256(vals.tobytes()).hexdigest(),
+            int(vals.size), threshold, top_k, prefilter,
+            family, exclude_name, self.store.version,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return replace(
+                cached, from_cache=True, cache_stats=self.cache.stats
+            )
+        result = self._run_cascade(
+            vals, threshold, top_k, prefilter, family, exclude_name
+        )
+        self.cache.put(key, result)
+        return replace(result, cache_stats=self.cache.stats)
+
+    # ---- the cascade ---------------------------------------------------
+
+    def _run_cascade(
+        self,
+        vals: np.ndarray,
+        threshold: float | None,
+        top_k: int | None,
+        prefilter: str,
+        family: str | None,
+        exclude_name: str | None,
+    ) -> QueryResult:
+        machine = self.machine
+        serving = machine.world.sub([0])
+        names = self.store.names
+        sizes = self.store.sizes()
+        cand = np.arange(len(names), dtype=np.int64)
+        if exclude_name is not None:
+            cand = cand[cand != names.index(exclude_name)]
+        n_candidates = int(cand.size)
+        before = machine.ledger.snapshot()
+        with machine.phase("query"):
+            # Stage 1: the exact size-ratio bound (needs a threshold).
+            if (
+                threshold is not None
+                and prefilter in ("size", "cascade")
+                and cand.size
+            ):
+                serving.charge_compute(
+                    float(cand.size), kernel="query:size"
+                )
+                cand = cand[
+                    size_ratio_mask(sizes[cand], int(vals.size), threshold)
+                ]
+            n_after_size = int(cand.size)
+
+            # Stage 2: the sketch prefilter (conservative at 95%).
+            bound = (
+                sketch_error_bound(
+                    family, self.store.sketch_size, self.store.sketch_bits
+                )
+                if family is not None
+                else None
+            )
+            if family is not None and cand.size:
+                est = self._sketch_estimates(vals, cand, sizes, family)
+                serving.charge_compute(
+                    float(cand.size) * self.store.sketch_size,
+                    kernel="query:sketch",
+                )
+                if threshold is not None:
+                    keep = est + bound >= threshold - _EPS
+                    cand, est = cand[keep], est[keep]
+                if top_k is not None and cand.size > top_k:
+                    lower = est - bound
+                    kth = np.partition(lower, -top_k)[-top_k]
+                    keep = est + bound >= kth - _EPS
+                    cand, est = cand[keep], est[keep]
+            n_after_sketch = int(cand.size)
+
+            # Stage 3: exact verification of the survivors.
+            sims = np.array(
+                [
+                    exact_jaccard(vals, self._genome_values(int(i)))
+                    for i in cand
+                ],
+                dtype=np.float64,
+            )
+            if cand.size:
+                serving.charge_compute(
+                    float(vals.size * cand.size + sizes[cand].sum()),
+                    kernel="query:verify",
+                )
+            if threshold is not None and cand.size:
+                sel = sims >= threshold
+                cand, sims = cand[sel], sims[sel]
+            order = np.lexsort((cand, -sims))
+            cand, sims = cand[order], sims[order]
+            if top_k is not None:
+                cand, sims = cand[:top_k], sims[:top_k]
+        cost = machine.ledger.diff(before)
+        return QueryResult(
+            matches=tuple(
+                QueryMatch(
+                    name=names[int(i)], index=int(i), similarity=float(s)
+                )
+                for i, s in zip(cand, sims)
+            ),
+            threshold=threshold,
+            top_k=top_k,
+            prefilter=prefilter,
+            estimator=family if family is not None else "exact",
+            error_bound=bound,
+            n_candidates=n_candidates,
+            n_after_size=n_after_size,
+            n_after_sketch=n_after_sketch,
+            store_version=self.store.version,
+            simulated_seconds=cost.simulated_seconds,
+        )
+
+    # ---- sketch estimation ----------------------------------------------
+
+    def _refresh(self) -> None:
+        if self._cached_version != self.store.version:
+            self._payloads.clear()
+            self._values.clear()
+            self._cached_version = self.store.version
+
+    def _genome_values(self, index: int) -> np.ndarray:
+        self._refresh()
+        if index not in self._values:
+            self._values[index] = self.store.load_values(
+                self.store.names[index]
+            )
+        return self._values[index]
+
+    def _family_payloads(self, family: str) -> list[np.ndarray]:
+        self._refresh()
+        if family not in self._payloads:
+            self._payloads[family] = [
+                self.store.load_sketch_payload(name, family)
+                for name in self.store.names
+            ]
+        return self._payloads[family]
+
+    def _sketch_estimates(
+        self, vals: np.ndarray, cand: np.ndarray, sizes: np.ndarray,
+        family: str,
+    ) -> np.ndarray:
+        """Per-candidate J estimates from the stored sketch family."""
+        store = self.store
+        sk = make_sketch(
+            family, store.sketch_size, store.sketch_bits, store.sketch_seed
+        )
+        sk.update(vals)
+        payloads = self._family_payloads(family)
+        if family == "minhash":
+            est = self._estimate_minhash(
+                sk.hashes, [payloads[int(i)] for i in cand],
+                store.sketch_size,
+            )
+        elif family == "bbit_minhash":
+            fps = np.stack(
+                [
+                    unpack_lanes(
+                        payloads[int(i)], store.sketch_bits,
+                        store.sketch_size,
+                    )
+                    for i in cand
+                ]
+            )
+            matches = (fps == sk.fingerprints()[None, :]).mean(axis=1)
+            est = np.array(
+                [
+                    estimate_bbit_jaccard(float(m), store.sketch_bits)
+                    for m in matches
+                ]
+            )
+        else:
+            regs = np.stack([payloads[int(i)] for i in cand])
+            unions = np.maximum(
+                hll_cardinality(np.maximum(regs, sk.registers[None, :])),
+                1e-12,
+            )
+            inter = vals.size + sizes[cand].astype(np.float64) - unions
+            est = np.clip(inter / unions, 0.0, 1.0)
+        # Exact empty-set rules override any estimate.
+        cand_sizes = sizes[cand]
+        if vals.size == 0:
+            est = np.where(cand_sizes == 0, 1.0, 0.0)
+        else:
+            est = np.where(cand_sizes == 0, 0.0, est)
+        return est
+
+    @staticmethod
+    def _estimate_minhash(
+        qh: np.ndarray, hashes: list[np.ndarray], size: int
+    ) -> np.ndarray:
+        out = np.empty(len(hashes), dtype=np.float64)
+        for i, h in enumerate(hashes):
+            if qh.size == 0 and h.size == 0:
+                out[i] = 1.0
+                continue
+            union = np.union1d(qh, h)[:size]
+            if union.size == 0:
+                out[i] = 1.0
+                continue
+            both = (
+                np.isin(union, qh, assume_unique=True)
+                & np.isin(union, h, assume_unique=True)
+            ).sum()
+            out[i] = both / union.size
+        return out

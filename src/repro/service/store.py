@@ -1,0 +1,483 @@
+"""Versioned on-disk similarity index store (the persistence layer).
+
+The batch engine computes an all-pairs result that dies with the
+process; the serving layer persists it.  An :class:`IndexStore` is a
+directory holding
+
+* ``manifest.json`` — format version, a monotonically increasing
+  **store version** (bumped on every mutation; query caches key on it),
+  the attribute-space size ``m``, the wire-codec policy, the sketch
+  configuration, arbitrary metadata (e.g. ``k`` for genomic stores),
+  and one entry per genome (name, shard file, exact distinct-value
+  count, tombstone flag);
+* ``shards/<id>.bin`` — one shard per genome: the genome's sorted
+  attribute values (its packed indicator column) followed by its
+  sketches, each persisted as a **codec frame** from
+  :mod:`repro.runtime.codec` — the store rides the exact varint / RLE /
+  adaptive policies the wire uses, so a sorted k-mer column is stored
+  delta+varint-compressed, not raw;
+* ``gram.bin`` — optionally, the persisted all-pairs result: the exact
+  intersection-count matrix ``B`` and size vector ``a-hat`` over a
+  recorded genome order (what :mod:`repro.service.incremental` merges
+  border blocks into).
+
+Shard files are sequences of length-prefixed frame records
+(``<u64 little-endian frame length><frame bytes>``); the frame headers
+are self-describing, so a shard can be decoded with no side channel
+beyond the record order, which is fixed per store (values first, then
+one sketch per configured family).
+
+``remove`` only tombstones an entry (and drops its row/column from the
+stored Gram, which is exact); ``compact`` rewrites the store without
+the tombstoned shards.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch
+from repro.runtime.codec import WIRE_CODECS, decode_frame, encode_frame
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+GRAM_NAME = "gram.bin"
+
+#: On-disk layout revision of the store itself (not the store version).
+FORMAT_VERSION = 1
+
+_LEN = struct.Struct("<Q")
+
+
+class StoreError(ValueError):
+    """A malformed store directory or an invalid store operation."""
+
+
+# ---- length-prefixed frame records ---------------------------------------
+
+
+def write_records(path: Path, payloads: list, policy: str) -> int:
+    """Encode each payload as a codec frame; write length-prefixed records.
+
+    Returns the number of bytes written.  ``policy`` is a
+    :data:`~repro.runtime.codec.WIRE_CODECS` name; ``"raw"`` stores
+    unencoded frames (still self-describing).
+    """
+    blob = bytearray()
+    for payload in payloads:
+        frame = encode_frame(payload, policy)
+        blob += _LEN.pack(frame.nbytes)
+        blob += frame.data
+    path.write_bytes(bytes(blob))
+    return len(blob)
+
+
+def read_records(path: Path) -> list:
+    """Decode every length-prefixed frame record of a shard file."""
+    blob = path.read_bytes()
+    out = []
+    offset = 0
+    while offset < len(blob):
+        if offset + _LEN.size > len(blob):
+            raise StoreError(f"{path}: truncated record length at {offset}")
+        (length,) = _LEN.unpack_from(blob, offset)
+        offset += _LEN.size
+        if offset + length > len(blob):
+            raise StoreError(f"{path}: truncated record body at {offset}")
+        out.append(decode_frame(bytes(blob[offset : offset + length])))
+        offset += length
+    return out
+
+
+def read_record(path: Path, index: int):
+    """Decode only record ``index``, seeking past earlier records unread.
+
+    The length prefixes make skipping free — loading one genome's
+    sketch payload does not pay for decoding its (much larger) value
+    column.
+    """
+    with path.open("rb") as f:
+        for skipped in range(index):
+            header = f.read(_LEN.size)
+            if len(header) < _LEN.size:
+                raise StoreError(
+                    f"{path}: holds only {skipped} record(s), "
+                    f"need index {index}"
+                )
+            (length,) = _LEN.unpack(header)
+            f.seek(length, 1)
+        header = f.read(_LEN.size)
+        if len(header) < _LEN.size:
+            raise StoreError(
+                f"{path}: holds only {index} record(s), need index {index}"
+            )
+        (length,) = _LEN.unpack(header)
+        body = f.read(length)
+        if len(body) < length:
+            raise StoreError(f"{path}: truncated record body at {f.tell()}")
+        return decode_frame(body)
+
+
+def _as_values(values) -> np.ndarray:
+    """Coerce any iterable of non-negative ints to sorted unique int64."""
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.int64, copy=False)
+    else:
+        arr = np.asarray(sorted(values), dtype=np.int64)
+    return np.unique(arr)
+
+
+@dataclass
+class GenomeEntry:
+    """One genome's manifest record."""
+
+    name: str
+    shard: str
+    n_values: int
+    removed: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "shard": self.shard,
+            "n_values": self.n_values,
+            "removed": self.removed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GenomeEntry":
+        return cls(
+            name=str(data["name"]),
+            shard=str(data["shard"]),
+            n_values=int(data["n_values"]),
+            removed=bool(data["removed"]),
+        )
+
+
+@dataclass
+class IndexStore:
+    """A directory of codec-framed genome shards plus a manifest.
+
+    ``families`` names the sketch estimators persisted per genome (in
+    shard record order, after the values record); the query engine's
+    sketch prefilter can use any stored family.
+    """
+
+    root: Path
+    m: int
+    codec: str
+    sketch_size: int
+    sketch_bits: int
+    sketch_seed: int
+    families: tuple[str, ...]
+    metadata: dict
+    entries: list[GenomeEntry] = field(default_factory=list)
+    version: int = 0
+    next_shard: int = 0
+    gram_names: list[str] | None = None
+
+    # ---- lifecycle ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        m: int,
+        codec: str = "adaptive",
+        sketch_size: int = 256,
+        sketch_bits: int = 8,
+        sketch_seed: int = 0,
+        families: tuple[str, ...] = SKETCH_ESTIMATORS,
+        metadata: dict | None = None,
+    ) -> "IndexStore":
+        root = Path(root)
+        if (root / MANIFEST_NAME).exists():
+            raise StoreError(f"an index store already exists at {root}")
+        if m <= 0:
+            raise StoreError(f"m must be positive, got {m}")
+        if codec not in WIRE_CODECS:
+            raise StoreError(
+                f"codec must be one of {WIRE_CODECS}, got {codec!r}"
+            )
+        families = tuple(families)
+        for fam in families:
+            if fam not in SKETCH_ESTIMATORS:
+                raise StoreError(
+                    f"sketch family must be one of {SKETCH_ESTIMATORS}, "
+                    f"got {fam!r}"
+                )
+        if not families:
+            raise StoreError("need at least one sketch family")
+        (root / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        store = cls(
+            root=root, m=int(m), codec=codec,
+            sketch_size=int(sketch_size), sketch_bits=int(sketch_bits),
+            sketch_seed=int(sketch_seed), families=families,
+            metadata=dict(metadata or {}),
+        )
+        store._save_manifest()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "IndexStore":
+        root = Path(root)
+        manifest = root / MANIFEST_NAME
+        if not manifest.exists():
+            raise StoreError(f"no index store at {root}")
+        meta = json.loads(manifest.read_text())
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise StoreError(
+                f"{root}: unsupported store format "
+                f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
+            )
+        return cls(
+            root=root,
+            m=int(meta["m"]),
+            codec=str(meta["codec"]),
+            sketch_size=int(meta["sketch"]["size"]),
+            sketch_bits=int(meta["sketch"]["bits"]),
+            sketch_seed=int(meta["sketch"]["seed"]),
+            families=tuple(meta["families"]),
+            metadata=dict(meta["metadata"]),
+            entries=[GenomeEntry.from_json(e) for e in meta["genomes"]],
+            version=int(meta["version"]),
+            next_shard=int(meta["next_shard"]),
+            gram_names=(
+                list(meta["gram_names"])
+                if meta.get("gram_names") is not None
+                else None
+            ),
+        )
+
+    def _save_manifest(self) -> None:
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "version": self.version,
+            "m": self.m,
+            "codec": self.codec,
+            "sketch": {
+                "size": self.sketch_size,
+                "bits": self.sketch_bits,
+                "seed": self.sketch_seed,
+            },
+            "families": list(self.families),
+            "metadata": self.metadata,
+            "genomes": [e.to_json() for e in self.entries],
+            "next_shard": self.next_shard,
+            "gram_names": self.gram_names,
+        }
+        (self.root / MANIFEST_NAME).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+
+    def _bump(self) -> None:
+        self.version += 1
+        self._save_manifest()
+
+    # ---- views --------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Live genome names, in stable (append) order."""
+        return [e.name for e in self.entries if not e.removed]
+
+    @property
+    def live_entries(self) -> list[GenomeEntry]:
+        return [e for e in self.entries if not e.removed]
+
+    @property
+    def n_genomes(self) -> int:
+        return len(self.live_entries)
+
+    def sizes(self) -> np.ndarray:
+        """Exact distinct-value counts of the live genomes, in order."""
+        return np.array(
+            [e.n_values for e in self.live_entries], dtype=np.int64
+        )
+
+    def _entry(self, name: str) -> GenomeEntry:
+        for e in self.entries:
+            if e.name == name and not e.removed:
+                return e
+        raise KeyError(f"unknown genome {name!r}")
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of the live shards (encoded frames)."""
+        return sum(
+            (self.root / e.shard).stat().st_size for e in self.live_entries
+        )
+
+    # ---- content ------------------------------------------------------
+
+    def append(self, name: str, values) -> GenomeEntry:
+        """Persist one genome's values + sketches as a new shard."""
+        return self.append_many([(name, values)])[0]
+
+    def append_many(self, named_values) -> list[GenomeEntry]:
+        """Persist a batch of ``(name, values)`` pairs as one mutation.
+
+        The whole batch is validated (unique names, in-range values)
+        before any shard is written, so a bad genome anywhere in the
+        list leaves the store untouched; the manifest is saved once,
+        with a single version bump.
+        """
+        clean: list[tuple[str, np.ndarray]] = []
+        seen = {e.name for e in self.entries if not e.removed}
+        for name, values in named_values:
+            if name in seen:
+                raise StoreError(f"genome {name!r} already present")
+            seen.add(name)
+            vals = _as_values(values)
+            if vals.size and (vals[0] < 0 or vals[-1] >= self.m):
+                raise StoreError(
+                    f"genome {name!r} has values outside [0, {self.m})"
+                )
+            clean.append((name, vals))
+        if not clean:
+            return []
+        new_entries = []
+        for name, vals in clean:
+            payloads: list = [vals]
+            for fam in self.families:
+                sk = make_sketch(
+                    fam, self.sketch_size, self.sketch_bits,
+                    self.sketch_seed,
+                )
+                sk.update(vals)
+                payloads.append(self._sketch_payload(fam, sk))
+            shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
+            write_records(self.root / shard, payloads, self.codec)
+            entry = GenomeEntry(
+                name=name, shard=shard, n_values=int(vals.size)
+            )
+            self.entries.append(entry)
+            self.next_shard += 1
+            new_entries.append(entry)
+        self._bump()
+        return new_entries
+
+    @staticmethod
+    def _sketch_payload(family: str, sketch) -> np.ndarray:
+        if family == "minhash":
+            return sketch.hashes
+        if family == "bbit_minhash":
+            return sketch.packed()
+        return sketch.registers
+
+    def load_values(self, name: str) -> np.ndarray:
+        """A genome's sorted attribute values (decoded from its shard)."""
+        return read_record(self.root / self._entry(name).shard, 0)
+
+    def load_sketch_payload(self, name: str, family: str) -> np.ndarray:
+        """A genome's stored sketch payload for one family.
+
+        Decodes only the requested record — the value column before it
+        is seeked past, not decoded.
+        """
+        if family not in self.families:
+            raise StoreError(
+                f"family {family!r} not stored (store holds {self.families})"
+            )
+        idx = 1 + self.families.index(family)
+        return read_record(self.root / self._entry(name).shard, idx)
+
+    def remove(self, name: str) -> None:
+        """Tombstone a genome; its Gram row/column is dropped exactly."""
+        entry = self._entry(name)
+        if self.gram_names is not None and name in self.gram_names:
+            inter, sizes, names = self._read_gram()
+            keep = [i for i, n in enumerate(names) if n != name]
+            self._write_gram(
+                inter[np.ix_(keep, keep)], sizes[keep],
+                [names[i] for i in keep],
+            )
+        entry.removed = True
+        self._bump()
+
+    def compact(self) -> int:
+        """Drop tombstoned shards from disk; returns shards reclaimed."""
+        dead = [e for e in self.entries if e.removed]
+        for e in dead:
+            (self.root / e.shard).unlink(missing_ok=True)
+        self.entries = [e for e in self.entries if not e.removed]
+        if dead:
+            self._bump()
+        return len(dead)
+
+    # ---- the persisted all-pairs result -------------------------------
+
+    def set_gram(
+        self,
+        intersections: np.ndarray,
+        sizes: np.ndarray,
+        names: list[str] | None = None,
+    ) -> None:
+        """Persist the exact all-pairs intersection matrix + sizes."""
+        names = list(names) if names is not None else self.names
+        inter = np.ascontiguousarray(intersections, dtype=np.int64)
+        szs = np.ascontiguousarray(sizes, dtype=np.int64)
+        n = len(names)
+        if inter.shape != (n, n):
+            raise StoreError(
+                f"intersections shape {inter.shape} does not match "
+                f"{n} genome(s)"
+            )
+        if szs.shape != (n,):
+            raise StoreError(
+                f"sizes shape {szs.shape} does not match {n} genome(s)"
+            )
+        self._write_gram(inter, szs, names)
+        self._bump()
+
+    def _write_gram(
+        self, inter: np.ndarray, sizes: np.ndarray, names: list[str]
+    ) -> None:
+        write_records(self.root / GRAM_NAME, [inter, sizes], self.codec)
+        self.gram_names = list(names)
+
+    def _read_gram(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        if self.gram_names is None:
+            raise StoreError("store holds no persisted Gram result")
+        inter, sizes = read_records(self.root / GRAM_NAME)
+        return inter, sizes, list(self.gram_names)
+
+    def gram(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """The stored ``(intersections, sizes, names)`` triple."""
+        return self._read_gram()
+
+    @property
+    def has_gram(self) -> bool:
+        return self.gram_names is not None
+
+    @property
+    def gram_current(self) -> bool:
+        """Whether the stored Gram covers exactly the live genomes."""
+        return self.gram_names is not None and self.gram_names == self.names
+
+    # ---- engine bridge -------------------------------------------------
+
+    def as_source(self):
+        """A batched indicator source over the live genomes."""
+        from repro.core.indicator import SetSource
+
+        if not self.live_entries:
+            raise StoreError("index store is empty")
+        return SetSource(
+            [self.load_values(n) for n in self.names], m=self.m
+        )
+
+    def summary(self) -> str:
+        gram = "current" if self.gram_current else (
+            "stale" if self.has_gram else "absent"
+        )
+        return (
+            f"IndexStore at {self.root}: {self.n_genomes} genome(s), "
+            f"m={self.m}, codec={self.codec}, "
+            f"families={'/'.join(self.families)}, version={self.version}, "
+            f"gram {gram}, {self.total_bytes()} shard byte(s)"
+        )

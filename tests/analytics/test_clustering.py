@@ -7,7 +7,9 @@ from repro.analytics.clustering import (
     hierarchical_clusters,
     jaccard_kmedoids,
     proximity_outliers,
+    threshold_clusters,
 )
+from repro.core.similarity import jaccard_similarity
 
 
 @pytest.fixture
@@ -61,6 +63,71 @@ class TestHierarchical:
     def test_linkage_validated(self, two_groups):
         with pytest.raises(ValueError, match="linkage"):
             hierarchical_clusters(two_groups, 2, linkage="ward")
+
+
+def brute_force_threshold_clusters(samples, threshold):
+    """Reference: connected components from the full all-pairs scan."""
+    sim = jaccard_similarity(list(samples)).similarity
+    n = sim.shape[0]
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if sim[i, j] >= threshold:
+                parent[find(j)] = find(i)
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for i in range(n):
+        root = find(i)
+        if labels[root] < 0:
+            labels[root] = next_label
+            next_label += 1
+        labels[i] = labels[root]
+    return labels
+
+
+class TestThresholdClusters:
+    """The size-ratio-pruned sweep must equal the all-pairs scan."""
+
+    @pytest.mark.parametrize("threshold", [0.1, 0.3, 0.5, 0.8, 1.0])
+    def test_identical_to_all_pairs_scan(self, two_groups, threshold):
+        pruned = threshold_clusters(two_groups, threshold)
+        brute = brute_force_threshold_clusters(two_groups, threshold)
+        assert np.array_equal(pruned, brute)
+
+    def test_identical_on_random_families(self, rng):
+        samples = [
+            set(rng.integers(0, 200, size=rng.integers(0, 40)).tolist())
+            for _ in range(24)
+        ]
+        for threshold in (0.05, 0.2, 0.6):
+            assert np.array_equal(
+                threshold_clusters(samples, threshold),
+                brute_force_threshold_clusters(samples, threshold),
+            )
+
+    def test_separates_groups(self, two_groups):
+        labels = threshold_clusters(two_groups, 0.5)
+        assert len(set(labels[:6].tolist())) == 1
+        assert len(set(labels[6:].tolist())) == 1
+        assert labels[0] != labels[6]
+
+    def test_empty_sets_cluster_together(self):
+        labels = threshold_clusters([set(), {1, 2}, set()], 0.5)
+        assert labels[0] == labels[2]
+        assert labels[0] != labels[1]
+
+    def test_threshold_validated(self, two_groups):
+        with pytest.raises(ValueError, match="threshold"):
+            threshold_clusters(two_groups, 0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            threshold_clusters(two_groups, 1.5)
 
 
 class TestOutliers:

@@ -67,3 +67,125 @@ class TestEndToEnd:
             report.split("estimated J +/- ")[1].split(" at 95%")[0]
         )
         assert np.abs(exact - approx).max() <= bound
+
+
+class TestIndexSubcommands:
+    """build -> add -> query through the CLI, vs a fresh exact run."""
+
+    FASTAS = sorted(SMOKE_FASTA.glob("*.fasta"))
+
+    def test_build_add_query_threshold(self, tmp_path, capsys):
+        index = tmp_path / "idx"
+        rc = main(
+            ["index", "build", *map(str, self.FASTAS[:3]),
+             "--index", str(index)]
+        )
+        assert rc == 0
+        rc = main(
+            ["index", "add", str(self.FASTAS[3]), "--index", str(index)]
+        )
+        assert rc == 0
+        out_json = tmp_path / "q.json"
+        rc = main(
+            ["index", "query", str(self.FASTAS[0]), "--index", str(index),
+             "--threshold", "0.1", "--json", str(out_json)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        import json
+
+        result = json.loads(out_json.read_text())
+
+        # Reference: the batch engine over the same four files.
+        out = tmp_path / "exact"
+        rc = main(
+            [*map(str, self.FASTAS), "-o", str(out), "--tree", "none"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        sim = np.load(out / "similarity.npy")
+        names = [p.stem for p in self.FASTAS]
+        expected = sorted(
+            (
+                (names[j], float(sim[0, j]))
+                for j in range(len(names))
+                if sim[0, j] >= 0.1
+            ),
+            key=lambda pair: -pair[1],
+        )
+        got = [(m["name"], m["similarity"]) for m in result["matches"]]
+        assert [n for n, _ in got] == [n for n, _ in expected]
+        for (_, gs), (_, es) in zip(got, expected):
+            assert gs == pytest.approx(es, abs=1e-12)
+
+    def test_query_top_k(self, tmp_path, capsys):
+        index = tmp_path / "idx"
+        assert main(
+            ["index", "build", *map(str, self.FASTAS), "--index", str(index)]
+        ) == 0
+        assert main(
+            ["index", "query", str(self.FASTAS[1]), "--index", str(index),
+             "--top-k", "2"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "top_k=2" in text
+        assert "sample_b" in text  # the stored copy of the query itself
+
+    def test_query_requires_threshold_or_top_k(self, tmp_path, capsys):
+        index = tmp_path / "idx"
+        assert main(
+            ["index", "build", str(self.FASTAS[0]), "--index", str(index)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="threshold"):
+            main(
+                ["index", "query", str(self.FASTAS[0]),
+                 "--index", str(index)]
+            )
+
+    def test_batch_run_over_directory_named_index(self, tmp_path, capsys):
+        """A FASTA directory literally named "index" stays a batch run."""
+        import shutil
+
+        fasta_dir = tmp_path / "index"
+        fasta_dir.mkdir()
+        for p in self.FASTAS[:2]:
+            shutil.copy(p, fasta_dir / p.name)
+        cwd = tmp_path
+        out = tmp_path / "out"
+        import os
+
+        old = os.getcwd()
+        os.chdir(cwd)
+        try:
+            rc = main(["index", "-o", str(out), "--tree", "none"])
+        finally:
+            os.chdir(old)
+        assert rc == 0
+        capsys.readouterr()
+        assert (out / "similarity.npy").exists()
+
+    def test_index_k_mismatch_rejected(self, tmp_path, capsys):
+        index = tmp_path / "idx"
+        assert main(
+            ["index", "build", str(self.FASTAS[0]), "--index", str(index),
+             "-k", "21"]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="k="):
+            main(
+                ["index", "query", str(self.FASTAS[0]),
+                 "--index", str(index), "-k", "31", "--threshold", "0.5"]
+            )
+
+    def test_query_rejects_directory_input(self, tmp_path, capsys):
+        index = tmp_path / "idx"
+        assert main(
+            ["index", "build", *map(str, self.FASTAS), "--index", str(index)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                ["index", "query", str(SMOKE_FASTA), "--index", str(index),
+                 "--threshold", "0.5"]
+            )

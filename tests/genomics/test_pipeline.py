@@ -121,3 +121,41 @@ class TestCli:
         empty.mkdir()
         with pytest.raises(SystemExit, match="no FASTA"):
             cli_main([str(empty), "-o", str(tmp_path / "out")])
+
+
+class TestIndexMethods:
+    """GenomeAtScale's bridge to the persistent serving layer."""
+
+    def test_build_extend_query_round_trip(self, cohort_dir, tmp_path):
+        _, paths, _ = cohort_dir
+        tool = GenomeAtScale(machine=Machine(laptop(2)), k=19)
+        index = tmp_path / "idx"
+        store = tool.build_index(paths[:-1], index)
+        assert store.gram_current
+        report = tool.extend_index(index, [paths[-1]])
+        assert report.n_after == len(paths)
+        result = tool.query_index(index, paths[0], threshold=0.99)
+        assert paths[0].stem in result.names  # the stored copy, J = 1
+
+    def test_config_mismatch_rejected(self, cohort_dir, tmp_path):
+        _, paths, _ = cohort_dir
+        index = tmp_path / "idx"
+        GenomeAtScale(machine=Machine(laptop(2)), k=19).build_index(
+            paths[:2], index
+        )
+        with pytest.raises(ValueError, match="k="):
+            GenomeAtScale(k=21).query_index(index, paths[0], threshold=0.5)
+        with pytest.raises(ValueError, match="canonical"):
+            GenomeAtScale(k=19, canonical=False).query_index(
+                index, paths[0], threshold=0.5
+            )
+        with pytest.raises(ValueError, match="min_count"):
+            GenomeAtScale(k=19, min_count=2).query_index(
+                index, paths[0], threshold=0.5
+            )
+        # A canonical mismatch must also refuse to extend (it would
+        # corrupt the stored Gram).
+        with pytest.raises(ValueError, match="canonical"):
+            GenomeAtScale(k=19, canonical=False).extend_index(
+                index, [paths[2]]
+            )

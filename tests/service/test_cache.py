@@ -1,0 +1,62 @@
+"""Tests for the LRU query/result cache."""
+
+import pytest
+
+from repro.service.cache import QueryCache
+
+
+class TestLRU:
+    def test_hit_miss_accounting(self):
+        cache = QueryCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = QueryCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables_retention(self):
+        cache = QueryCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_clear_keeps_counters(self):
+        cache = QueryCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryCache(-1)
+
+    def test_stats_str_mentions_rate(self):
+        cache = QueryCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        assert "hit" in str(cache.stats)

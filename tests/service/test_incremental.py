@@ -1,0 +1,178 @@
+"""Incremental adds must be bit-identical to a from-scratch rebuild."""
+
+import numpy as np
+import pytest
+
+from repro import SimilarityConfig, jaccard_similarity
+from repro.runtime.engine import Machine
+from repro.runtime.machine import laptop
+from repro.service import (
+    IndexStore,
+    StoreError,
+    add_genomes,
+    rebuild,
+    similarity_from_gram,
+)
+
+M = 2_000
+
+
+@pytest.fixture
+def sets(rng):
+    return [
+        np.unique(rng.integers(0, M, size=rng.integers(0, 120)))
+        for _ in range(9)
+    ]
+
+
+def fresh_store(tmp_path, name="idx", **kwargs):
+    kwargs.setdefault("families", ("minhash",))
+    return IndexStore.create(tmp_path / name, m=M, **kwargs)
+
+
+class TestRebuild:
+    def test_rebuild_matches_engine(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        for i, s in enumerate(sets):
+            store.append(f"g{i}", s)
+        result = rebuild(store)
+        inter, sizes, names = store.gram()
+        assert names == store.names
+        assert np.array_equal(inter, result.intersections)
+        assert np.array_equal(sizes, result.sample_sizes)
+        assert store.gram_current
+
+    def test_rebuild_rejects_sketch_config(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        store.append("g", sets[0])
+        with pytest.raises(StoreError, match="exact"):
+            rebuild(store, config=SimilarityConfig(estimator="minhash"))
+
+
+class TestIncrementalAdd:
+    @pytest.mark.parametrize("codec", ["raw", "adaptive"])
+    def test_add_bit_identical_to_rebuild(self, tmp_path, sets, codec):
+        config = SimilarityConfig(wire_codec=codec)
+        # Incremental store: 6 genomes, then add 3 more.
+        store = fresh_store(tmp_path, "inc", codec=codec)
+        for i, s in enumerate(sets[:6]):
+            store.append(f"g{i}", s)
+        rebuild(store, config=config)
+        add_genomes(
+            store,
+            [(f"g{i}", s) for i, s in enumerate(sets[6:], start=6)],
+            config=config,
+        )
+        # Reference: one engine run over all 9 genomes.
+        ref = jaccard_similarity(
+            [set(int(v) for v in s) for s in sets], config=config
+        )
+        inter, sizes, names = store.gram()
+        assert names == [f"g{i}" for i in range(9)]
+        assert np.array_equal(inter, ref.intersections)
+        assert np.array_equal(sizes, ref.sample_sizes)
+        assert np.allclose(
+            similarity_from_gram(inter, sizes), ref.similarity
+        )
+
+    def test_add_to_empty_store_is_full_gram(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        add_genomes(store, [(f"g{i}", s) for i, s in enumerate(sets[:5])])
+        ref = jaccard_similarity([set(int(v) for v in s) for s in sets[:5]])
+        inter, sizes, _ = store.gram()
+        assert np.array_equal(inter, ref.intersections)
+        assert np.array_equal(sizes, ref.sample_sizes)
+
+    def test_sequential_adds_compose(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0]), ("g1", sets[1])])
+        add_genomes(store, [("g2", sets[2])])
+        add_genomes(store, [("g3", sets[3]), ("g4", sets[4])])
+        ref = jaccard_similarity([set(int(v) for v in s) for s in sets[:5]])
+        inter, sizes, _ = store.gram()
+        assert np.array_equal(inter, ref.intersections)
+        assert np.array_equal(sizes, ref.sample_sizes)
+
+    def test_add_requires_current_gram(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        store.append("g0", sets[0])  # no gram persisted
+        with pytest.raises(StoreError, match="rebuild"):
+            add_genomes(store, [("g1", sets[1])])
+
+    def test_add_with_empty_sets(self, tmp_path):
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("a", []), ("b", [1, 2]), ("c", [])])
+        inter, sizes, _ = store.gram()
+        assert np.array_equal(sizes, [0, 2, 0])
+        assert np.array_equal(np.diag(inter), [0, 2, 0])
+        sim = similarity_from_gram(inter, sizes)
+        assert sim[0, 2] == 1.0  # J(empty, empty) = 1
+        assert sim[0, 1] == 0.0
+
+    def test_report_shape(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0])])
+        report = add_genomes(store, [("g1", sets[1]), ("g2", sets[2])])
+        assert report.added == ("g1", "g2")
+        assert report.n_before == 1
+        assert report.n_after == 3
+        assert report.border_shape == (3, 2)
+        assert report.batches >= 1
+
+    def test_border_charged_to_ledger(self, tmp_path, sets):
+        machine = Machine(laptop(4))
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0]), ("g1", sets[1])],
+                    machine=machine)
+        kernels = machine.ledger.kernel_totals
+        assert "incremental:border" in kernels
+
+    def test_empty_add_rejected(self, tmp_path):
+        store = fresh_store(tmp_path)
+        with pytest.raises(ValueError, match="at least one"):
+            add_genomes(store, [])
+
+    def test_bad_batch_leaves_store_untouched(self, tmp_path, sets):
+        """A failure anywhere in the batch must not strand the store."""
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0])])
+        version = store.version
+        with pytest.raises(StoreError, match="already present"):
+            add_genomes(store, [("g1", sets[1]), ("g0", sets[2])])
+        assert store.names == ["g0"]
+        assert store.version == version
+        assert store.gram_current
+        # The store is still addable afterwards.
+        add_genomes(store, [("g1", sets[1])])
+        assert store.names == ["g0", "g1"]
+
+    def test_out_of_range_batch_leaves_store_untouched(self, tmp_path, sets):
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0])])
+        with pytest.raises(StoreError, match="outside"):
+            add_genomes(store, [("g1", sets[1]), ("bad", [M + 1])])
+        assert store.names == ["g0"]
+        assert store.gram_current
+
+    def test_border_failure_leaves_store_unmutated(
+        self, tmp_path, sets, monkeypatch
+    ):
+        """A crash during the border compute must not strand the store."""
+        import repro.service.incremental as inc
+
+        store = fresh_store(tmp_path)
+        add_genomes(store, [("g0", sets[0])])
+        version = store.version
+
+        def boom(*args, **kwargs):
+            raise MemoryError("simulated border failure")
+
+        monkeypatch.setattr(inc, "_border_block", boom)
+        with pytest.raises(MemoryError):
+            add_genomes(store, [("g1", sets[1])])
+        assert store.names == ["g0"]
+        assert store.version == version
+        assert store.gram_current
+        monkeypatch.undo()
+        add_genomes(store, [("g1", sets[1])])  # still addable
+        assert store.names == ["g0", "g1"]

@@ -1,0 +1,332 @@
+"""Tests for the threshold/top-k query cascade.
+
+The central invariant: whatever the prefilter depth, the returned
+matches equal the brute-force exact result (the sketch stage is
+conservative, the size stage is a theorem).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimilarityConfig
+from repro.runtime.engine import Machine
+from repro.runtime.machine import laptop
+from repro.service import IndexStore, SimilarityIndex
+from repro.service.query import (
+    exact_jaccard,
+    size_ratio_mask,
+    size_ratio_window,
+)
+
+M = 3_000
+
+
+def build_index(tmp_path, sets, name="idx", **store_kwargs):
+    store_kwargs.setdefault("sketch_size", 128)
+    store = IndexStore.create(tmp_path / name, m=M, **store_kwargs)
+    for i, s in enumerate(sets):
+        store.append(f"g{i}", s)
+    return store
+
+
+def engine(store, prefilter="cascade", **config_kwargs):
+    return SimilarityIndex(
+        store,
+        config=SimilarityConfig(query_prefilter=prefilter, **config_kwargs),
+    )
+
+
+@pytest.fixture
+def family_sets(rng):
+    """Clustered sets: a few tight families plus background noise."""
+    sets = []
+    for base in range(4):
+        core = set(range(base * 300, base * 300 + 40))
+        for _ in range(4):
+            s = set(core)
+            s |= set(rng.integers(0, M, size=6).tolist())
+            sets.append(s)
+    for _ in range(8):
+        sets.append(set(rng.integers(0, M, size=rng.integers(0, 50)).tolist()))
+    return sets
+
+
+class TestSizeRatioBound:
+    def test_window_is_a_theorem(self):
+        # Any pair with J >= t must fall inside the window.
+        for a_size in (1, 10, 100):
+            for t in (0.1, 0.5, 0.9, 1.0):
+                lo, hi = size_ratio_window(a_size, t)
+                # Extremes: B subset of A at the ratio boundary.
+                assert lo <= a_size <= hi
+
+    def test_window_halfopen_cases(self):
+        assert size_ratio_window(100, 0.5) == (50, 200)
+        assert size_ratio_window(0, 0.5) == (0, 0)
+        lo, hi = size_ratio_window(100, 0.0)
+        assert lo == 0 and hi > 10**15
+
+    def test_mask_matches_window(self):
+        sizes = np.array([0, 10, 49, 50, 200, 201])
+        mask = size_ratio_mask(sizes, 100, 0.5)
+        assert mask.tolist() == [False, False, False, True, True, False]
+
+    @given(
+        a=st.integers(min_value=0, max_value=500),
+        b=st.integers(min_value=0, max_value=500),
+        t=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_excludes_a_qualifying_pair(self, a, b, t):
+        # J <= min/max, so any pair outside the window has J < t.
+        lo, hi = size_ratio_window(a, t)
+        if not lo <= b <= hi:
+            j_upper = (
+                1.0 if a == b == 0 else min(a, b) / max(a, b)
+            )
+            assert j_upper < t
+
+
+class TestExactJaccard:
+    def test_empty_rules(self):
+        e = np.empty(0, dtype=np.int64)
+        a = np.array([1, 2])
+        assert exact_jaccard(e, e) == 1.0
+        assert exact_jaccard(e, a) == 0.0
+        assert exact_jaccard(a, e) == 0.0
+
+    def test_matches_set_arithmetic(self, rng):
+        for _ in range(20):
+            a = set(rng.integers(0, 50, size=rng.integers(0, 30)).tolist())
+            b = set(rng.integers(0, 50, size=rng.integers(0, 30)).tolist())
+            expect = (
+                1.0 if not (a | b) else len(a & b) / len(a | b)
+            )
+            got = exact_jaccard(
+                np.array(sorted(a), dtype=np.int64),
+                np.array(sorted(b), dtype=np.int64),
+            )
+            assert got == pytest.approx(expect)
+
+
+class TestThresholdQueries:
+    @pytest.mark.parametrize("prefilter", ["off", "size", "cascade"])
+    @pytest.mark.parametrize("threshold", [0.1, 0.3, 0.6, 0.9])
+    def test_equals_brute_force(
+        self, tmp_path, family_sets, prefilter, threshold
+    ):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store, prefilter).query_values(
+            family_sets[0], threshold=threshold
+        )
+        ref = engine(store, "off").query_values(
+            family_sets[0], threshold=threshold
+        )
+        assert [(m.name, m.similarity) for m in res.matches] == [
+            (m.name, m.similarity) for m in ref.matches
+        ]
+
+    @pytest.mark.parametrize("family", ["minhash", "bbit_minhash", "hll"])
+    def test_every_sketch_family_prefilters_exactly(
+        self, tmp_path, family_sets, family
+    ):
+        store = build_index(
+            tmp_path, family_sets, name=f"idx_{family}", families=(family,)
+        )
+        eng = engine(store, "cascade", estimator=family)
+        assert eng.family == family
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        ref = engine(store, "off").query_values(
+            family_sets[0], threshold=0.5
+        )
+        assert [(m.name, m.similarity) for m in res.matches] == [
+            (m.name, m.similarity) for m in ref.matches
+        ]
+
+    def test_cascade_funnel_is_monotone(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(family_sets[0], threshold=0.5)
+        assert (
+            res.n_candidates >= res.n_after_size >= res.n_after_sketch
+        )
+        assert res.n_verified == res.n_after_sketch
+        assert res.pruning_ratio >= 1.0
+
+    def test_query_name_excludes_self(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_name("g0", threshold=0.1)
+        assert "g0" not in res.names
+        assert res.n_candidates == len(family_sets) - 1
+
+    def test_query_values_includes_stored_copy(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(family_sets[3], threshold=0.99)
+        assert "g3" in res.names
+        top = res.matches[0]
+        assert top.similarity == 1.0
+
+    def test_matches_sorted_descending(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(family_sets[0], threshold=0.0)
+        sims = [m.similarity for m in res.matches]
+        assert sims == sorted(sims, reverse=True)
+        assert len(res.matches) == len(family_sets)
+
+    def test_empty_query(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets + [set()])
+        res = engine(store).query_values([], threshold=0.5)
+        ref = engine(store, "off").query_values([], threshold=0.5)
+        assert res.names == ref.names
+        # Only the stored empty genome matches (J(0,0) = 1).
+        assert res.names == [f"g{len(family_sets)}"]
+
+
+class TestTopK:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_equals_brute_force(self, tmp_path, family_sets, k):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(family_sets[2], top_k=k)
+        ref = engine(store, "off").query_values(family_sets[2], top_k=k)
+        assert [(m.name, m.similarity) for m in res.matches] == [
+            (m.name, m.similarity) for m in ref.matches
+        ]
+        assert len(res.matches) == k
+
+    def test_combined_threshold_and_top_k(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(
+            family_sets[2], threshold=0.5, top_k=2
+        )
+        ref = engine(store, "off").query_values(
+            family_sets[2], threshold=0.5, top_k=2
+        )
+        assert [(m.name, m.similarity) for m in res.matches] == [
+            (m.name, m.similarity) for m in ref.matches
+        ]
+        assert all(m.similarity >= 0.5 for m in res.matches)
+
+    def test_k_larger_than_index(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store).query_values(family_sets[0], top_k=10_000)
+        assert len(res.matches) == len(family_sets)
+
+
+class TestValidation:
+    def test_requires_threshold_or_top_k(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="threshold"):
+            engine(store).query_values(family_sets[0])
+
+    def test_threshold_range(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="threshold"):
+            engine(store).query_values(family_sets[0], threshold=1.5)
+
+    def test_top_k_positive(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="top_k"):
+            engine(store).query_values(family_sets[0], top_k=0)
+
+    def test_out_of_range_query_values(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="outside"):
+            engine(store).query_values([M + 5], threshold=0.5)
+
+    def test_query_dispatch_requires_one_of(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="exactly one"):
+            engine(store).query(values=[1], name="g0", threshold=0.5)
+
+    def test_missing_family_rejected(self, tmp_path, family_sets):
+        store = build_index(
+            tmp_path, family_sets, families=("minhash",)
+        )
+        eng = engine(store, estimator="hll")
+        with pytest.raises(Exception, match="not stored"):
+            eng.query_values(family_sets[0], threshold=0.5)
+
+    @pytest.mark.parametrize("prefilter", ["off", "size"])
+    def test_missing_family_fine_without_sketch_stage(
+        self, tmp_path, family_sets, prefilter
+    ):
+        # A non-stored estimator only matters when the sketch stage
+        # actually runs; sketch-free prefilters must still answer.
+        store = build_index(
+            tmp_path, family_sets, families=("minhash",)
+        )
+        eng = engine(store, prefilter, estimator="hll")
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        ref = engine(store, "off").query_values(
+            family_sets[0], threshold=0.5
+        )
+        assert res.names == ref.names
+        assert res.estimator == "exact"
+        assert res.error_bound is None
+
+
+class TestCaching:
+    def test_repeat_query_served_from_cache(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store)
+        first = eng.query_values(family_sets[0], threshold=0.5)
+        second = eng.query_values(family_sets[0], threshold=0.5)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.names == first.names
+        assert second.cache_stats.hits == 1
+
+    def test_different_params_miss(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store)
+        eng.query_values(family_sets[0], threshold=0.5)
+        res = eng.query_values(family_sets[0], threshold=0.6)
+        assert not res.from_cache
+
+    def test_store_mutation_invalidates(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store)
+        eng.query_values(family_sets[0], threshold=0.5)
+        store.append("late", {1, 2, 3})
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        assert not res.from_cache
+        assert res.n_candidates == len(family_sets) + 1
+
+    def test_cache_disabled(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, query_cache_size=0)
+        eng.query_values(family_sets[0], threshold=0.5)
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        assert not res.from_cache
+
+    def test_summary_surfaces_cache_stats(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store)
+        eng.query_values(family_sets[0], threshold=0.5)
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        text = res.summary()
+        assert "cache:" in text and "hit" in text
+        assert "served from cache" in text
+
+
+class TestLedgerCharges:
+    def test_query_kernels_charged(self, tmp_path, family_sets):
+        machine = Machine(laptop(4))
+        store = build_index(tmp_path, family_sets)
+        eng = SimilarityIndex(
+            store, machine=machine, config=SimilarityConfig()
+        )
+        eng.query_values(family_sets[0], threshold=0.5)
+        kernels = machine.ledger.kernel_totals
+        assert "query:size" in kernels
+        assert "query:sketch" in kernels
+        assert "query:verify" in kernels
+        assert "query" in machine.ledger.phases
+
+    def test_result_reports_simulated_seconds(self, tmp_path, family_sets):
+        machine = Machine(laptop(4))
+        store = build_index(tmp_path, family_sets)
+        eng = SimilarityIndex(store, machine=machine)
+        res = eng.query_values(family_sets[0], threshold=0.5)
+        assert res.simulated_seconds > 0.0

@@ -1,0 +1,279 @@
+"""Tests for the on-disk index store: round trips under every codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch
+from repro.runtime.codec import WIRE_CODECS
+from repro.service.store import (
+    IndexStore,
+    StoreError,
+    read_record,
+    read_records,
+    write_records,
+)
+
+M = 10_000
+
+value_sets = st.sets(st.integers(min_value=0, max_value=M - 1), max_size=200)
+
+
+def make_store(tmp_path, codec="adaptive", **kwargs):
+    return IndexStore.create(tmp_path / "idx", m=M, codec=codec, **kwargs)
+
+
+class TestRecordFraming:
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    def test_mixed_payloads_round_trip(self, tmp_path, codec):
+        path = tmp_path / "shard.bin"
+        payloads = [
+            np.array([3, 17, 912], dtype=np.int64),
+            np.empty(0, dtype=np.uint64),
+            np.arange(12, dtype=np.uint8).reshape(3, 4),
+            np.array([2**63 - 1], dtype=np.int64),
+        ]
+        nbytes = write_records(path, payloads, codec)
+        assert nbytes == path.stat().st_size
+        out = read_records(path)
+        assert len(out) == len(payloads)
+        for a, b in zip(payloads, out):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "shard.bin"
+        write_records(path, [np.arange(10)], "raw")
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(StoreError, match="truncated"):
+            read_records(path)
+
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    def test_read_record_skips_without_decoding(self, tmp_path, codec):
+        path = tmp_path / "shard.bin"
+        payloads = [
+            np.arange(1000, dtype=np.int64),
+            np.array([7, 8], dtype=np.uint64),
+            np.arange(4, dtype=np.uint8),
+        ]
+        write_records(path, payloads, codec)
+        for i, expect in enumerate(payloads):
+            got = read_record(path, i)
+            assert np.array_equal(got, expect)
+
+    def test_read_record_index_out_of_range(self, tmp_path):
+        path = tmp_path / "shard.bin"
+        write_records(path, [np.arange(3)], "raw")
+        with pytest.raises(StoreError, match="record"):
+            read_record(path, 1)
+
+
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    def test_values_round_trip_every_codec(self, tmp_path, codec, rng):
+        store = make_store(tmp_path, codec=codec)
+        sets = {
+            "empty": np.empty(0, dtype=np.int64),
+            "single": np.array([42], dtype=np.int64),
+            "dense": np.arange(0, M, 3, dtype=np.int64),
+            "random": np.unique(rng.integers(0, M, size=500)),
+            "edges": np.array([0, M - 1], dtype=np.int64),
+        }
+        for name, vals in sets.items():
+            store.append(name, vals)
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.codec == codec
+        for name, vals in sets.items():
+            assert np.array_equal(reopened.load_values(name), vals)
+        assert np.array_equal(
+            reopened.sizes(), [v.size for v in sets.values()]
+        )
+
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    @pytest.mark.parametrize("family", SKETCH_ESTIMATORS)
+    def test_sketches_round_trip(self, tmp_path, codec, family, rng):
+        store = make_store(
+            tmp_path, codec=codec, sketch_size=64, sketch_bits=6
+        )
+        vals = np.unique(rng.integers(0, M, size=300))
+        store.append("g", vals)
+        payload = store.load_sketch_payload("g", family)
+        reference = make_sketch(family, 64, 6, 0).update(vals)
+        if family == "minhash":
+            assert np.array_equal(payload, reference.hashes)
+        elif family == "bbit_minhash":
+            assert np.array_equal(payload, reference.packed())
+        else:
+            assert np.array_equal(payload, reference.registers)
+
+    @given(values=value_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_any_value_set_round_trips(self, tmp_path_factory, values):
+        root = tmp_path_factory.mktemp("hyp") / "idx"
+        store = IndexStore.create(
+            root, m=M, codec="adaptive", families=("minhash",)
+        )
+        store.append("g", values)
+        out = IndexStore.open(root).load_values("g")
+        assert np.array_equal(out, np.unique(np.array(sorted(values))))
+        assert out.dtype == np.int64
+
+    def test_single_genome_store(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("only", [1, 2, 3])
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.names == ["only"]
+        assert reopened.n_genomes == 1
+        src = reopened.as_source()
+        assert src.n == 1 and src.m == M
+
+
+class TestEmptyStore:
+    def test_open_empty(self, tmp_path):
+        make_store(tmp_path)
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.names == []
+        assert reopened.n_genomes == 0
+        assert reopened.sizes().size == 0
+        assert not reopened.has_gram
+
+    def test_as_source_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(StoreError, match="empty"):
+            store.as_source()
+
+    def test_compact_noop(self, tmp_path):
+        store = make_store(tmp_path)
+        version = store.version
+        assert store.compact() == 0
+        assert store.version == version
+
+
+class TestMutations:
+    def test_duplicate_name_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("g", [1])
+        with pytest.raises(StoreError, match="already present"):
+            store.append("g", [2])
+
+    def test_out_of_range_values_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(StoreError, match="outside"):
+            store.append("g", [M])
+
+    def test_version_bumps_on_every_mutation(self, tmp_path):
+        store = make_store(tmp_path)
+        v0 = store.version
+        store.append("a", [1, 2])
+        assert store.version == v0 + 1
+        store.append("b", [2, 3])
+        store.remove("a")
+        assert store.version == v0 + 3
+        store.compact()
+        assert store.version == v0 + 4
+
+    def test_remove_tombstones_then_compact_reclaims(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1, 2])
+        store.append("b", [2, 3])
+        store.append("c", [5])
+        shard_b = store.root / store._entry("b").shard
+        store.remove("b")
+        assert store.names == ["a", "c"]
+        assert shard_b.exists()  # tombstoned, not yet reclaimed
+        with pytest.raises(KeyError):
+            store.load_values("b")
+        assert store.compact() == 1
+        assert not shard_b.exists()
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.names == ["a", "c"]
+        assert np.array_equal(reopened.load_values("a"), [1, 2])
+        assert np.array_equal(reopened.load_values("c"), [5])
+
+    def test_reappend_after_remove(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("g", [1, 2])
+        store.remove("g")
+        store.append("g", [7, 8, 9])
+        assert np.array_equal(store.load_values("g"), [7, 8, 9])
+
+    def test_compact_after_remove_of_all(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1])
+        store.remove("a")
+        assert store.compact() == 1
+        assert store.n_genomes == 0
+        assert store.total_bytes() == 0
+
+    def test_create_over_existing_rejected(self, tmp_path):
+        make_store(tmp_path)
+        with pytest.raises(StoreError, match="already exists"):
+            make_store(tmp_path)
+
+    def test_append_many_is_one_mutation(self, tmp_path):
+        store = make_store(tmp_path)
+        v0 = store.version
+        entries = store.append_many(
+            [("a", [1, 2]), ("b", [3]), ("c", [])]
+        )
+        assert [e.name for e in entries] == ["a", "b", "c"]
+        assert store.version == v0 + 1
+        assert store.append_many([]) == []
+        assert store.version == v0 + 1
+
+    def test_append_many_validates_before_writing(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1])
+        with pytest.raises(StoreError, match="already present"):
+            store.append_many([("b", [2]), ("a", [3])])
+        with pytest.raises(StoreError, match="already present"):
+            store.append_many([("c", [2]), ("c", [3])])
+        with pytest.raises(StoreError, match="outside"):
+            store.append_many([("d", [2]), ("e", [M])])
+        assert store.names == ["a"]
+        assert len(list((store.root / "shards").iterdir())) == 1
+
+
+class TestGramArtifact:
+    def test_round_trip_and_currency(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1, 2, 3])
+        store.append("b", [2, 3])
+        inter = np.array([[3, 2], [2, 2]], dtype=np.int64)
+        sizes = np.array([3, 2], dtype=np.int64)
+        store.set_gram(inter, sizes)
+        assert store.gram_current
+        got_inter, got_sizes, names = IndexStore.open(tmp_path / "idx").gram()
+        assert np.array_equal(got_inter, inter)
+        assert np.array_equal(got_sizes, sizes)
+        assert names == ["a", "b"]
+
+    def test_append_staleness(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1])
+        store.set_gram(np.array([[1]]), np.array([1]))
+        store.append("b", [2])
+        assert store.has_gram and not store.gram_current
+
+    def test_remove_drops_row_and_column(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1, 2, 3])
+        store.append("b", [2, 3])
+        store.append("c", [9])
+        inter = np.array(
+            [[3, 2, 0], [2, 2, 0], [0, 0, 1]], dtype=np.int64
+        )
+        store.set_gram(inter, np.array([3, 2, 1]))
+        store.remove("b")
+        assert store.gram_current
+        got_inter, got_sizes, names = store.gram()
+        assert names == ["a", "c"]
+        assert np.array_equal(got_inter, [[3, 0], [0, 1]])
+        assert np.array_equal(got_sizes, [3, 1])
+
+    def test_shape_validation(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append("a", [1])
+        with pytest.raises(StoreError, match="shape"):
+            store.set_gram(np.zeros((2, 2), dtype=np.int64), np.array([1]))

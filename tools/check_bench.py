@@ -2,8 +2,8 @@
 """Benchmark regression gate: compare BENCH_*.json against floors.
 
 Each benchmark trajectory file (``BENCH_kernels.json``,
-``BENCH_pipeline.json``, ``BENCH_wire.json``, ``BENCH_sketch.json``)
-records one summary per workload per run.  This gate takes the *latest*
+``BENCH_pipeline.json``, ``BENCH_wire.json``, ``BENCH_sketch.json``,
+``BENCH_query.json``) records one summary per workload per run.  This gate takes the *latest*
 run with the requested label (``full`` for the committed trajectories,
 ``smoke`` for the CI harness run) and checks every metric named in
 ``benchmarks/thresholds.json`` against its committed floor:
@@ -21,7 +21,8 @@ Run:  python tools/check_bench.py --label smoke \\
           --kernels /tmp/bench_smoke.json \\
           --pipeline /tmp/bench_pipeline_smoke.json \\
           --wire /tmp/bench_wire_smoke.json \\
-          --sketch /tmp/bench_sketch_smoke.json
+          --sketch /tmp/bench_sketch_smoke.json \\
+          --query /tmp/bench_query_smoke.json
       python tools/check_bench.py --label full   # committed trajectories
 """
 
@@ -42,6 +43,7 @@ SECTIONS = {
     "pipeline": REPO_ROOT / "BENCH_pipeline.json",
     "wire": REPO_ROOT / "BENCH_wire.json",
     "sketch": REPO_ROOT / "BENCH_sketch.json",
+    "query": REPO_ROOT / "BENCH_query.json",
 }
 
 

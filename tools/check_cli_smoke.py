@@ -1,26 +1,34 @@
 #!/usr/bin/env python3
-"""End-to-end CLI smoke: exact vs minhash on the committed tiny FASTA.
+"""End-to-end CLI smoke over the committed tiny FASTA set.
 
-Runs the ``genome-at-scale`` CLI twice over ``tests/data/smoke_fasta``
-— once with ``--estimator exact`` and once with ``--estimator minhash``
-— and asserts that
+Two sections, both driving the ``genome-at-scale`` CLI as subprocesses
+over ``tests/data/smoke_fasta``:
 
-1. both invocations exit 0 and write a similarity matrix, and
-2. the two matrices agree within the analytic 95% bound the sketch run
-   prints in its cost report.
+* ``estimator`` — the batch engine: one ``--estimator exact`` run and
+  one ``--estimator minhash`` run must exit 0, write similarity
+  matrices of equal shape, and agree within the analytic 95% bound the
+  sketch run prints in its cost report.
+* ``index`` — the serving layer: ``index build`` over three samples,
+  ``index add`` of the fourth, then ``index query --threshold`` of one
+  sample against the four-genome index; the query's matches must agree
+  exactly with a fresh batch-engine exact run over the same four
+  samples (same qualifying set, same similarities).
 
-This is the cheapest whole-pipeline check there is: FASTA parsing,
-k-mer extraction, the distributed engine, the sketch subsystem, and the
-result writers all have to work for it to pass.
+These are the cheapest whole-pipeline checks there are: FASTA parsing,
+k-mer extraction, the distributed engine, the sketch subsystem, the
+persistent store, the incremental border-block update, the query
+cascade, and the result writers all have to work for them to pass.
 
-Run:  python tools/check_cli_smoke.py [--workdir DIR] [--sketch-size S]
+Run:  python tools/check_cli_smoke.py [--section all|estimator|index]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -35,39 +43,36 @@ FASTA_DIR = REPO_ROOT / "tests" / "data" / "smoke_fasta"
 #: The bound line ``result.summary()`` prints for sketch runs.
 BOUND_RE = re.compile(r"estimated J \+/- ([0-9.]+) at 95%")
 
+SECTIONS = ("estimator", "index")
 
-def run_cli(out_dir: Path, extra_args: list[str]) -> None:
+
+def run_cli(args: list[str]) -> None:
     """Run the CLI as a subprocess; raise on a nonzero exit."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    cmd = [
-        sys.executable,
-        "-m",
-        "repro.genomics.cli",
-        str(FASTA_DIR),
-        "-o",
-        str(out_dir),
-        "--tree",
-        "none",
-        *extra_args,
-    ]
+    cmd = [sys.executable, "-m", "repro.genomics.cli", *args]
     proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
     if proc.returncode != 0:
         print(proc.stdout)
         print(proc.stderr, file=sys.stderr)
-        raise SystemExit(f"CLI exited {proc.returncode} for args {extra_args}")
+        raise SystemExit(f"CLI exited {proc.returncode} for args {args}")
 
 
-def check(workdir: Path, sketch_size: int, verbose: bool = False) -> str:
-    """Run both CLI modes and compare; returns a summary line."""
+def check_estimator(
+    workdir: Path, sketch_size: int, verbose: bool = False
+) -> str:
+    """Run both batch CLI modes and compare; returns a summary line."""
     exact_dir = workdir / "exact"
     sketch_dir = workdir / "minhash"
-    run_cli(exact_dir, ["--estimator", "exact"])
     run_cli(
-        sketch_dir,
-        ["--estimator", "minhash", "--sketch-size", str(sketch_size)],
+        [str(FASTA_DIR), "-o", str(exact_dir), "--tree", "none",
+         "--estimator", "exact"]
+    )
+    run_cli(
+        [str(FASTA_DIR), "-o", str(sketch_dir), "--tree", "none",
+         "--estimator", "minhash", "--sketch-size", str(sketch_size)]
     )
     exact = np.load(exact_dir / "similarity.npy")
     approx = np.load(sketch_dir / "similarity.npy")
@@ -78,7 +83,9 @@ def check(workdir: Path, sketch_size: int, verbose: bool = False) -> str:
     report = (sketch_dir / "cost_report.txt").read_text()
     match = BOUND_RE.search(report)
     if match is None:
-        raise SystemExit("sketch cost report prints no 'estimated J +/- ...' bound")
+        raise SystemExit(
+            "sketch cost report prints no 'estimated J +/- ...' bound"
+        )
     bound = float(match.group(1))
     diff = float(np.abs(exact - approx).max())
     if verbose:
@@ -90,9 +97,94 @@ def check(workdir: Path, sketch_size: int, verbose: bool = False) -> str:
             f"max |diff| = {diff:.4f} > {bound:.4f}"
         )
     return (
-        f"cli smoke ok: {exact.shape[0]} samples, max |exact - minhash| "
-        f"= {diff:.4f} <= printed bound {bound:.4f}"
+        f"cli smoke ok [estimator]: {exact.shape[0]} samples, "
+        f"max |exact - minhash| = {diff:.4f} <= printed bound {bound:.4f}"
     )
+
+
+def check_index(
+    workdir: Path, threshold: float = 0.1, verbose: bool = False
+) -> str:
+    """build -> add -> query; matches must equal a fresh exact run."""
+    fastas = sorted(FASTA_DIR.glob("*.fasta"))
+    if len(fastas) < 2:
+        raise SystemExit(f"need at least two smoke FASTA files in {FASTA_DIR}")
+    index_dir = workdir / "index"
+    query_json = workdir / "query.json"
+    if index_dir.exists():
+        # Keep the check rerunnable with a persistent --workdir: the
+        # store refuses to build over an existing index.
+        shutil.rmtree(index_dir)
+
+    # Build from all but the last sample, then add the last incrementally.
+    run_cli(
+        ["index", "build", *map(str, fastas[:-1]), "--index", str(index_dir)]
+    )
+    run_cli(
+        ["index", "add", str(fastas[-1]), "--index", str(index_dir)]
+    )
+    query_fasta = fastas[0]
+    run_cli(
+        [
+            "index", "query", str(query_fasta), "--index", str(index_dir),
+            "--threshold", str(threshold), "--json", str(query_json),
+        ]
+    )
+    result = json.loads(query_json.read_text())
+
+    # Fresh exact batch run over the same four samples, same order.
+    exact_dir = workdir / "exact_reference"
+    run_cli(
+        [*map(str, fastas), "-o", str(exact_dir), "--tree", "none",
+         "--estimator", "exact"]
+    )
+    similarity = np.load(exact_dir / "similarity.npy")
+    names = [p.stem for p in fastas]
+    qi = names.index(query_fasta.stem)
+    expected = sorted(
+        (
+            (names[j], float(similarity[qi, j]))
+            for j in range(len(names))
+            if similarity[qi, j] >= threshold
+        ),
+        key=lambda pair: (-pair[1], names.index(pair[0])),
+    )
+    got = [(m["name"], m["similarity"]) for m in result["matches"]]
+    if verbose:
+        print(f"expected: {expected}")
+        print(f"query returned: {got}")
+    if [n for n, _ in got] != [n for n, _ in expected]:
+        raise SystemExit(
+            f"index query match set differs from the fresh exact run: "
+            f"{[n for n, _ in got]} vs {[n for n, _ in expected]}"
+        )
+    for (gn, gs), (en, es) in zip(got, expected):
+        if abs(gs - es) > 1e-9:
+            raise SystemExit(
+                f"index query similarity for {gn} differs from the fresh "
+                f"exact run: {gs!r} vs {es!r}"
+            )
+    return (
+        f"cli smoke ok [index]: build({len(fastas) - 1}) -> add(1) -> "
+        f"query t={threshold:g} returned {len(got)} match(es) identical "
+        f"to the fresh exact run "
+        f"({result['n_candidates']} candidate(s), "
+        f"{result['n_verified']} verified)"
+    )
+
+
+def check(
+    workdir: Path,
+    sketch_size: int,
+    verbose: bool = False,
+    sections: tuple[str, ...] = SECTIONS,
+) -> list[str]:
+    out = []
+    if "estimator" in sections:
+        out.append(check_estimator(workdir, sketch_size, verbose))
+    if "index" in sections:
+        out.append(check_index(workdir, verbose=verbose))
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,7 +193,7 @@ def main(argv: list[str] | None = None) -> int:
         "--workdir",
         type=Path,
         default=None,
-        help="where to write the two output trees (default: a temp dir)",
+        help="where to write the output trees (default: a temp dir)",
     )
     parser.add_argument(
         "--sketch-size",
@@ -109,16 +201,27 @@ def main(argv: list[str] | None = None) -> int:
         default=256,
         help="bottom-s size of the minhash run (default 256)",
     )
-    parser.add_argument("--verbose", action="store_true", help="print both matrices")
+    parser.add_argument(
+        "--section",
+        choices=["all", *SECTIONS],
+        default="all",
+        help="which smoke section(s) to run (default all)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print the compared results"
+    )
     args = parser.parse_args(argv)
     if not FASTA_DIR.is_dir():
         raise SystemExit(f"committed FASTA directory missing: {FASTA_DIR}")
+    sections = SECTIONS if args.section == "all" else (args.section,)
     if args.workdir is not None:
         args.workdir.mkdir(parents=True, exist_ok=True)
-        print(check(args.workdir, args.sketch_size, args.verbose))
+        lines = check(args.workdir, args.sketch_size, args.verbose, sections)
     else:
         with tempfile.TemporaryDirectory(prefix="cli_smoke_") as tmp:
-            print(check(Path(tmp), args.sketch_size, args.verbose))
+            lines = check(Path(tmp), args.sketch_size, args.verbose, sections)
+    for line in lines:
+        print(line)
     return 0
 
 
