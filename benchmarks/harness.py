@@ -92,6 +92,7 @@ DEFAULT_PIPELINE_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 DEFAULT_WIRE_OUTPUT = REPO_ROOT / "BENCH_wire.json"
 DEFAULT_SKETCH_OUTPUT = REPO_ROOT / "BENCH_sketch.json"
 DEFAULT_QUERY_OUTPUT = REPO_ROOT / "BENCH_query.json"
+DEFAULT_SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -682,6 +683,153 @@ def run_query_harness(smoke: bool = False) -> dict:
     return entry
 
 
+#: Service-section parameters: the batched front end served at the
+#: ``"size"`` prefilter (blocked verification makes exact checks cheap,
+#: so paying a per-query, unamortizable sketch pass would cap the very
+#: amortization this section measures — see docs/service.md), with
+#: batch size 1 as the serial-through-the-batcher control.
+SERVICE_SPECS = {
+    "fig2a_kingsford_like": dict(
+        threshold=0.3, n_queries=48, batch_sizes=(1, 8, 32)
+    ),
+    "fig2b_bigsi_like": dict(
+        threshold=0.3, n_queries=64, batch_sizes=(1, 8, 32)
+    ),
+}
+SMOKE_SERVICE_SPECS = {
+    "fig2a_kingsford_like": dict(
+        threshold=0.3, n_queries=12, batch_sizes=(1, 8)
+    ),
+    "fig2b_bigsi_like": dict(
+        threshold=0.3, n_queries=16, batch_sizes=(1, 8)
+    ),
+}
+
+
+def run_service_workload(name: str, spec: dict, sspec: dict, root) -> dict:
+    """Batched vs serial query throughput over one on-disk index."""
+    from repro.core.config import SimilarityConfig as _Config
+    from repro.service import IndexStore, QueryBatcher, SimilarityIndex
+
+    source = _source(spec)
+    values = _materialize_values(source)
+    store = IndexStore.create(
+        root, m=spec["m"], codec="adaptive", families=("minhash",),
+        sketch_size=256,
+    )
+    store.append_many(
+        [(f"s{j:05d}", vals) for j, vals in enumerate(values)]
+    )
+    threshold = sspec["threshold"]
+    queries = [values[j] for j in range(min(sspec["n_queries"], source.n))]
+    q = len(queries)
+    config = _Config(query_prefilter="size", query_cache_size=0)
+
+    # Serial reference: the per-query engine, one query at a time.
+    serial = SimilarityIndex(
+        store, machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+        config=config,
+    )
+    t0 = time.perf_counter()
+    serial_results = [
+        serial.query_values(vals, threshold=threshold) for vals in queries
+    ]
+    serial_real = time.perf_counter() - t0
+    serial_sim = sum(r.simulated_seconds for r in serial_results)
+    serial_keys = [
+        [(m.name, m.similarity) for m in r.matches] for r in serial_results
+    ]
+
+    # Brute force pins exactness independently of the size window.
+    brute = SimilarityIndex(
+        store, machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+        config=_Config(query_prefilter="off", query_cache_size=0),
+    )
+    exact_vs_bruteforce = all(
+        [(m.name, m.similarity)
+         for m in brute.query_values(vals, threshold=threshold).matches]
+        == keys
+        for vals, keys in zip(queries, serial_keys)
+    )
+
+    by_batch = {}
+    exact_vs_perquery = True
+    for batch_size in sspec["batch_sizes"]:
+        engine = SimilarityIndex(
+            store,
+            machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+            config=config,
+        )
+        with QueryBatcher(engine, batch_size=batch_size) as batcher:
+            t0 = time.perf_counter()
+            results = batcher.query_many(queries, threshold=threshold)
+            real = time.perf_counter() - t0
+        sim = sum(r.simulated_seconds for r in results)
+        exact = all(
+            [(m.name, m.similarity) for m in r.matches] == keys
+            for r, keys in zip(results, serial_keys)
+        )
+        exact_vs_perquery = exact_vs_perquery and exact
+        by_batch[str(batch_size)] = {
+            "simulated_seconds": sim,
+            "real_seconds": real,
+            "queries_per_simulated_second": q / sim if sim > 0 else 0.0,
+            "batched_speedup_vs_serial": (
+                serial_sim / sim if sim > 0 else float("inf")
+            ),
+            "n_batches": batcher.n_batches,
+            "exact_vs_perquery": bool(exact),
+        }
+        print(
+            f"  {name:<24} batch={batch_size:<3d} "
+            f"{by_batch[str(batch_size)]['batched_speedup_vs_serial']:.2f}x "
+            f"modelled over serial "
+            f"({q / sim if sim > 0 else 0.0:.0f} q/sim-s, exact={exact})"
+        )
+    speedups = [
+        b["batched_speedup_vs_serial"]
+        for size, b in by_batch.items()
+        if int(size) >= 8
+    ]
+    summary = {
+        "threshold": threshold,
+        "n_queries": q,
+        "n_genomes": source.n,
+        "prefilter": "size",
+        "serial_simulated_seconds": serial_sim,
+        "serial_real_seconds": serial_real,
+        "serial_queries_per_simulated_second": (
+            q / serial_sim if serial_sim > 0 else 0.0
+        ),
+        "by_batch_size": by_batch,
+        "batched_speedup_at_8_plus": min(speedups) if speedups else 0.0,
+        "exact_vs_perquery": bool(exact_vs_perquery),
+        "exact_vs_bruteforce": bool(exact_vs_bruteforce),
+    }
+    return {"params": dict(spec, **sspec), "summary": summary}
+
+
+def run_service_harness(smoke: bool = False) -> dict:
+    """The batched-service section: one trajectory entry."""
+    import tempfile
+
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    sspecs = SMOKE_SERVICE_SPECS if smoke else SERVICE_SPECS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) batched queries ==")
+        with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+            entry["workloads"][name] = run_service_workload(
+                name, dict(spec), sspecs[name], Path(tmp) / "index"
+            )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -757,6 +905,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--service-output", type=Path, default=None,
+        help=(
+            f"batched-service trajectory file to append to (default "
+            f"{DEFAULT_SERVICE_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -813,6 +969,17 @@ def main(argv: list[str] | None = None) -> int:
             "query trajectory not written (--output was redirected; "
             "pass --query-output to record it)"
         )
+    service_entry = run_service_harness(smoke=args.smoke)
+    service_output = args.service_output
+    if service_output is None and not args.smoke and args.output is None:
+        service_output = DEFAULT_SERVICE_OUTPUT
+    if service_output is not None:
+        append_entry(service_entry, service_output)
+    elif not args.smoke:
+        print(
+            "service trajectory not written (--output was redirected; "
+            "pass --service-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -853,6 +1020,14 @@ def main(argv: list[str] | None = None) -> int:
             f"candidates at t={s['threshold']:g} "
             f"(exact: {s['exact_vs_bruteforce']}, modelled "
             f"{s['simulated_speedup_vs_bruteforce']:.1f}x over brute force)"
+        )
+    for name, wl in service_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: batched service {s['batched_speedup_at_8_plus']:.1f}x "
+            f"modelled over serial at batch >= 8 "
+            f"(exact vs per-query: {s['exact_vs_perquery']}, "
+            f"vs brute force: {s['exact_vs_bruteforce']})"
         )
     return 0
 

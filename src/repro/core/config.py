@@ -115,6 +115,17 @@ class SimilarityConfig:
     query_cache_size:
         Entry capacity of the service layer's LRU query/result cache;
         0 disables caching (every query recomputes).
+    query_batch_size:
+        Admission capacity of the service layer's
+        :class:`~repro.service.batch.QueryBatcher`: a pending batch is
+        executed as soon as this many requests have coalesced (or
+        earlier, on ``query_max_wait`` expiry or a store-version
+        change).  1 degenerates to per-query execution through the
+        batched code path.
+    query_max_wait:
+        Longest wall-clock time (seconds) an admitted request may wait
+        for its batch to fill before the batch is flushed anyway; 0
+        flushes after every admission (no coalescing across callers).
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -146,6 +157,8 @@ class SimilarityConfig:
     sketch_seed: int = 0
     query_prefilter: str = "cascade"
     query_cache_size: int = 128
+    query_batch_size: int = 32
+    query_max_wait: float = 0.01
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -210,6 +223,15 @@ class SimilarityConfig:
         if self.query_cache_size < 0:
             raise ValueError(
                 f"query_cache_size must be >= 0, got {self.query_cache_size}"
+            )
+        if self.query_batch_size <= 0:
+            raise ValueError(
+                f"query_batch_size must be positive, "
+                f"got {self.query_batch_size}"
+            )
+        if self.query_max_wait < 0:
+            raise ValueError(
+                f"query_max_wait must be >= 0, got {self.query_max_wait}"
             )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(

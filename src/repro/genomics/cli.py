@@ -184,9 +184,27 @@ def build_index_parser() -> argparse.ArgumentParser:
         "query", help="threshold/top-k query of one sample against an index"
     )
     query.add_argument(
-        "inputs", nargs=1, type=Path, help="the query FASTA file"
+        "inputs", nargs="*", type=Path,
+        help="the query FASTA file (omit when using --batch-file)",
     )
     _add_index_common(query)
+    query.add_argument(
+        "--batch-file", type=Path, default=None,
+        help=(
+            "file listing query FASTA paths (one per line, # comments "
+            "allowed); all queries run through the batched path (one "
+            "size-sorted window + one rectangular popcount block per "
+            "batch) and results match per-query runs exactly"
+        ),
+    )
+    query.add_argument(
+        "--batch-size", type=int, default=None,
+        help="queries coalesced per batch (default: config, 32)",
+    )
+    query.add_argument(
+        "--max-wait", type=float, default=None,
+        help="batch admission wait in seconds (default: config, 0.01)",
+    )
     query.add_argument(
         "--threshold", type=float, default=None,
         help="return every genome with J >= threshold",
@@ -258,14 +276,50 @@ def index_main(argv: list[str]) -> int:
     # query
     if args.threshold is None and args.top_k is None:
         raise SystemExit("index query requires --threshold and/or --top-k")
+    overrides = dict(
+        query_prefilter=args.prefilter, estimator=args.estimator
+    )
+    if args.batch_size is not None:
+        overrides["query_batch_size"] = args.batch_size
+    if args.max_wait is not None:
+        overrides["query_max_wait"] = args.max_wait
+    tool = _index_tool(args, **overrides)
+    if args.batch_file is not None:
+        if fasta_paths:
+            raise SystemExit(
+                "index query takes either positional FASTA files or "
+                "--batch-file, not both"
+            )
+        batch_paths = _read_batch_file(args.batch_file)
+        results = tool.query_index_batch(
+            args.index, batch_paths,
+            threshold=args.threshold, top_k=args.top_k,
+        )
+        for path, result in zip(batch_paths, results):
+            print(f"== {path} ==")
+            print(result.summary())
+            for m in result.matches:
+                print(f"  {m.name:<24} J = {m.similarity:.6f}")
+            if not result.matches:
+                print("  (no genome qualified)")
+        if args.json is not None:
+            payload = {
+                "batched": True,
+                "n_queries": len(results),
+                "queries": [
+                    _query_payload(path, result)
+                    for path, result in zip(batch_paths, results)
+                ],
+            }
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
     if len(fasta_paths) != 1:
         raise SystemExit(
             f"index query takes exactly one query FASTA file, got "
-            f"{len(fasta_paths)} (pass a single file, not a directory)"
+            f"{len(fasta_paths)} (pass a single file, not a directory, "
+            f"or use --batch-file for many)"
         )
-    tool = _index_tool(
-        args, query_prefilter=args.prefilter, estimator=args.estimator
-    )
     result = tool.query_index(
         args.index, fasta_paths[0],
         threshold=args.threshold, top_k=args.top_k,
@@ -276,27 +330,49 @@ def index_main(argv: list[str]) -> int:
     if not result.matches:
         print("  (no genome qualified)")
     if args.json is not None:
-        payload = {
-            "query": str(fasta_paths[0]),
-            "threshold": result.threshold,
-            "top_k": result.top_k,
-            "prefilter": result.prefilter,
-            "estimator": result.estimator,
-            "error_bound": result.error_bound,
-            "n_candidates": result.n_candidates,
-            "n_after_size": result.n_after_size,
-            "n_verified": result.n_verified,
-            "pruning_ratio": result.pruning_ratio,
-            "store_version": result.store_version,
-            "matches": [
-                {"name": m.name, "index": m.index,
-                 "similarity": m.similarity}
-                for m in result.matches
-            ],
-        }
+        payload = _query_payload(fasta_paths[0], result)
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
     return 0
+
+
+def _read_batch_file(path: Path) -> list[Path]:
+    if not path.exists():
+        raise SystemExit(f"missing --batch-file: {path}")
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        p = Path(line)
+        if not p.exists():
+            raise SystemExit(f"missing query FASTA from {path}: {p}")
+        out.append(p)
+    if not out:
+        raise SystemExit(f"--batch-file {path} lists no query FASTA files")
+    return out
+
+
+def _query_payload(path: Path, result) -> dict:
+    return {
+        "query": str(path),
+        "threshold": result.threshold,
+        "top_k": result.top_k,
+        "prefilter": result.prefilter,
+        "estimator": result.estimator,
+        "error_bound": result.error_bound,
+        "n_candidates": result.n_candidates,
+        "n_after_size": result.n_after_size,
+        "n_verified": result.n_verified,
+        "pruning_ratio": result.pruning_ratio,
+        "store_version": result.store_version,
+        "batch_size": result.batch_size,
+        "matches": [
+            {"name": m.name, "index": m.index,
+             "similarity": m.similarity}
+            for m in result.matches
+        ],
+    }
 
 
 def collect_inputs(inputs: list[Path]) -> list[Path]:

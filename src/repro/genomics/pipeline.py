@@ -302,6 +302,33 @@ class GenomeAtScale:
         )
         return engine.query_values(codes, threshold=threshold, top_k=top_k)
 
+    def query_index_batch(
+        self,
+        index_dir: str | Path,
+        fasta_paths: list[str | Path],
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ):
+        """Batched threshold/top-k queries of many samples at once.
+
+        All samples run through the :class:`~repro.service.batch.QueryBatcher`
+        (one size-sorted window + one rectangular popcount block per
+        admitted batch of ``config.query_batch_size``); results come
+        back in input order and match :meth:`query_index` exactly.
+        """
+        from repro.service import QueryBatcher, SimilarityIndex
+
+        store = self._open_index(index_dir)
+        cleaned = self._clean_inputs(fasta_paths, None)
+        engine = SimilarityIndex(
+            store, machine=self.machine, config=self.config
+        )
+        with QueryBatcher(engine) as batcher:
+            return batcher.query_many(
+                [codes for _, codes in cleaned],
+                threshold=threshold, top_k=top_k,
+            )
+
     def run_streaming(
         self,
         fasta_paths: list[str | Path],

@@ -7,25 +7,34 @@ package **persists and serves**:
 
 * :mod:`repro.service.store` — a versioned on-disk index of genomes
   (sorted value columns + sketches as codec frames) with an optional
-  persisted all-pairs Gram result;
+  persisted all-pairs Gram result, a store-level lock, and
+  version-consistent snapshots;
 * :mod:`repro.service.incremental` — add genomes by computing only the
   new-vs-existing border block (bit-identical to a rebuild);
+* :mod:`repro.service.plan` — the explicit :class:`QueryPlan` stage
+  pipeline both query paths compile to;
 * :mod:`repro.service.query` — the threshold/top-k query engine with
   the size-ratio / sketch / exact-verify cascade, charged under
   ``query:*`` kernels;
-* :mod:`repro.service.cache` — the LRU query/result cache.
+* :mod:`repro.service.batch` — the coalescing :class:`QueryBatcher`
+  front end: one size-sorted window and one rectangular popcount block
+  per batch, charged under ``query:batch:*`` kernels;
+* :mod:`repro.service.cache` — the LRU query/result cache, shared by
+  both paths through one key schema.
 
-See ``docs/service.md`` for the store layout and the cascade
-correctness argument.
+See ``docs/service.md`` for the store layout, the cascade correctness
+argument, and the batched admission model.
 """
 
-from repro.service.cache import CacheStats, QueryCache
+from repro.service.batch import BatchQuery, QueryBatcher
+from repro.service.cache import CacheStats, QueryCache, result_cache_key
 from repro.service.incremental import (
     IncrementalReport,
     add_genomes,
     rebuild,
     similarity_from_gram,
 )
+from repro.service.plan import PlanStage, QueryPlan, compile_plan
 from repro.service.query import (
     QueryMatch,
     QueryResult,
@@ -34,15 +43,26 @@ from repro.service.query import (
     size_ratio_mask,
     size_ratio_window,
 )
-from repro.service.store import GenomeEntry, IndexStore, StoreError
+from repro.service.store import (
+    GenomeEntry,
+    IndexStore,
+    StoreError,
+    StoreSnapshot,
+)
 
 __all__ = [
+    "BatchQuery",
+    "QueryBatcher",
     "CacheStats",
     "QueryCache",
+    "result_cache_key",
     "IncrementalReport",
     "add_genomes",
     "rebuild",
     "similarity_from_gram",
+    "PlanStage",
+    "QueryPlan",
+    "compile_plan",
     "QueryMatch",
     "QueryResult",
     "SimilarityIndex",
@@ -52,4 +72,5 @@ __all__ = [
     "GenomeEntry",
     "IndexStore",
     "StoreError",
+    "StoreSnapshot",
 ]

@@ -6,13 +6,56 @@ store *version* (so any mutation of the index invalidates every cached
 entry without an explicit flush).  Eviction is least-recently-used;
 hit/miss/eviction counters are kept so the serving layer can surface a
 hit rate in ``QueryResult.summary()``.
+
+The key schema lives in exactly one place — :func:`result_cache_key` —
+and deliberately contains **no batch context**: the single-query path
+(:class:`~repro.service.query.SimilarityIndex`) and the batched path
+(:class:`~repro.service.batch.QueryBatcher`) build byte-identical keys
+for the same logical query, so entries written by either path are
+served by the other.  ``tests/service/test_batcher.py`` pins this
+schema with a regression test.
+
+The cache is internally locked: the batcher's worker threads and the
+owning thread's single-path queries may probe one shared cache
+concurrently.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
+
+import numpy as np
+
+
+def result_cache_key(
+    vals: np.ndarray,
+    threshold: float | None,
+    top_k: int | None,
+    prefilter: str,
+    family: str | None,
+    exclude_name: str | None,
+    store_version: int,
+) -> tuple:
+    """The canonical cache key of one threshold/top-k query.
+
+    Everything that determines the answer, nothing else: the query's
+    content digest and size, the query parameters, the sketch family
+    the prefilter would consult (``None`` unless the cascade runs), the
+    excluded self-match, and the store version (any index mutation
+    changes the version and so invalidates every prior entry).  Batch
+    membership is deliberately absent — a query answers the same
+    whether it arrived alone or coalesced, so both execution paths
+    share entries.
+    """
+    return (
+        hashlib.sha256(vals.tobytes()).hexdigest(),
+        int(vals.size), threshold, top_k, prefilter,
+        family, exclude_name, store_version,
+    )
 
 
 @dataclass(frozen=True)
@@ -48,6 +91,9 @@ class QueryCache:
     disables retention entirely (every lookup is a miss, nothing is
     stored) while keeping the counters alive, so a cache-less
     configuration still reports its miss traffic.
+
+    All operations hold an internal lock, so one cache may be shared
+    between the single-query engine and a concurrent batcher.
     """
 
     def __init__(self, capacity: int):
@@ -55,43 +101,49 @@ class QueryCache:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value, refreshed to most-recently-used, or ``None``."""
-        if key in self._entries:
-            self._hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self._misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            return None
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if full."""
-        if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,177 @@
+"""Explicit query plans: the stage pipeline both query paths compile to.
+
+PR 5's :class:`~repro.service.query.SimilarityIndex` hard-wired its
+cascade (size bound -> sketch prefilter -> exact verify) into one
+method.  The batched front end (:mod:`repro.service.batch`) runs the
+*same* stages but vectorized across many queries, with different cost
+accounting — so the stage pipeline is now reified as a
+:class:`QueryPlan` that **both** paths compile to via
+:func:`compile_plan`:
+
+* the single-query path executes the plan one candidate array at a
+  time and verifies survivors with per-pair sorted intersections
+  (kernel labels ``query:size`` / ``query:sketch`` / ``query:verify``,
+  unchanged from PR 5 so the committed ``BENCH_query.json`` trajectory
+  stays comparable);
+* the batched path executes the plan once per admitted batch — the
+  size-ratio window runs over size-sorted genome lengths, the
+  surviving (query, candidate) pairs merge, and verification is one
+  rectangular bit-matrix popcount block (kernel labels
+  ``query:batch:window`` / ``query:batch:sketch`` /
+  ``query:batch:verify``).
+
+A plan is pure data: which stages run, which sketch family estimates,
+what the analytic bound is, and which ledger kernel each stage charges.
+The executing engine owns the loop; the plan guarantees the two
+engines agree on *what* is pruned and *what* is exact — which is why
+batched results equal per-query results equal brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QUERY_PREFILTERS
+from repro.core.sketch import SKETCH_ESTIMATORS, sketch_error_bound
+from repro.service.store import StoreError
+
+#: Stage names in execution order (not every plan runs every stage).
+PLAN_STAGES = ("window", "sketch", "verify")
+
+#: Kernel labels of the single-query path (PR 5's labels, kept stable).
+SINGLE_KERNELS = {
+    "window": "query:size",
+    "sketch": "query:sketch",
+    "verify": "query:verify",
+}
+
+#: Kernel labels of the batched path.
+BATCH_KERNELS = {
+    "window": "query:batch:window",
+    "sketch": "query:batch:sketch",
+    "verify": "query:batch:verify",
+}
+
+#: Kernel label of batch admission bookkeeping (charged per request).
+ADMIT_KERNEL = "query:batch:admit"
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One cascade stage and the ledger kernel it charges."""
+
+    name: str
+    kernel: str
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The compiled stage pipeline of one query (or query batch).
+
+    ``verify`` names the verification strategy: ``"pairwise"`` (one
+    sorted-array intersection per surviving candidate) or ``"blocked"``
+    (one rectangular popcount block over the merged survivors of a
+    batch).  Both are exact; only the cost shape differs.
+    """
+
+    prefilter: str
+    family: str | None
+    error_bound: float | None
+    verify: str
+    batched: bool
+    stages: tuple[PlanStage, ...]
+
+    def stage(self, name: str) -> PlanStage | None:
+        """The stage record for ``name``, or ``None`` if it is not run."""
+        for st in self.stages:
+            if st.name == name:
+                return st
+        return None
+
+    def kernel(self, name: str) -> str:
+        """The ledger kernel label of stage ``name`` (must be planned)."""
+        st = self.stage(name)
+        if st is None:
+            raise KeyError(f"plan has no stage {name!r}")
+        return st.kernel
+
+    @property
+    def estimator(self) -> str:
+        """What ``QueryResult.estimator`` reports for this plan."""
+        return self.family if self.family is not None else "exact"
+
+    def describe(self) -> str:
+        """A one-line human rendering of the stage pipeline.
+
+        >>> from repro.service.plan import BATCH_KERNELS, PlanStage, QueryPlan
+        >>> plan = QueryPlan(
+        ...     prefilter="size", family=None, error_bound=None,
+        ...     verify="blocked", batched=True,
+        ...     stages=(
+        ...         PlanStage("window", BATCH_KERNELS["window"]),
+        ...         PlanStage("verify", BATCH_KERNELS["verify"]),
+        ...     ),
+        ... )
+        >>> plan.describe()
+        'window[query:batch:window] -> verify:blocked[query:batch:verify]'
+        """
+        parts = []
+        for st in self.stages:
+            label = st.name
+            if st.name == "verify":
+                label = f"verify:{self.verify}"
+            parts.append(f"{label}[{st.kernel}]")
+        return " -> ".join(parts)
+
+
+def resolve_family(estimator: str, families: tuple[str, ...]) -> str:
+    """The stored sketch family an ``estimator`` config selects.
+
+    A sketch-estimator name must be stored; ``"exact"`` (or any
+    non-sketch estimator) falls back to the store's first family.
+    """
+    if estimator in SKETCH_ESTIMATORS:
+        if estimator not in families:
+            raise StoreError(
+                f"estimator {estimator!r} is not stored in this index "
+                f"(stored families: {families})"
+            )
+        return estimator
+    return families[0]
+
+
+def compile_plan(config, store, batched: bool = False) -> QueryPlan:
+    """Compile a config + store (or snapshot) into a :class:`QueryPlan`.
+
+    ``store`` only needs ``families`` / ``sketch_size`` / ``sketch_bits``
+    — both :class:`~repro.service.store.IndexStore` and
+    :class:`~repro.service.store.StoreSnapshot` qualify, so the batcher
+    compiles against the immutable snapshot a batch was admitted under.
+    """
+    prefilter = config.query_prefilter
+    if prefilter not in QUERY_PREFILTERS:
+        raise ValueError(
+            f"query_prefilter must be one of {QUERY_PREFILTERS}, "
+            f"got {prefilter!r}"
+        )
+    kernels = BATCH_KERNELS if batched else SINGLE_KERNELS
+    stages: list[PlanStage] = []
+    if prefilter in ("size", "cascade"):
+        stages.append(PlanStage("window", kernels["window"]))
+    family: str | None = None
+    bound: float | None = None
+    if prefilter == "cascade":
+        family = resolve_family(config.estimator, tuple(store.families))
+        bound = sketch_error_bound(
+            family, store.sketch_size, store.sketch_bits
+        )
+        stages.append(PlanStage("sketch", kernels["sketch"]))
+    stages.append(PlanStage("verify", kernels["verify"]))
+    return QueryPlan(
+        prefilter=prefilter,
+        family=family,
+        error_bound=bound,
+        verify="blocked" if batched else "pairwise",
+        batched=batched,
+        stages=tuple(stages),
+    )

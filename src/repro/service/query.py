@@ -28,11 +28,17 @@ under a ``query:*`` kernel label (``query:size``, ``query:sketch``,
 kernel.  Results are memoized in an LRU :class:`~repro.service.cache.QueryCache`
 keyed on the query digest and the store version (any index mutation
 invalidates every cached answer).
+
+The cascade no longer lives only in this module: it compiles to an
+explicit :class:`~repro.service.plan.QueryPlan`, and the batched front
+end (:class:`~repro.service.batch.QueryBatcher`) compiles the *same*
+plan for whole batches — windowing once over size-sorted lengths and
+verifying merged survivors as one rectangular popcount block.  This
+module executes the plan one query at a time.
 """
 
 from __future__ import annotations
 
-import hashlib
 import math
 from dataclasses import dataclass, field, replace
 
@@ -41,7 +47,6 @@ import numpy as np
 from repro.baselines.exact import intersection_size_sorted
 from repro.core.config import QUERY_PREFILTERS, SimilarityConfig
 from repro.core.sketch import (
-    SKETCH_ESTIMATORS,
     estimate_bbit_jaccard,
     hll_cardinality,
     make_sketch,
@@ -50,8 +55,9 @@ from repro.core.sketch import (
 )
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
-from repro.service.cache import CacheStats, QueryCache
-from repro.service.store import IndexStore, StoreError, _as_values
+from repro.service.cache import CacheStats, QueryCache, result_cache_key
+from repro.service.plan import QueryPlan, compile_plan, resolve_family
+from repro.service.store import IndexStore, _as_values
 
 #: Tolerance of the threshold comparisons: protects the exact-equality
 #: guarantee against float rounding in ``t * |A|``-style products, far
@@ -142,6 +148,10 @@ class QueryResult:
     simulated_seconds: float
     from_cache: bool = False
     cache_stats: CacheStats | None = field(default=None, compare=False)
+    #: How many coalesced queries shared the batch this answer came
+    #: from (1 = the single-query path).  Excluded from equality so a
+    #: batched answer compares equal to its per-query twin.
+    batch_size: int = field(default=1, compare=False)
 
     @property
     def n_verified(self) -> int:
@@ -177,6 +187,11 @@ class QueryResult:
             f"({self.pruning_ratio:.1f}x pruning)",
             f"store version {self.store_version}, simulated "
             f"{self.simulated_seconds:.6f}s"
+            + (
+                f" [batched x{self.batch_size}]"
+                if self.batch_size > 1
+                else ""
+            )
             + (" [served from cache]" if self.from_cache else ""),
         ]
         if self.cache_stats is not None:
@@ -232,15 +247,9 @@ class SimilarityIndex:
     @property
     def family(self) -> str:
         """The stored sketch family the prefilter estimates with."""
-        est = self.config.estimator
-        if est in SKETCH_ESTIMATORS:
-            if est not in self.store.families:
-                raise StoreError(
-                    f"estimator {est!r} is not stored in this index "
-                    f"(stored families: {self.store.families})"
-                )
-            return est
-        return self.store.families[0]
+        return resolve_family(
+            self.config.estimator, tuple(self.store.families)
+        )
 
     @property
     def error_bound(self) -> float:
@@ -248,6 +257,10 @@ class SimilarityIndex:
         return sketch_error_bound(
             self.family, self.store.sketch_size, self.store.sketch_bits
         )
+
+    def plan(self, batched: bool = False) -> QueryPlan:
+        """The :class:`QueryPlan` this engine's config compiles to."""
+        return compile_plan(self.config, self.store, batched=batched)
 
     # ---- public API ----------------------------------------------------
 
@@ -300,23 +313,17 @@ class SimilarityIndex:
             )
         if top_k is not None and top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
-        prefilter = self.config.query_prefilter
-        # The sketch family only matters (and is only required to be
-        # stored) when the cascade's sketch stage will actually run.
-        family = self.family if prefilter == "cascade" else None
-        key = (
-            hashlib.sha256(vals.tobytes()).hexdigest(),
-            int(vals.size), threshold, top_k, prefilter,
-            family, exclude_name, self.store.version,
+        plan = self.plan()
+        key = result_cache_key(
+            vals, threshold, top_k, plan.prefilter, plan.family,
+            exclude_name, self.store.version,
         )
         cached = self.cache.get(key)
         if cached is not None:
             return replace(
                 cached, from_cache=True, cache_stats=self.cache.stats
             )
-        result = self._run_cascade(
-            vals, threshold, top_k, prefilter, family, exclude_name
-        )
+        result = self._run_cascade(vals, threshold, top_k, plan, exclude_name)
         self.cache.put(key, result)
         return replace(result, cache_stats=self.cache.stats)
 
@@ -327,12 +334,13 @@ class SimilarityIndex:
         vals: np.ndarray,
         threshold: float | None,
         top_k: int | None,
-        prefilter: str,
-        family: str | None,
+        plan: QueryPlan,
         exclude_name: str | None,
     ) -> QueryResult:
         machine = self.machine
         serving = machine.world.sub([0])
+        family = plan.family
+        bound = plan.error_bound
         names = self.store.names
         sizes = self.store.sizes()
         cand = np.arange(len(names), dtype=np.int64)
@@ -344,11 +352,11 @@ class SimilarityIndex:
             # Stage 1: the exact size-ratio bound (needs a threshold).
             if (
                 threshold is not None
-                and prefilter in ("size", "cascade")
+                and plan.stage("window") is not None
                 and cand.size
             ):
                 serving.charge_compute(
-                    float(cand.size), kernel="query:size"
+                    float(cand.size), kernel=plan.kernel("window")
                 )
                 cand = cand[
                     size_ratio_mask(sizes[cand], int(vals.size), threshold)
@@ -356,18 +364,11 @@ class SimilarityIndex:
             n_after_size = int(cand.size)
 
             # Stage 2: the sketch prefilter (conservative at 95%).
-            bound = (
-                sketch_error_bound(
-                    family, self.store.sketch_size, self.store.sketch_bits
-                )
-                if family is not None
-                else None
-            )
             if family is not None and cand.size:
                 est = self._sketch_estimates(vals, cand, sizes, family)
                 serving.charge_compute(
                     float(cand.size) * self.store.sketch_size,
-                    kernel="query:sketch",
+                    kernel=plan.kernel("sketch"),
                 )
                 if threshold is not None:
                     keep = est + bound >= threshold - _EPS
@@ -390,7 +391,7 @@ class SimilarityIndex:
             if cand.size:
                 serving.charge_compute(
                     float(vals.size * cand.size + sizes[cand].sum()),
-                    kernel="query:verify",
+                    kernel=plan.kernel("verify"),
                 )
             if threshold is not None and cand.size:
                 sel = sims >= threshold
@@ -409,8 +410,8 @@ class SimilarityIndex:
             ),
             threshold=threshold,
             top_k=top_k,
-            prefilter=prefilter,
-            estimator=family if family is not None else "exact",
+            prefilter=plan.prefilter,
+            estimator=plan.estimator,
             error_bound=bound,
             n_candidates=n_candidates,
             n_after_size=n_after_size,
@@ -450,65 +451,81 @@ class SimilarityIndex:
     ) -> np.ndarray:
         """Per-candidate J estimates from the stored sketch family."""
         store = self.store
-        sk = make_sketch(
-            family, store.sketch_size, store.sketch_bits, store.sketch_seed
+        return sketch_estimates(
+            vals, cand, sizes, self._family_payloads(family), family,
+            store.sketch_size, store.sketch_bits, store.sketch_seed,
         )
-        sk.update(vals)
-        payloads = self._family_payloads(family)
-        if family == "minhash":
-            est = self._estimate_minhash(
-                sk.hashes, [payloads[int(i)] for i in cand],
-                store.sketch_size,
-            )
-        elif family == "bbit_minhash":
-            fps = np.stack(
-                [
-                    unpack_lanes(
-                        payloads[int(i)], store.sketch_bits,
-                        store.sketch_size,
-                    )
-                    for i in cand
-                ]
-            )
-            matches = (fps == sk.fingerprints()[None, :]).mean(axis=1)
-            est = np.array(
-                [
-                    estimate_bbit_jaccard(float(m), store.sketch_bits)
-                    for m in matches
-                ]
-            )
-        else:
-            regs = np.stack([payloads[int(i)] for i in cand])
-            unions = np.maximum(
-                hll_cardinality(np.maximum(regs, sk.registers[None, :])),
-                1e-12,
-            )
-            inter = vals.size + sizes[cand].astype(np.float64) - unions
-            est = np.clip(inter / unions, 0.0, 1.0)
-        # Exact empty-set rules override any estimate.
-        cand_sizes = sizes[cand]
-        if vals.size == 0:
-            est = np.where(cand_sizes == 0, 1.0, 0.0)
-        else:
-            est = np.where(cand_sizes == 0, 0.0, est)
-        return est
 
-    @staticmethod
-    def _estimate_minhash(
-        qh: np.ndarray, hashes: list[np.ndarray], size: int
-    ) -> np.ndarray:
-        out = np.empty(len(hashes), dtype=np.float64)
-        for i, h in enumerate(hashes):
-            if qh.size == 0 and h.size == 0:
-                out[i] = 1.0
-                continue
-            union = np.union1d(qh, h)[:size]
-            if union.size == 0:
-                out[i] = 1.0
-                continue
-            both = (
-                np.isin(union, qh, assume_unique=True)
-                & np.isin(union, h, assume_unique=True)
-            ).sum()
-            out[i] = both / union.size
-        return out
+
+# ---- sketch estimation (shared by the single and batched paths) -----------
+
+
+def sketch_estimates(
+    vals: np.ndarray,
+    cand: np.ndarray,
+    sizes: np.ndarray,
+    payloads: list[np.ndarray],
+    family: str,
+    sketch_size: int,
+    sketch_bits: int,
+    sketch_seed: int,
+) -> np.ndarray:
+    """Per-candidate J estimates of one query from stored sketches.
+
+    ``payloads`` is indexed by store position (one stored payload per
+    live genome); ``cand`` selects the candidates to estimate.  Both
+    :class:`SimilarityIndex` and the batcher call this, so the two
+    paths prune on byte-identical estimates.
+    """
+    sk = make_sketch(family, sketch_size, sketch_bits, sketch_seed)
+    sk.update(vals)
+    if family == "minhash":
+        est = _estimate_minhash(
+            sk.hashes, [payloads[int(i)] for i in cand], sketch_size
+        )
+    elif family == "bbit_minhash":
+        fps = np.stack(
+            [
+                unpack_lanes(payloads[int(i)], sketch_bits, sketch_size)
+                for i in cand
+            ]
+        )
+        matches = (fps == sk.fingerprints()[None, :]).mean(axis=1)
+        est = np.array(
+            [estimate_bbit_jaccard(float(m), sketch_bits) for m in matches]
+        )
+    else:
+        regs = np.stack([payloads[int(i)] for i in cand])
+        unions = np.maximum(
+            hll_cardinality(np.maximum(regs, sk.registers[None, :])),
+            1e-12,
+        )
+        inter = vals.size + sizes[cand].astype(np.float64) - unions
+        est = np.clip(inter / unions, 0.0, 1.0)
+    # Exact empty-set rules override any estimate.
+    cand_sizes = sizes[cand]
+    if vals.size == 0:
+        est = np.where(cand_sizes == 0, 1.0, 0.0)
+    else:
+        est = np.where(cand_sizes == 0, 0.0, est)
+    return est
+
+
+def _estimate_minhash(
+    qh: np.ndarray, hashes: list[np.ndarray], size: int
+) -> np.ndarray:
+    out = np.empty(len(hashes), dtype=np.float64)
+    for i, h in enumerate(hashes):
+        if qh.size == 0 and h.size == 0:
+            out[i] = 1.0
+            continue
+        union = np.union1d(qh, h)[:size]
+        if union.size == 0:
+            out[i] = 1.0
+            continue
+        both = (
+            np.isin(union, qh, assume_unique=True)
+            & np.isin(union, h, assume_unique=True)
+        ).sum()
+        out[i] = both / union.size
+    return out

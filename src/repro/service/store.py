@@ -30,12 +30,23 @@ one sketch per configured family).
 ``remove`` only tombstones an entry (and drops its row/column from the
 stored Gram, which is exact); ``compact`` rewrites the store without
 the tombstoned shards.
+
+Concurrency: every mutation (``append_many`` / ``remove`` / ``compact``
+/ ``set_gram``) and :meth:`IndexStore.snapshot` hold one store-level
+re-entrant lock, so a snapshot never observes a half-applied batch
+(``append_many`` appends entries one by one before its single version
+bump).  A :class:`StoreSnapshot` is the frozen view a query batch is
+admitted under: shard files are append-only and immutable, so a
+snapshot stays readable after later appends — only ``compact`` (which
+unlinks shards) invalidates older snapshots, and running it with
+queries in flight is unsupported.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -180,6 +191,10 @@ class IndexStore:
     version: int = 0
     next_shard: int = 0
     gram_names: list[str] | None = None
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False,
+        compare=False,
+    )
 
     # ---- lifecycle ----------------------------------------------------
 
@@ -306,6 +321,33 @@ class IndexStore:
                 return e
         raise KeyError(f"unknown genome {name!r}")
 
+    def snapshot(self) -> "StoreSnapshot":
+        """A frozen, version-consistent view of the live genomes.
+
+        Taken under the store lock, so it never observes a mutation
+        half-applied.  Because shards are append-only and immutable,
+        the snapshot's reads stay valid across later ``append_many`` /
+        ``remove`` / ``set_gram`` calls — this is what lets a query
+        batch admitted under version ``v`` finish correctly while the
+        store has already moved on.
+        """
+        with self._lock:
+            live = self.live_entries
+            return StoreSnapshot(
+                root=self.root,
+                m=self.m,
+                version=self.version,
+                names=tuple(e.name for e in live),
+                shards=tuple(e.shard for e in live),
+                _sizes=np.array(
+                    [e.n_values for e in live], dtype=np.int64
+                ),
+                sketch_size=self.sketch_size,
+                sketch_bits=self.sketch_bits,
+                sketch_seed=self.sketch_seed,
+                families=self.families,
+            )
+
     def total_bytes(self) -> int:
         """On-disk footprint of the live shards (encoded frames)."""
         return sum(
@@ -324,42 +366,45 @@ class IndexStore:
         The whole batch is validated (unique names, in-range values)
         before any shard is written, so a bad genome anywhere in the
         list leaves the store untouched; the manifest is saved once,
-        with a single version bump.
+        with a single version bump.  The store lock is held throughout,
+        so a concurrent :meth:`snapshot` sees either none or all of the
+        batch.
         """
-        clean: list[tuple[str, np.ndarray]] = []
-        seen = {e.name for e in self.entries if not e.removed}
-        for name, values in named_values:
-            if name in seen:
-                raise StoreError(f"genome {name!r} already present")
-            seen.add(name)
-            vals = _as_values(values)
-            if vals.size and (vals[0] < 0 or vals[-1] >= self.m):
-                raise StoreError(
-                    f"genome {name!r} has values outside [0, {self.m})"
+        with self._lock:
+            clean: list[tuple[str, np.ndarray]] = []
+            seen = {e.name for e in self.entries if not e.removed}
+            for name, values in named_values:
+                if name in seen:
+                    raise StoreError(f"genome {name!r} already present")
+                seen.add(name)
+                vals = _as_values(values)
+                if vals.size and (vals[0] < 0 or vals[-1] >= self.m):
+                    raise StoreError(
+                        f"genome {name!r} has values outside [0, {self.m})"
+                    )
+                clean.append((name, vals))
+            if not clean:
+                return []
+            new_entries = []
+            for name, vals in clean:
+                payloads: list = [vals]
+                for fam in self.families:
+                    sk = make_sketch(
+                        fam, self.sketch_size, self.sketch_bits,
+                        self.sketch_seed,
+                    )
+                    sk.update(vals)
+                    payloads.append(self._sketch_payload(fam, sk))
+                shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
+                write_records(self.root / shard, payloads, self.codec)
+                entry = GenomeEntry(
+                    name=name, shard=shard, n_values=int(vals.size)
                 )
-            clean.append((name, vals))
-        if not clean:
-            return []
-        new_entries = []
-        for name, vals in clean:
-            payloads: list = [vals]
-            for fam in self.families:
-                sk = make_sketch(
-                    fam, self.sketch_size, self.sketch_bits,
-                    self.sketch_seed,
-                )
-                sk.update(vals)
-                payloads.append(self._sketch_payload(fam, sk))
-            shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
-            write_records(self.root / shard, payloads, self.codec)
-            entry = GenomeEntry(
-                name=name, shard=shard, n_values=int(vals.size)
-            )
-            self.entries.append(entry)
-            self.next_shard += 1
-            new_entries.append(entry)
-        self._bump()
-        return new_entries
+                self.entries.append(entry)
+                self.next_shard += 1
+                new_entries.append(entry)
+            self._bump()
+            return new_entries
 
     @staticmethod
     def _sketch_payload(family: str, sketch) -> np.ndarray:
@@ -388,26 +433,32 @@ class IndexStore:
 
     def remove(self, name: str) -> None:
         """Tombstone a genome; its Gram row/column is dropped exactly."""
-        entry = self._entry(name)
-        if self.gram_names is not None and name in self.gram_names:
-            inter, sizes, names = self._read_gram()
-            keep = [i for i, n in enumerate(names) if n != name]
-            self._write_gram(
-                inter[np.ix_(keep, keep)], sizes[keep],
-                [names[i] for i in keep],
-            )
-        entry.removed = True
-        self._bump()
+        with self._lock:
+            entry = self._entry(name)
+            if self.gram_names is not None and name in self.gram_names:
+                inter, sizes, names = self._read_gram()
+                keep = [i for i, n in enumerate(names) if n != name]
+                self._write_gram(
+                    inter[np.ix_(keep, keep)], sizes[keep],
+                    [names[i] for i in keep],
+                )
+            entry.removed = True
+            self._bump()
 
     def compact(self) -> int:
-        """Drop tombstoned shards from disk; returns shards reclaimed."""
-        dead = [e for e in self.entries if e.removed]
-        for e in dead:
-            (self.root / e.shard).unlink(missing_ok=True)
-        self.entries = [e for e in self.entries if not e.removed]
-        if dead:
-            self._bump()
-        return len(dead)
+        """Drop tombstoned shards from disk; returns shards reclaimed.
+
+        Unlinks shard files, so older :class:`StoreSnapshot` views stop
+        being readable — do not compact with queries in flight.
+        """
+        with self._lock:
+            dead = [e for e in self.entries if e.removed]
+            for e in dead:
+                (self.root / e.shard).unlink(missing_ok=True)
+            self.entries = [e for e in self.entries if not e.removed]
+            if dead:
+                self._bump()
+            return len(dead)
 
     # ---- the persisted all-pairs result -------------------------------
 
@@ -418,21 +469,22 @@ class IndexStore:
         names: list[str] | None = None,
     ) -> None:
         """Persist the exact all-pairs intersection matrix + sizes."""
-        names = list(names) if names is not None else self.names
-        inter = np.ascontiguousarray(intersections, dtype=np.int64)
-        szs = np.ascontiguousarray(sizes, dtype=np.int64)
-        n = len(names)
-        if inter.shape != (n, n):
-            raise StoreError(
-                f"intersections shape {inter.shape} does not match "
-                f"{n} genome(s)"
-            )
-        if szs.shape != (n,):
-            raise StoreError(
-                f"sizes shape {szs.shape} does not match {n} genome(s)"
-            )
-        self._write_gram(inter, szs, names)
-        self._bump()
+        with self._lock:
+            names = list(names) if names is not None else self.names
+            inter = np.ascontiguousarray(intersections, dtype=np.int64)
+            szs = np.ascontiguousarray(sizes, dtype=np.int64)
+            n = len(names)
+            if inter.shape != (n, n):
+                raise StoreError(
+                    f"intersections shape {inter.shape} does not match "
+                    f"{n} genome(s)"
+                )
+            if szs.shape != (n,):
+                raise StoreError(
+                    f"sizes shape {szs.shape} does not match {n} genome(s)"
+                )
+            self._write_gram(inter, szs, names)
+            self._bump()
 
     def _write_gram(
         self, inter: np.ndarray, sizes: np.ndarray, names: list[str]
@@ -481,3 +533,59 @@ class IndexStore:
             f"families={'/'.join(self.families)}, version={self.version}, "
             f"gram {gram}, {self.total_bytes()} shard byte(s)"
         )
+
+
+@dataclass
+class StoreSnapshot:
+    """An immutable view of one store version's live genomes.
+
+    Carries everything the query engines read — names, shard paths,
+    exact sizes, the sketch configuration — captured atomically under
+    the store lock.  Reads go to the same immutable shard files, and
+    decoded values / sketch payloads are memoized per snapshot (the
+    snapshot can never go stale, so the memo never needs invalidation).
+    """
+
+    root: Path
+    m: int
+    version: int
+    names: tuple[str, ...]
+    shards: tuple[str, ...]
+    _sizes: np.ndarray
+    sketch_size: int
+    sketch_bits: int
+    sketch_seed: int
+    families: tuple[str, ...]
+    _values: dict = field(default_factory=dict, repr=False, compare=False)
+    _payloads: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n_genomes(self) -> int:
+        return len(self.names)
+
+    def sizes(self) -> np.ndarray:
+        return self._sizes
+
+    def _shard(self, name: str) -> Path:
+        try:
+            return self.root / self.shards[self.names.index(name)]
+        except ValueError:
+            raise KeyError(
+                f"unknown genome {name!r} at version {self.version}"
+            ) from None
+
+    def load_values(self, name: str) -> np.ndarray:
+        if name not in self._values:
+            self._values[name] = read_record(self._shard(name), 0)
+        return self._values[name]
+
+    def load_sketch_payload(self, name: str, family: str) -> np.ndarray:
+        if family not in self.families:
+            raise StoreError(
+                f"family {family!r} not stored (store holds {self.families})"
+            )
+        key = (name, family)
+        if key not in self._payloads:
+            idx = 1 + self.families.index(family)
+            self._payloads[key] = read_record(self._shard(name), idx)
+        return self._payloads[key]

@@ -12,7 +12,10 @@ over ``tests/data/smoke_fasta``:
   ``index add`` of the fourth, then ``index query --threshold`` of one
   sample against the four-genome index; the query's matches must agree
   exactly with a fresh batch-engine exact run over the same four
-  samples (same qualifying set, same similarities).
+  samples (same qualifying set, same similarities).  A second query
+  pass feeds every sample through ``index query --batch-file`` and
+  requires each batched answer to equal the per-query answer for the
+  same sample, name for name and similarity for similarity.
 
 These are the cheapest whole-pipeline checks there are: FASTA parsing,
 k-mer extraction, the distributed engine, the sketch subsystem, the
@@ -164,12 +167,61 @@ def check_index(
                 f"index query similarity for {gn} differs from the fresh "
                 f"exact run: {gs!r} vs {es!r}"
             )
+
+    # Batched front end: every sample through one --batch-file run must
+    # give the same answer the per-query path gives for that sample.
+    per_query: dict[str, list[tuple[str, float]]] = {}
+    for fasta in fastas:
+        single_json = workdir / f"single_{fasta.stem}.json"
+        run_cli(
+            [
+                "index", "query", str(fasta), "--index", str(index_dir),
+                "--threshold", str(threshold), "--json", str(single_json),
+            ]
+        )
+        single = json.loads(single_json.read_text())
+        per_query[fasta.stem] = [
+            (m["name"], m["similarity"]) for m in single["matches"]
+        ]
+    batch_list = workdir / "batch_queries.txt"
+    batch_list.write_text("".join(f"{p}\n" for p in fastas))
+    batch_json = workdir / "batch.json"
+    run_cli(
+        [
+            "index", "query", "--batch-file", str(batch_list),
+            "--index", str(index_dir),
+            "--threshold", str(threshold), "--json", str(batch_json),
+        ]
+    )
+    batch = json.loads(batch_json.read_text())
+    if not batch.get("batched") or batch.get("n_queries") != len(fastas):
+        raise SystemExit(
+            f"--batch-file payload malformed: expected a batched run over "
+            f"{len(fastas)} queries, got {batch!r}"
+        )
+    for entry in batch["queries"]:
+        stem = Path(entry["query"]).stem
+        got_b = [(m["name"], m["similarity"]) for m in entry["matches"]]
+        want = per_query[stem]
+        if [n for n, _ in got_b] != [n for n, _ in want]:
+            raise SystemExit(
+                f"batched query for {stem} returned a different match set "
+                f"than the per-query path: "
+                f"{[n for n, _ in got_b]} vs {[n for n, _ in want]}"
+            )
+        for (bn, bs), (_, ss) in zip(got_b, want):
+            if abs(bs - ss) > 1e-9:
+                raise SystemExit(
+                    f"batched similarity for {stem}/{bn} differs from the "
+                    f"per-query path: {bs!r} vs {ss!r}"
+                )
     return (
         f"cli smoke ok [index]: build({len(fastas) - 1}) -> add(1) -> "
         f"query t={threshold:g} returned {len(got)} match(es) identical "
         f"to the fresh exact run "
         f"({result['n_candidates']} candidate(s), "
-        f"{result['n_verified']} verified)"
+        f"{result['n_verified']} verified); --batch-file over "
+        f"{len(fastas)} queries matched the per-query path"
     )
 
 
