@@ -56,12 +56,25 @@ modelled query latency for both paths.  The headline the query engine
 has to keep earning is a >=5x candidate pruning ratio at exact
 results on at least one Fig. 2 workload.
 
+A seventh section benchmarks the banded MinHash-LSH candidate index
+(``repro.service.lsh``): each Fig. 2 workload is persisted with the
+``bbit_minhash`` family and served at t=0.3 through the size-ratio
+scan, the LSH probe (``query_candidates="lsh"``), and the auditing
+union (``"lsh_exact"``).  Appends to ``BENCH_lsh.json``: the
+candidate-set reduction of the probe vs the size-ratio scan, the
+measured recall over the brute-force true matches against the plan's
+analytic collision bound ``1 - (1 - t^r)^b``, an exactness flag for
+``lsh_exact`` vs brute force, and the modelled cost of both paths.
+The headline the LSH index has to keep earning is a candidate-set
+reduction over the size scan at exact ``lsh_exact`` results with the
+measured recall meeting the analytic bound on both Fig. 2 workloads.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
                                               # BENCH_pipeline.json +
                                               # BENCH_wire.json +
                                               # BENCH_sketch.json +
-                                              # BENCH_query.json
+                                              # BENCH_query.json + ...
       python benchmarks/harness.py --smoke    # tiny sizes (CI), writes
                                               # nothing unless --output/
                                               # --pipeline-output/
@@ -93,6 +106,7 @@ DEFAULT_WIRE_OUTPUT = REPO_ROOT / "BENCH_wire.json"
 DEFAULT_SKETCH_OUTPUT = REPO_ROOT / "BENCH_sketch.json"
 DEFAULT_QUERY_OUTPUT = REPO_ROOT / "BENCH_query.json"
 DEFAULT_SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
+DEFAULT_LSH_OUTPUT = REPO_ROOT / "BENCH_lsh.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -830,6 +844,135 @@ def run_service_harness(smoke: bool = False) -> dict:
     return entry
 
 
+#: LSH-section parameters.  Queries run at t=0.3 (the Fig. 2 serving
+#: threshold) against stores whose LSH tables were *planned* at the
+#: store-level default t=0.5 — the analytic recall bound reported is
+#: the plan's curve evaluated at the query threshold, which is the
+#: valid lower bound for every true match with J >= 0.3.
+LSH_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=48),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=64),
+}
+SMOKE_LSH_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=12),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=16),
+}
+
+
+def run_lsh_workload(name: str, spec: dict, lspec: dict, root) -> dict:
+    """LSH probe vs size-ratio scan vs brute force over one index."""
+    from repro.core.config import SimilarityConfig as _Config
+    from repro.service import IndexStore, SimilarityIndex
+
+    source = _source(spec)
+    values = _materialize_values(source)
+    store = IndexStore.create(
+        root, m=spec["m"], codec="adaptive",
+        families=("minhash", "bbit_minhash"), sketch_size=256,
+    )
+    store.append_many(
+        [(f"s{j:05d}", vals) for j, vals in enumerate(values)]
+    )
+    plan = store.lsh_table().plan
+    threshold = lspec["threshold"]
+    queries = list(range(min(lspec["n_queries"], source.n)))
+
+    def engine(prefilter, candidates):
+        return SimilarityIndex(
+            store,
+            machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+            config=_Config(
+                query_prefilter=prefilter, query_candidates=candidates,
+                query_cache_size=0,
+            ),
+        )
+
+    scan = engine("size", "scan")
+    probe = engine("size", "lsh")
+    audit = engine("size", "lsh_exact")
+    brute = engine("off", "scan")
+
+    scan_after_size = lsh_after_size = lsh_probed = 0
+    scan_sim = lsh_sim = 0.0
+    true_matches = retrieved_true = 0
+    audit_exact = True
+    for j in queries:
+        ref = brute.query_values(values[j], threshold=threshold)
+        s = scan.query_values(values[j], threshold=threshold)
+        p = probe.query_values(values[j], threshold=threshold)
+        a = audit.query_values(values[j], threshold=threshold)
+        scan_after_size += s.n_after_size
+        lsh_after_size += p.n_after_size
+        lsh_probed += p.n_after_lsh or 0
+        scan_sim += s.simulated_seconds
+        lsh_sim += p.simulated_seconds
+        got = {m.name for m in p.matches}
+        for m in ref.matches:
+            true_matches += 1
+            retrieved_true += m.name in got
+        audit_exact = audit_exact and (
+            [(m.name, m.similarity) for m in a.matches]
+            == [(m.name, m.similarity) for m in ref.matches]
+        )
+    q = len(queries)
+    bound = plan.recall_at(threshold)
+    measured = retrieved_true / true_matches if true_matches else 1.0
+    summary = {
+        "threshold": threshold,
+        "n_queries": q,
+        "n_genomes": source.n,
+        "bands": plan.bands,
+        "rows": plan.rows,
+        "lsh_threshold": plan.threshold,
+        "scan_candidates_after_size": scan_after_size,
+        "lsh_candidates_after_probe": lsh_probed,
+        "lsh_candidates_after_size": lsh_after_size,
+        "candidate_reduction_vs_scan": (
+            scan_after_size / max(lsh_after_size, 1)
+        ),
+        "analytic_recall_bound": bound,
+        "true_matches": true_matches,
+        "measured_recall": measured,
+        "recall_meets_analytic_bound": bool(measured >= bound - 1e-9),
+        "lsh_exact_vs_bruteforce": bool(audit_exact),
+        "simulated_seconds_scan": scan_sim,
+        "simulated_seconds_lsh": lsh_sim,
+        "modelled_speedup_vs_scan": (
+            scan_sim / lsh_sim if lsh_sim > 0 else float("inf")
+        ),
+    }
+    print(
+        f"  {name:<24} t={threshold:<5g} {q} queries: LSH keeps "
+        f"{lsh_after_size} of {scan_after_size} scan candidate(s) "
+        f"({summary['candidate_reduction_vs_scan']:.1f}x reduction), "
+        f"recall {measured:.3f} >= bound {bound:.3f}: "
+        f"{summary['recall_meets_analytic_bound']}, "
+        f"lsh_exact==brute: {audit_exact}"
+    )
+    return {"params": dict(spec, **lspec), "summary": summary}
+
+
+def run_lsh_harness(smoke: bool = False) -> dict:
+    """The LSH candidate-index section: one trajectory entry."""
+    import tempfile
+
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    lspecs = SMOKE_LSH_SPECS if smoke else LSH_SPECS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) LSH candidate index ==")
+        with tempfile.TemporaryDirectory(prefix="bench_lsh_") as tmp:
+            entry["workloads"][name] = run_lsh_workload(
+                name, dict(spec), lspecs[name], Path(tmp) / "index"
+            )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -913,6 +1056,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--lsh-output", type=Path, default=None,
+        help=(
+            f"LSH candidate-index trajectory file to append to (default "
+            f"{DEFAULT_LSH_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -980,6 +1131,17 @@ def main(argv: list[str] | None = None) -> int:
             "service trajectory not written (--output was redirected; "
             "pass --service-output to record it)"
         )
+    lsh_entry = run_lsh_harness(smoke=args.smoke)
+    lsh_output = args.lsh_output
+    if lsh_output is None and not args.smoke and args.output is None:
+        lsh_output = DEFAULT_LSH_OUTPUT
+    if lsh_output is not None:
+        append_entry(lsh_entry, lsh_output)
+    elif not args.smoke:
+        print(
+            "lsh trajectory not written (--output was redirected; "
+            "pass --lsh-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -1028,6 +1190,16 @@ def main(argv: list[str] | None = None) -> int:
             f"modelled over serial at batch >= 8 "
             f"(exact vs per-query: {s['exact_vs_perquery']}, "
             f"vs brute force: {s['exact_vs_bruteforce']})"
+        )
+    for name, wl in lsh_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: LSH probe cuts candidates "
+            f"{s['candidate_reduction_vs_scan']:.1f}x vs the size scan "
+            f"(recall {s['measured_recall']:.3f} >= "
+            f"{s['analytic_recall_bound']:.3f}: "
+            f"{s['recall_meets_analytic_bound']}, lsh_exact==brute: "
+            f"{s['lsh_exact_vs_bruteforce']})"
         )
     return 0
 

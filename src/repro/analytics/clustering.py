@@ -104,26 +104,51 @@ def hierarchical_clusters(
     return labels
 
 
-def threshold_clusters(samples, threshold: float) -> np.ndarray:
+def threshold_clusters(
+    samples,
+    threshold: float,
+    candidates: str = "scan",
+    sketch_size: int = 256,
+    sketch_bits: int = 8,
+    seed: int = 0,
+) -> np.ndarray:
     """Connected components of the ``J >= threshold`` similarity graph.
 
     The threshold variant of single-linkage clustering: two samples
     land in one cluster iff a chain of pairs with ``J >= threshold``
-    connects them.  Instead of scanning all ``n^2`` pairs, candidate
-    pairs come from the query engine's exact size-ratio pruning bound
-    (:func:`repro.service.query.size_ratio_window`): sorted by set
-    size, sample ``i`` only needs to be verified against the samples
-    whose size falls in ``[t * |A_i|, |A_i| / t]`` — every pair outside
-    the window provably has ``J < t``.  Only surviving candidates pay
-    for an exact intersection.
+    connects them.  Candidate pairs come from the query engine's
+    candidate generators instead of all ``n^2`` pairs:
 
-    Returns cluster labels (``0..k-1``, numbered by first appearance).
+    * ``candidates="scan"`` (default) — the exact size-ratio pruning
+      bound (:func:`repro.service.query.size_ratio_window`): sorted by
+      set size, sample ``i`` is only verified against samples whose
+      size falls in ``[t * |A_i|, |A_i| / t]``; every pair outside the
+      window provably has ``J < t``.  Exact.
+    * ``candidates="lsh"`` — a banded MinHash-LSH table
+      (:mod:`repro.service.lsh`) built in memory over b-bit lane
+      fingerprints; only co-bucketed pairs inside the size window are
+      verified.  Sub-quadratic but *approximate*: an edge at exactly
+      ``J = t`` is missed with probability at most ``(1 - t^r)^b``
+      (the plan's curve at the clustering threshold), which can split
+      a cluster.
+    * ``candidates="lsh_exact"`` — both generators unioned; exact,
+      with the LSH probes exercised (for recall auditing).
+
+    Only surviving candidates pay for an exact intersection; every
+    reported edge is exact in all modes.  Returns cluster labels
+    (``0..k-1``, numbered by first appearance).
     """
+    from repro.core.config import QUERY_CANDIDATES
     from repro.service.query import exact_jaccard, size_ratio_window
 
     if not 0.0 < threshold <= 1.0:
         raise ValueError(
             f"threshold must be in (0, 1], got {threshold}"
+        )
+    if candidates not in QUERY_CANDIDATES:
+        raise ValueError(
+            f"candidates must be one of {QUERY_CANDIDATES}, "
+            f"got {candidates!r}"
         )
     arrays = [
         np.unique(np.asarray(sorted(s), dtype=np.int64)) for s in samples
@@ -140,23 +165,47 @@ def threshold_clusters(samples, threshold: float) -> np.ndarray:
             x = int(parent[x])
         return x
 
-    # Size-sorted sweep: for each sample (ascending size), the bound
-    # caps how much larger a partner may be, so the inner scan stops at
-    # the first size outside the window.
-    sorted_sizes = sizes[order]
-    for pos in range(n):
-        i = int(order[pos])
-        _, hi = size_ratio_window(int(sizes[i]), threshold)
-        for pos2 in range(pos + 1, n):
-            if sorted_sizes[pos2] > hi:
-                break
-            j = int(order[pos2])
-            if find(i) == find(j):
-                continue
-            if exact_jaccard(arrays[i], arrays[j]) >= threshold:
-                parent[find(j)] = find(i)
-        # Samples of equal size sort adjacently, so the break above
-        # never skips an in-window partner.
+    def try_union(i: int, j: int) -> None:
+        if find(i) == find(j):
+            return
+        if exact_jaccard(arrays[i], arrays[j]) >= threshold:
+            parent[find(j)] = find(i)
+
+    if candidates in ("lsh", "lsh_exact"):
+        from repro.core.sketch import make_sketch
+        from repro.service.lsh import LSHTable, plan_bands
+
+        fps = []
+        for arr in arrays:
+            sk = make_sketch("bbit_minhash", sketch_size, sketch_bits, seed)
+            sk.update(arr)
+            fps.append(sk.fingerprints())
+        table = LSHTable.build(
+            plan_bands(threshold, sketch_size), sketch_bits, seed, fps
+        )
+        for i in range(n):
+            probed, _ = table.probe(fps[i])
+            lo, hi = size_ratio_window(int(sizes[i]), threshold)
+            for j in probed:
+                j = int(j)
+                if j <= i or not lo <= sizes[j] <= hi:
+                    continue
+                try_union(i, j)
+
+    if candidates in ("scan", "lsh_exact"):
+        # Size-sorted sweep: for each sample (ascending size), the
+        # bound caps how much larger a partner may be, so the inner
+        # scan stops at the first size outside the window.
+        sorted_sizes = sizes[order]
+        for pos in range(n):
+            i = int(order[pos])
+            _, hi = size_ratio_window(int(sizes[i]), threshold)
+            for pos2 in range(pos + 1, n):
+                if sorted_sizes[pos2] > hi:
+                    break
+                try_union(i, int(order[pos2]))
+            # Samples of equal size sort adjacently, so the break above
+            # never skips an in-window partner.
 
     labels = np.full(n, -1, dtype=np.int64)
     next_label = 0

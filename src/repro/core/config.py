@@ -25,6 +25,16 @@ GRAM_ALGORITHMS = ("summa", "1d_allreduce")
 #: config layer never imports upward.
 QUERY_PREFILTERS = ("off", "size", "cascade")
 
+#: Candidate generator of the service-layer query engine.  ``"scan"``
+#: = linear scan of the size-ratio window (exact, grows with corpus
+#: size); ``"lsh"`` = banded MinHash-LSH bucket probe intersected with
+#: the size window (sub-linear, approximate — misses a true match at
+#: threshold ``t`` with probability at most ``(1 - t^r)^b``); and
+#: ``"lsh_exact"`` = the probe unioned with the full window scan
+#: (exact; used to audit measured LSH recall against the analytic
+#: bound).
+QUERY_CANDIDATES = ("scan", "lsh", "lsh_exact")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -112,6 +122,19 @@ class SimilarityConfig:
         ``"cascade"`` is exact at the sketches' 95% confidence (a
         candidate is pruned only when its estimate plus the analytic
         bound is still below the threshold).
+    query_candidates:
+        Candidate generator the cascade starts from.  ``"scan"``
+        (default) enumerates every live genome and lets the size-ratio
+        window prune linearly; ``"lsh"`` probes the store's banded
+        MinHash-LSH bucket tables (:mod:`repro.service.lsh`) instead —
+        sub-linear, but *approximate*: a true match at threshold ``t``
+        is retrieved with probability at least ``1 - (1 - t^r)^b``
+        (the store's band/row plan), not certainty.  ``"lsh_exact"``
+        runs the probe *and* the full window scan and unions them —
+        results stay exactly equal to brute force while the probe's
+        candidate set is still measured, which is how LSH recall is
+        audited.  Both LSH modes require the store to hold the
+        ``bbit_minhash`` family.
     query_cache_size:
         Entry capacity of the service layer's LRU query/result cache;
         0 disables caching (every query recomputes).
@@ -156,6 +179,7 @@ class SimilarityConfig:
     sketch_bits: int = 8
     sketch_seed: int = 0
     query_prefilter: str = "cascade"
+    query_candidates: str = "scan"
     query_cache_size: int = 128
     query_batch_size: int = 32
     query_max_wait: float = 0.01
@@ -219,6 +243,11 @@ class SimilarityConfig:
             raise ValueError(
                 f"query_prefilter must be one of {QUERY_PREFILTERS}, "
                 f"got {self.query_prefilter!r}"
+            )
+        if self.query_candidates not in QUERY_CANDIDATES:
+            raise ValueError(
+                f"query_candidates must be one of {QUERY_CANDIDATES}, "
+                f"got {self.query_candidates!r}"
             )
         if self.query_cache_size < 0:
             raise ValueError(

@@ -22,7 +22,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import QUERY_PREFILTERS, SimilarityConfig
+from repro.core.config import (
+    QUERY_CANDIDATES,
+    QUERY_PREFILTERS,
+    SimilarityConfig,
+)
 from repro.core.sketch import ESTIMATORS
 from repro.runtime.codec import WIRE_CODECS
 from repro.runtime.pipeline import PIPELINE_MODES
@@ -222,6 +226,17 @@ def build_index_parser() -> argparse.ArgumentParser:
         ),
     )
     query.add_argument(
+        "--candidates", choices=list(QUERY_CANDIDATES), default="scan",
+        help=(
+            "candidate generator: scan (default) = every stored genome "
+            "enters the cascade; lsh = probe the store's banded "
+            "MinHash-LSH buckets first (sub-linear, approximate "
+            "recall bounded by the band plan); lsh_exact = probe the "
+            "buckets but keep the full scan (exact answers, LSH "
+            "recall auditable from the counters)"
+        ),
+    )
+    query.add_argument(
         "--estimator", choices=list(ESTIMATORS), default="exact",
         help=(
             "stored sketch family the prefilter estimates with (exact = "
@@ -277,7 +292,8 @@ def index_main(argv: list[str]) -> int:
     if args.threshold is None and args.top_k is None:
         raise SystemExit("index query requires --threshold and/or --top-k")
     overrides = dict(
-        query_prefilter=args.prefilter, estimator=args.estimator
+        query_prefilter=args.prefilter, estimator=args.estimator,
+        query_candidates=args.candidates,
     )
     if args.batch_size is not None:
         overrides["query_batch_size"] = args.batch_size
@@ -360,8 +376,10 @@ def _query_payload(path: Path, result) -> dict:
         "top_k": result.top_k,
         "prefilter": result.prefilter,
         "estimator": result.estimator,
+        "candidates": result.candidates,
         "error_bound": result.error_bound,
         "n_candidates": result.n_candidates,
+        "n_after_lsh": result.n_after_lsh,
         "n_after_size": result.n_after_size,
         "n_verified": result.n_verified,
         "pruning_ratio": result.pruning_ratio,

@@ -11,6 +11,10 @@ package **persists and serves**:
   version-consistent snapshots;
 * :mod:`repro.service.incremental` — add genomes by computing only the
   new-vs-existing border block (bit-identical to a rebuild);
+* :mod:`repro.service.lsh` — banded MinHash-LSH bucket tables over the
+  stored b-bit lane fingerprints: band/row planning from the collision
+  curve ``1 - (1 - s^r)^b``, incremental maintenance, and codec-frame
+  persistence alongside the manifest;
 * :mod:`repro.service.plan` — the explicit :class:`QueryPlan` stage
   pipeline both query paths compile to;
 * :mod:`repro.service.query` — the threshold/top-k query engine with
@@ -33,6 +37,13 @@ from repro.service.incremental import (
     add_genomes,
     rebuild,
     similarity_from_gram,
+)
+from repro.service.lsh import (
+    BandPlan,
+    LSHTable,
+    band_keys,
+    collision_probability,
+    plan_bands,
 )
 from repro.service.plan import PlanStage, QueryPlan, compile_plan
 from repro.service.query import (
@@ -60,6 +71,11 @@ __all__ = [
     "add_genomes",
     "rebuild",
     "similarity_from_gram",
+    "BandPlan",
+    "LSHTable",
+    "band_keys",
+    "collision_probability",
+    "plan_bands",
     "PlanStage",
     "QueryPlan",
     "compile_plan",

@@ -50,6 +50,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.sketch import make_sketch
 from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
 from repro.service.cache import result_cache_key
 from repro.service.plan import ADMIT_KERNEL, QueryPlan, compile_plan
@@ -58,10 +59,11 @@ from repro.service.query import (
     QueryMatch,
     QueryResult,
     SimilarityIndex,
+    size_ratio_mask,
     size_ratio_window,
     sketch_estimates,
 )
-from repro.service.store import StoreSnapshot, _as_values
+from repro.service.store import LSH_FAMILY, StoreSnapshot, _as_values
 from repro.sparse.bitmatrix import BitMatrix
 from repro.sparse.spgemm import gram_popcount_blocked
 
@@ -194,8 +196,8 @@ class QueryBatcher:
                     exclude_name=exclude_name,
                     key=result_cache_key(
                         vals, threshold, top_k, batch.plan.prefilter,
-                        batch.plan.family, exclude_name,
-                        batch.snapshot.version,
+                        batch.plan.family, batch.plan.candidates,
+                        exclude_name, batch.snapshot.version,
                     ),
                     future=future,
                 )
@@ -248,7 +250,7 @@ class QueryBatcher:
                         exclude_name=item.exclude_name,
                         key=result_cache_key(
                             vals, item.threshold, item.top_k,
-                            plan.prefilter, plan.family,
+                            plan.prefilter, plan.family, plan.candidates,
                             item.exclude_name, snapshot.version,
                         ),
                         future=Future(),
@@ -392,8 +394,11 @@ class QueryBatcher:
         before = machine.ledger.snapshot()
         with machine.phase("query_batch"):
             serving.charge_compute(float(batch_size), kernel=ADMIT_KERNEL)
-            cands = self._window_stage(
+            probes, n_after_lsh = self._lsh_stage(
                 serving, requests, misses, snapshot, plan
+            )
+            cands = self._window_stage(
+                serving, requests, misses, snapshot, plan, probes
             )
             n_after_size = [int(c.size) for c in cands.values()]
             cands = self._sketch_stage(
@@ -435,6 +440,8 @@ class QueryBatcher:
                     n_after_sketch=int(cands[i].size),
                     store_version=snapshot.version,
                     simulated_seconds=0.0,
+                    candidates=plan.candidates,
+                    n_after_lsh=n_after_lsh.get(i),
                     batch_size=batch_size,
                 )
         # The batch's modelled cost is split evenly across the queries
@@ -457,23 +464,84 @@ class QueryBatcher:
             self._sorted_version = snapshot.version
         return self._size_order, self._sorted_sizes
 
-    def _window_stage(
+    def _lsh_stage(
         self, serving, requests, misses, snapshot, plan
+    ) -> tuple[dict[int, np.ndarray], dict[int, int | None]]:
+        """Banded LSH bucket probes, one per cache-missed request.
+
+        Returns ``(probes, counts)``: per request, the probed store
+        positions with the request's self-match already excluded, and
+        the ``n_after_lsh`` audit count (``None`` when there was
+        nothing to probe, mirroring the single path).  Under
+        ``"lsh_exact"`` only ``counts`` is consumed — the window stage
+        still scans, keeping results exact.
+        """
+        if plan.stage("lsh") is None:
+            return {}, {}
+        table = snapshot.lsh
+        n = snapshot.n_genomes
+        probes: dict[int, np.ndarray] = {}
+        counts: dict[int, int | None] = {}
+        total_flops = 0.0
+        for i in misses:
+            req = requests[i]
+            excl = -1
+            if req.exclude_name is not None:
+                try:
+                    excl = snapshot.names.index(req.exclude_name)
+                except ValueError:
+                    excl = -1
+            if n - (1 if excl >= 0 else 0) == 0:
+                counts[i] = None
+                continue
+            sk = make_sketch(
+                LSH_FAMILY, snapshot.sketch_size, snapshot.sketch_bits,
+                snapshot.sketch_seed,
+            )
+            sk.update(req.vals)
+            probed, retrieved = table.probe(sk.fingerprints())
+            total_flops += table.probe_cost(retrieved)
+            if excl >= 0:
+                probed = probed[probed != excl]
+            probes[i] = probed
+            counts[i] = int(probed.size)
+        if total_flops:
+            serving.charge_compute(total_flops, kernel=plan.kernel("lsh"))
+        return probes, counts
+
+    def _window_stage(
+        self, serving, requests, misses, snapshot, plan, probes=None
     ) -> dict[int, np.ndarray]:
         """Per-request candidate windows over size-sorted lengths.
 
         Matches the single path's size-ratio mask exactly; only the
         cost shape changes (one amortized argsort per store version
         plus two log-time probes per request, instead of a full size
-        scan per query).
+        scan per query).  Under ``candidates="lsh"`` a request's
+        window is instead a direct size mask over its (much smaller)
+        probed set.
         """
         sizes = snapshot.sizes()
         n = snapshot.n_genomes
         windowed = plan.stage("window") is not None and n > 0
+        probes = probes if probes is not None else {}
         cands: dict[int, np.ndarray] = {}
         charged_probes = 0
         for i in misses:
             req = requests[i]
+            if plan.candidates == "lsh" and i in probes:
+                cand = probes[i]
+                if windowed and req.threshold is not None and cand.size:
+                    serving.charge_compute(
+                        float(cand.size), kernel=plan.kernel("window")
+                    )
+                    cand = cand[
+                        size_ratio_mask(
+                            sizes[cand], int(req.vals.size), req.threshold
+                        )
+                    ]
+                cands[i] = cand.astype(np.int64)
+                continue
             if windowed and req.threshold is not None:
                 order, sorted_sizes = self._size_sort(snapshot)
                 if snapshot.version not in self._charged_sort_versions:

@@ -37,6 +37,7 @@ def result_cache_key(
     top_k: int | None,
     prefilter: str,
     family: str | None,
+    candidates: str,
     exclude_name: str | None,
     store_version: int,
 ) -> tuple:
@@ -45,7 +46,9 @@ def result_cache_key(
     Everything that determines the answer, nothing else: the query's
     content digest and size, the query parameters, the sketch family
     the prefilter would consult (``None`` unless the cascade runs), the
-    excluded self-match, and the store version (any index mutation
+    candidate generator (an approximate ``"lsh"`` answer must never be
+    served for a ``"scan"`` / ``"lsh_exact"`` request, or vice versa),
+    the excluded self-match, and the store version (any index mutation
     changes the version and so invalidates every prior entry).  Batch
     membership is deliberately absent — a query answers the same
     whether it arrived alone or coalesced, so both execution paths
@@ -54,7 +57,7 @@ def result_cache_key(
     return (
         hashlib.sha256(vals.tobytes()).hexdigest(),
         int(vals.size), threshold, top_k, prefilter,
-        family, exclude_name, store_version,
+        family, candidates, exclude_name, store_version,
     )
 
 

@@ -1,0 +1,420 @@
+"""Banded MinHash-LSH candidate index (sub-linear candidate generation).
+
+The query cascade's candidate generator was a linear scan of the
+size-ratio window — the one serving stage that grows with corpus size.
+This module adds the standard banded LSH construction over the b-bit
+MinHash lane fingerprints the store already persists (the
+``bbit_minhash`` family): the ``k`` lanes are split into ``b`` bands of
+``r`` rows, each band's ``r`` fingerprints fold into one 64-bit bucket
+key, and two genomes become candidates iff they share a bucket in at
+least one band.  For a pair with Jaccard similarity ``s``, a band
+collides with probability at least ``s^r`` (exactly ``s^r`` absent the
+``2^-bits`` fingerprint-collision floor, which only *adds* collisions),
+so the pair is retrieved with probability at least
+
+    ``P(s) = 1 - (1 - s^r)^b``
+
+— the classic LSH S-curve.  :func:`plan_bands` picks ``(b, r)`` from
+this curve for a target threshold and false-negative budget;
+:func:`collision_probability` evaluated at a query's threshold is the
+analytic per-match recall bound the benchmarks audit against.
+
+An :class:`LSHTable` stores, per band, the sorted unique bucket keys
+with a CSR offsets array and a member-position array — probing is
+``b`` binary searches plus the retrieved bucket members, independent
+of the corpus size.  The structure is *canonical*: it depends only on
+the (ordered) item fingerprints, never on insertion history, so an
+incremental :meth:`~LSHTable.with_added` equals a from-scratch
+:meth:`~LSHTable.build` (property-tested in
+``tests/service/test_lsh.py``).  Tables are value objects — mutation
+returns a new table — so a :class:`~repro.service.store.StoreSnapshot`
+holding a table stays frozen while the store moves on.
+
+Serialization is a list of codec frames (the store's wire codecs),
+persisted by :mod:`repro.service.store` next to the manifest and
+versioned with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sketch import splitmix64
+from repro.util.prng import derive_seed
+
+__all__ = [
+    "BandPlan",
+    "LSHTable",
+    "band_keys",
+    "collision_probability",
+    "plan_bands",
+]
+
+
+def collision_probability(s, rows: int, bands: int):
+    """The banded-LSH retrieval probability ``1 - (1 - s^r)^b``.
+
+    For a pair with Jaccard similarity ``s``, each of the ``b`` bands
+    collides independently with probability ``s^r`` (``r`` lanes must
+    all match), so the pair shares at least one bucket with this
+    probability.  Monotone increasing in ``s``: evaluated at a query
+    threshold ``t`` it lower-bounds the retrieval probability of every
+    true match (``J >= t``).  Accepts scalars or arrays.
+
+    >>> round(collision_probability(1.0, 4, 64), 4)
+    1.0
+    >>> collision_probability(0.0, 4, 64)
+    0.0
+    """
+    if rows <= 0 or bands <= 0:
+        raise ValueError(
+            f"rows and bands must be positive, got r={rows}, b={bands}"
+        )
+    s = np.clip(np.asarray(s, dtype=np.float64), 0.0, 1.0)
+    out = 1.0 - (1.0 - s**rows) ** bands
+    return float(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class BandPlan:
+    """A banding of ``n_lanes`` fingerprint lanes into ``bands x rows``.
+
+    ``threshold`` / ``fn_budget`` record what the plan was chosen for;
+    ``recall`` is the analytic retrieval probability at exactly the
+    planning threshold, and ``meets_budget`` says whether the lane
+    budget admitted a plan honouring ``recall >= 1 - fn_budget`` (when
+    it cannot, :func:`plan_bands` falls back to the highest-recall
+    banding, ``r = 1``).
+    """
+
+    bands: int
+    rows: int
+    n_lanes: int
+    threshold: float
+    fn_budget: float
+
+    def __post_init__(self) -> None:
+        if self.bands <= 0 or self.rows <= 0:
+            raise ValueError(
+                f"bands and rows must be positive, "
+                f"got b={self.bands}, r={self.rows}"
+            )
+        if self.bands * self.rows > self.n_lanes:
+            raise ValueError(
+                f"bands*rows = {self.bands * self.rows} exceeds "
+                f"n_lanes = {self.n_lanes}"
+            )
+
+    @property
+    def recall(self) -> float:
+        """Analytic retrieval probability at the planning threshold."""
+        return collision_probability(self.threshold, self.rows, self.bands)
+
+    @property
+    def meets_budget(self) -> bool:
+        return self.recall >= 1.0 - self.fn_budget
+
+    def recall_at(self, threshold: float) -> float:
+        """The retrieval-probability bound for matches at ``threshold``."""
+        return collision_probability(threshold, self.rows, self.bands)
+
+    def describe(self) -> str:
+        return (
+            f"{self.bands} band(s) x {self.rows} row(s) over "
+            f"{self.n_lanes} lane(s): recall >= {self.recall:.4f} at "
+            f"t={self.threshold:g} (budget {self.fn_budget:g}"
+            f"{'' if self.meets_budget else ', NOT met'})"
+        )
+
+
+def plan_bands(
+    threshold: float, n_lanes: int, fn_budget: float = 0.05
+) -> BandPlan:
+    """Pick ``(bands, rows)`` from the collision-probability curve.
+
+    Among the bandings ``r in 1..n_lanes`` with ``b = n_lanes // r``,
+    the largest ``r`` (the steepest S-curve, hence the fewest false-
+    positive candidates) whose analytic recall at the planning
+    threshold still honours the false-negative budget:
+
+        ``1 - (1 - threshold^r)^b  >=  1 - fn_budget``
+
+    Larger ``r`` always means lower recall at fixed lane count, so the
+    feasible set is a prefix of ``r`` values and the choice is the
+    precision-optimal plan inside the recall budget.  When even
+    ``r = 1`` misses the budget (tiny thresholds, few lanes), the
+    ``r = 1`` banding is returned with ``meets_budget`` False — the
+    caller can audit via ``lsh_exact`` or add lanes.
+
+    >>> plan = plan_bands(threshold=0.5, n_lanes=256, fn_budget=0.05)
+    >>> (plan.bands, plan.rows)
+    (64, 4)
+    >>> plan.meets_budget
+    True
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    if n_lanes <= 0:
+        raise ValueError(f"n_lanes must be positive, got {n_lanes}")
+    if not 0.0 < fn_budget < 1.0:
+        raise ValueError(
+            f"fn_budget must be in (0, 1), got {fn_budget}"
+        )
+    best = None
+    for rows in range(1, n_lanes + 1):
+        bands = n_lanes // rows
+        if collision_probability(threshold, rows, bands) >= 1.0 - fn_budget:
+            best = (bands, rows)
+        else:
+            break
+    if best is None:
+        best = (n_lanes, 1)
+    return BandPlan(
+        bands=best[0], rows=best[1], n_lanes=n_lanes,
+        threshold=float(threshold), fn_budget=float(fn_budget),
+    )
+
+
+def band_keys(
+    fingerprints: np.ndarray, plan: BandPlan, seed: int
+) -> np.ndarray:
+    """One 64-bit bucket key per band from an item's lane fingerprints.
+
+    Band ``j``'s key absorbs lanes ``j*r .. (j+1)*r - 1`` into a
+    splitmix64 sponge seeded with a per-band salt, so equal keys in
+    band ``j`` mean (up to a ``2^-64`` hash collision) equal
+    fingerprints on all ``r`` of that band's lanes, and no key ever
+    collides *across* bands.  Deterministic in (fingerprints, plan,
+    seed) — the store side hashes stored fingerprints, the query side
+    hashes the query sketch's, and equal inputs bucket together.
+    """
+    fps = np.asarray(fingerprints, dtype=np.uint64)
+    if fps.size < plan.bands * plan.rows:
+        raise ValueError(
+            f"need {plan.bands * plan.rows} lane fingerprint(s), "
+            f"got {fps.size}"
+        )
+    grid = fps[: plan.bands * plan.rows].reshape(plan.bands, plan.rows)
+    salt = np.uint64(derive_seed(seed, "lsh", "bands"))
+    with np.errstate(over="ignore"):
+        keys = splitmix64(
+            np.arange(plan.bands, dtype=np.uint64) + salt
+        )
+        for j in range(plan.rows):
+            keys = splitmix64(keys ^ grid[:, j])
+    return keys
+
+
+@dataclass(frozen=True, eq=False)
+class LSHTable:
+    """Per-band bucket tables over one store version's live genomes.
+
+    For each band: ``keys`` (sorted unique bucket keys), ``offsets``
+    (CSR boundaries into ``members``), and ``members`` (store
+    positions, ascending inside each bucket).  Positions index the
+    live-genome order of the version the table was built for.
+
+    The layout is canonical in the item sequence — the same items in
+    the same order produce bit-identical arrays whatever the history
+    of ``with_added`` / ``with_removed`` calls that led there.
+    """
+
+    plan: BandPlan
+    bits: int
+    seed: int
+    n_items: int
+    keys: tuple[np.ndarray, ...]
+    offsets: tuple[np.ndarray, ...]
+    members: tuple[np.ndarray, ...]
+
+    # ---- construction -------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, plan: BandPlan, bits: int, seed: int, fingerprints
+    ) -> "LSHTable":
+        """Build from per-item lane-fingerprint arrays, in store order."""
+        fps_list = list(fingerprints)
+        keymat = np.empty((len(fps_list), plan.bands), dtype=np.uint64)
+        for i, fps in enumerate(fps_list):
+            keymat[i] = band_keys(fps, plan, seed)
+        return cls._from_keymat(plan, bits, seed, keymat)
+
+    @classmethod
+    def _from_keymat(
+        cls, plan: BandPlan, bits: int, seed: int, keymat: np.ndarray
+    ) -> "LSHTable":
+        n_items = int(keymat.shape[0])
+        keys, offsets, members = [], [], []
+        for band in range(plan.bands):
+            col = keymat[:, band]
+            order = np.argsort(col, kind="stable")
+            uniq, starts = np.unique(col[order], return_index=True)
+            keys.append(uniq)
+            offsets.append(
+                np.append(starts, col.size).astype(np.int64)
+            )
+            members.append(order.astype(np.int64))
+        return cls(
+            plan=plan, bits=int(bits), seed=int(seed), n_items=n_items,
+            keys=tuple(keys), offsets=tuple(offsets),
+            members=tuple(members),
+        )
+
+    def _keymat(self) -> np.ndarray:
+        """Invert the bucket layout back to the per-item key matrix."""
+        mat = np.empty((self.n_items, self.plan.bands), dtype=np.uint64)
+        for band in range(self.plan.bands):
+            counts = np.diff(self.offsets[band])
+            mat[self.members[band], band] = np.repeat(
+                self.keys[band], counts
+            )
+        return mat
+
+    def with_added(self, fingerprints) -> "LSHTable":
+        """A new table with items appended (incremental maintenance).
+
+        Equals a from-scratch :meth:`build` over the concatenated item
+        sequence: the new rows are hashed, appended to the reconstructed
+        key matrix, and the buckets regrouped canonically.
+        """
+        fps_list = list(fingerprints)
+        if not fps_list:
+            return self
+        extra = np.empty((len(fps_list), self.plan.bands), dtype=np.uint64)
+        for i, fps in enumerate(fps_list):
+            extra[i] = band_keys(fps, self.plan, self.seed)
+        keymat = np.vstack([self._keymat(), extra])
+        return self._from_keymat(self.plan, self.bits, self.seed, keymat)
+
+    def with_removed(self, position: int) -> "LSHTable":
+        """A new table without the item at ``position``.
+
+        Later positions shift down by one, mirroring how removing a
+        live genome shifts the store's live order.
+        """
+        if not 0 <= position < self.n_items:
+            raise ValueError(
+                f"position {position} outside [0, {self.n_items})"
+            )
+        keymat = np.delete(self._keymat(), position, axis=0)
+        return self._from_keymat(self.plan, self.bits, self.seed, keymat)
+
+    # ---- probing ------------------------------------------------------
+
+    def probe(self, fingerprints: np.ndarray) -> tuple[np.ndarray, int]:
+        """Store positions sharing >= 1 bucket with the query.
+
+        Returns ``(candidates, retrieved)``: candidates sorted unique
+        (int64), and the total bucket members touched across bands (the
+        data-dependent part of the probe's modelled cost; the control
+        part is ``bands`` binary searches).
+        """
+        qkeys = band_keys(fingerprints, self.plan, self.seed)
+        hits: list[np.ndarray] = []
+        retrieved = 0
+        for band in range(self.plan.bands):
+            ks = self.keys[band]
+            pos = int(np.searchsorted(ks, qkeys[band]))
+            if pos < ks.size and ks[pos] == qkeys[band]:
+                lo, hi = self.offsets[band][pos], self.offsets[band][pos + 1]
+                bucket = self.members[band][lo:hi]
+                retrieved += int(bucket.size)
+                hits.append(bucket)
+        if not hits:
+            return np.empty(0, dtype=np.int64), 0
+        return np.unique(np.concatenate(hits)), retrieved
+
+    def probe_cost(self, retrieved: int) -> float:
+        """Modelled flop count of one probe (searches + retrieval)."""
+        per_band = max(
+            float(np.log2(max(max(k.size for k in self.keys), 2)))
+            if self.keys else 1.0,
+            1.0,
+        )
+        return self.plan.bands * per_band + float(retrieved)
+
+    # ---- serialization ------------------------------------------------
+
+    def to_payloads(self) -> list[np.ndarray]:
+        """Flatten to codec-frameable arrays (header + 3 per band)."""
+        header = np.array(
+            [
+                self.plan.bands, self.plan.rows, self.plan.n_lanes,
+                self.bits, self.seed, self.n_items,
+            ],
+            dtype=np.int64,
+        )
+        params = np.array(
+            [self.plan.threshold, self.plan.fn_budget], dtype=np.float64
+        )
+        payloads: list[np.ndarray] = [header, params]
+        for band in range(self.plan.bands):
+            payloads.extend(
+                (self.keys[band], self.offsets[band], self.members[band])
+            )
+        return payloads
+
+    @classmethod
+    def from_payloads(cls, payloads: list) -> "LSHTable":
+        """Inverse of :meth:`to_payloads`."""
+        header = np.asarray(payloads[0], dtype=np.int64)
+        params = np.asarray(payloads[1], dtype=np.float64)
+        bands, rows, n_lanes, bits, seed, n_items = (
+            int(x) for x in header
+        )
+        plan = BandPlan(
+            bands=bands, rows=rows, n_lanes=n_lanes,
+            threshold=float(params[0]), fn_budget=float(params[1]),
+        )
+        if len(payloads) != 2 + 3 * bands:
+            raise ValueError(
+                f"LSH table payload holds {len(payloads)} frame(s), "
+                f"expected {2 + 3 * bands}"
+            )
+        keys, offsets, members = [], [], []
+        for band in range(bands):
+            keys.append(np.asarray(payloads[2 + 3 * band], dtype=np.uint64))
+            offsets.append(
+                np.asarray(payloads[3 + 3 * band], dtype=np.int64)
+            )
+            members.append(
+                np.asarray(payloads[4 + 3 * band], dtype=np.int64)
+            )
+        return cls(
+            plan=plan, bits=bits, seed=seed, n_items=n_items,
+            keys=tuple(keys), offsets=tuple(offsets),
+            members=tuple(members),
+        )
+
+    # ---- comparison ---------------------------------------------------
+
+    def equals(self, other: "LSHTable") -> bool:
+        """Structural equality (the canonical layout makes it decidable)."""
+        if (
+            self.plan != other.plan
+            or self.bits != other.bits
+            or self.seed != other.seed
+            or self.n_items != other.n_items
+        ):
+            return False
+        return all(
+            np.array_equal(a, b)
+            for mine, theirs in (
+                (self.keys, other.keys),
+                (self.offsets, other.offsets),
+                (self.members, other.members),
+            )
+            for a, b in zip(mine, theirs)
+        )
+
+    def describe(self) -> str:
+        n_buckets = sum(int(k.size) for k in self.keys)
+        return (
+            f"LSHTable: {self.n_items} item(s), {self.plan.describe()}, "
+            f"{n_buckets} bucket(s)"
+        )

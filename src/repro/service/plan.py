@@ -31,15 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import QUERY_PREFILTERS
+from repro.core.config import QUERY_CANDIDATES, QUERY_PREFILTERS
 from repro.core.sketch import SKETCH_ESTIMATORS, sketch_error_bound
-from repro.service.store import StoreError
+from repro.service.store import LSH_FAMILY, StoreError
 
 #: Stage names in execution order (not every plan runs every stage).
-PLAN_STAGES = ("window", "sketch", "verify")
+PLAN_STAGES = ("lsh", "window", "sketch", "verify")
 
 #: Kernel labels of the single-query path (PR 5's labels, kept stable).
 SINGLE_KERNELS = {
+    "lsh": "query:lsh",
     "window": "query:size",
     "sketch": "query:sketch",
     "verify": "query:verify",
@@ -47,6 +48,7 @@ SINGLE_KERNELS = {
 
 #: Kernel labels of the batched path.
 BATCH_KERNELS = {
+    "lsh": "query:batch:lsh",
     "window": "query:batch:window",
     "sketch": "query:batch:sketch",
     "verify": "query:batch:verify",
@@ -72,6 +74,11 @@ class QueryPlan:
     sorted-array intersection per surviving candidate) or ``"blocked"``
     (one rectangular popcount block over the merged survivors of a
     batch).  Both are exact; only the cost shape differs.
+
+    ``candidates`` names the candidate generator (a
+    :data:`~repro.core.config.QUERY_CANDIDATES` value): plans compiled
+    with ``"lsh"`` / ``"lsh_exact"`` open with an ``lsh`` stage that
+    probes the store's banded bucket tables before the window runs.
     """
 
     prefilter: str
@@ -80,6 +87,7 @@ class QueryPlan:
     verify: str
     batched: bool
     stages: tuple[PlanStage, ...]
+    candidates: str = "scan"
 
     def stage(self, name: str) -> PlanStage | None:
         """The stage record for ``name``, or ``None`` if it is not run."""
@@ -120,6 +128,8 @@ class QueryPlan:
             label = st.name
             if st.name == "verify":
                 label = f"verify:{self.verify}"
+            elif st.name == "lsh" and self.candidates == "lsh_exact":
+                label = "lsh:audit"
             parts.append(f"{label}[{st.kernel}]")
         return " -> ".join(parts)
 
@@ -144,9 +154,18 @@ def compile_plan(config, store, batched: bool = False) -> QueryPlan:
     """Compile a config + store (or snapshot) into a :class:`QueryPlan`.
 
     ``store`` only needs ``families`` / ``sketch_size`` / ``sketch_bits``
-    — both :class:`~repro.service.store.IndexStore` and
-    :class:`~repro.service.store.StoreSnapshot` qualify, so the batcher
-    compiles against the immutable snapshot a batch was admitted under.
+    / ``sketch_seed`` — both :class:`~repro.service.store.IndexStore`
+    and :class:`~repro.service.store.StoreSnapshot` qualify, so the
+    batcher compiles against the immutable snapshot a batch was
+    admitted under.
+
+    Compilation is where sketch-consuming plans are validated: LSH
+    candidate generation requires the stored ``bbit_minhash`` family,
+    and any plan that consults stored sketches (the cascade prefilter
+    or an LSH probe) rejects a config whose ``sketch_seed`` differs
+    from the seed the store's sketches were built under — estimates
+    across seeds are meaningless and would silently violate their
+    analytic bounds.
     """
     prefilter = config.query_prefilter
     if prefilter not in QUERY_PREFILTERS:
@@ -154,8 +173,30 @@ def compile_plan(config, store, batched: bool = False) -> QueryPlan:
             f"query_prefilter must be one of {QUERY_PREFILTERS}, "
             f"got {prefilter!r}"
         )
+    candidates = config.query_candidates
+    if candidates not in QUERY_CANDIDATES:
+        raise ValueError(
+            f"query_candidates must be one of {QUERY_CANDIDATES}, "
+            f"got {candidates!r}"
+        )
+    if candidates != "scan" and LSH_FAMILY not in store.families:
+        raise StoreError(
+            f"query_candidates={candidates!r} needs the {LSH_FAMILY!r} "
+            f"sketch family, but the store holds {tuple(store.families)}"
+        )
+    uses_sketches = prefilter == "cascade" or candidates != "scan"
+    if uses_sketches and config.sketch_seed != store.sketch_seed:
+        raise StoreError(
+            f"sketch_seed mismatch: the config says {config.sketch_seed} "
+            f"but the store's sketches were built under seed "
+            f"{store.sketch_seed} — estimates against them would violate "
+            f"their error bounds.  Re-add the genomes under the new seed "
+            f"or query with sketch_seed={store.sketch_seed}."
+        )
     kernels = BATCH_KERNELS if batched else SINGLE_KERNELS
     stages: list[PlanStage] = []
+    if candidates != "scan":
+        stages.append(PlanStage("lsh", kernels["lsh"]))
     if prefilter in ("size", "cascade"):
         stages.append(PlanStage("window", kernels["window"]))
     family: str | None = None
@@ -174,4 +215,5 @@ def compile_plan(config, store, batched: bool = False) -> QueryPlan:
         verify="blocked" if batched else "pairwise",
         batched=batched,
         stages=tuple(stages),
+        candidates=candidates,
     )

@@ -57,7 +57,7 @@ from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
 from repro.service.cache import CacheStats, QueryCache, result_cache_key
 from repro.service.plan import QueryPlan, compile_plan, resolve_family
-from repro.service.store import IndexStore, _as_values
+from repro.service.store import LSH_FAMILY, IndexStore, StoreError, _as_values
 
 #: Tolerance of the threshold comparisons: protects the exact-equality
 #: guarantee against float rounding in ``t * |A|``-style products, far
@@ -146,6 +146,14 @@ class QueryResult:
     n_after_sketch: int
     store_version: int
     simulated_seconds: float
+    #: The candidate generator the plan ran
+    #: (:data:`~repro.core.config.QUERY_CANDIDATES`).
+    candidates: str = "scan"
+    #: Candidates surviving the banded LSH bucket probe (``None`` when
+    #: no ``lsh`` stage ran or there was nothing to probe).  Under
+    #: ``"lsh_exact"`` this measures the probe without narrowing the
+    #: scan — the recall-audit number.
+    n_after_lsh: int | None = None
     from_cache: bool = False
     cache_stats: CacheStats | None = field(default=None, compare=False)
     #: How many coalesced queries shared the batch this answer came
@@ -178,10 +186,16 @@ class QueryResult:
             if self.error_bound is not None
             else ""
         )
+        lsh = (
+            f"{self.n_after_lsh} after LSH probe -> "
+            if self.n_after_lsh is not None
+            else ""
+        )
         lines = [
             f"query [{' '.join(what)}]: {len(self.matches)} match(es), "
-            f"prefilter={self.prefilter} estimator={self.estimator}{bound}",
-            f"cascade: {self.n_candidates} candidate(s) -> "
+            f"prefilter={self.prefilter} candidates={self.candidates} "
+            f"estimator={self.estimator}{bound}",
+            f"cascade: {self.n_candidates} candidate(s) -> {lsh}"
             f"{self.n_after_size} after size bound -> "
             f"{self.n_after_sketch} verified exactly "
             f"({self.pruning_ratio:.1f}x pruning)",
@@ -316,7 +330,7 @@ class SimilarityIndex:
         plan = self.plan()
         key = result_cache_key(
             vals, threshold, top_k, plan.prefilter, plan.family,
-            exclude_name, self.store.version,
+            plan.candidates, exclude_name, self.store.version,
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -348,7 +362,23 @@ class SimilarityIndex:
             cand = cand[cand != names.index(exclude_name)]
         n_candidates = int(cand.size)
         before = machine.ledger.snapshot()
+        n_after_lsh: int | None = None
         with machine.phase("query"):
+            # Stage 0: the banded LSH bucket probe (sub-linear).  Under
+            # "lsh" the probe narrows the candidates (approximate, with
+            # the analytic recall bound); under "lsh_exact" it is only
+            # measured, and the full scan proceeds — exact, for recall
+            # auditing.
+            if plan.stage("lsh") is not None and cand.size:
+                probed, probe_flops = self._lsh_probe(vals)
+                serving.charge_compute(
+                    probe_flops, kernel=plan.kernel("lsh")
+                )
+                hits = cand[np.isin(cand, probed, assume_unique=True)]
+                n_after_lsh = int(hits.size)
+                if plan.candidates == "lsh":
+                    cand = hits
+
             # Stage 1: the exact size-ratio bound (needs a threshold).
             if (
                 threshold is not None
@@ -418,6 +448,8 @@ class SimilarityIndex:
             n_after_sketch=n_after_sketch,
             store_version=self.store.version,
             simulated_seconds=cost.simulated_seconds,
+            candidates=plan.candidates,
+            n_after_lsh=n_after_lsh,
         )
 
     # ---- sketch estimation ----------------------------------------------
@@ -444,6 +476,27 @@ class SimilarityIndex:
                 for name in self.store.names
             ]
         return self._payloads[family]
+
+    def _lsh_probe(self, vals: np.ndarray) -> tuple[np.ndarray, float]:
+        """Bucket-probe the store's LSH table with the query's sketch.
+
+        Returns ``(positions, modelled_flops)`` — positions sharing at
+        least one band bucket with the query, and the probe's modelled
+        cost (``bands`` binary searches plus the retrieved members).
+        """
+        table = self.store.lsh_table()
+        if table is None:  # pragma: no cover - compile_plan gates this
+            raise StoreError(
+                f"store holds no LSH table (family {LSH_FAMILY!r} "
+                f"not stored)"
+            )
+        sk = make_sketch(
+            LSH_FAMILY, self.store.sketch_size, self.store.sketch_bits,
+            self.store.sketch_seed,
+        )
+        sk.update(vals)
+        probed, retrieved = table.probe(sk.fingerprints())
+        return probed, table.probe_cost(retrieved)
 
     def _sketch_estimates(
         self, vals: np.ndarray, cand: np.ndarray, sizes: np.ndarray,

@@ -16,10 +16,14 @@ directory holding
   :mod:`repro.runtime.codec` — the store rides the exact varint / RLE /
   adaptive policies the wire uses, so a sorted k-mer column is stored
   delta+varint-compressed, not raw;
-* ``gram.bin`` — optionally, the persisted all-pairs result: the exact
-  intersection-count matrix ``B`` and size vector ``a-hat`` over a
-  recorded genome order (what :mod:`repro.service.incremental` merges
-  border blocks into).
+* ``gram-<version>.bin`` — optionally, the persisted all-pairs result:
+  the exact intersection-count matrix ``B`` and size vector ``a-hat``
+  over a recorded genome order (what
+  :mod:`repro.service.incremental` merges border blocks into);
+* ``lsh-<version>.bin`` — when the ``bbit_minhash`` family is stored,
+  the banded LSH bucket tables of :mod:`repro.service.lsh` over the
+  live genomes, maintained incrementally on ``append_many`` /
+  ``remove`` and rebuilt from the stored fingerprints on ``compact``.
 
 Shard files are sequences of length-prefixed frame records
 (``<u64 little-endian frame length><frame bytes>``); the frame headers
@@ -40,24 +44,42 @@ admitted under: shard files are append-only and immutable, so a
 snapshot stays readable after later appends — only ``compact`` (which
 unlinks shards) invalidates older snapshots, and running it with
 queries in flight is unsupported.
+
+Crash consistency: every file lands via write-to-temp + ``os.replace``
+(:func:`_atomic_write_bytes`), derived artifacts (Gram, LSH tables)
+are written to *fresh version-stamped names* before the manifest, and
+the atomic manifest replacement is the single commit point of every
+mutation — an interrupted write anywhere leaves the previous manifest
+referencing only fully-written files, so the store reopens at the
+previous version with no torn state (fault-injected in
+``tests/service/test_store.py``).  Files superseded by a committed
+mutation are unlinked only after the manifest lands; a crash during
+cleanup merely leaks an unreferenced file.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch
+from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch, unpack_lanes
 from repro.runtime.codec import WIRE_CODECS, decode_frame, encode_frame
+from repro.service.lsh import LSHTable, plan_bands
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
 GRAM_NAME = "gram.bin"
+
+#: The sketch family whose stored lane fingerprints the banded LSH
+#: table (:mod:`repro.service.lsh`) is built over.
+LSH_FAMILY = "bbit_minhash"
 
 #: On-disk layout revision of the store itself (not the store version).
 FORMAT_VERSION = 1
@@ -69,6 +91,23 @@ class StoreError(ValueError):
     """A malformed store directory or an invalid store operation."""
 
 
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write a file so it is either fully present or not (crash-safe).
+
+    Bytes land in a same-directory temp file, fsync'd, then renamed
+    over the target: a crash mid-write leaves only the temp file, never
+    a torn target.  This is the single byte sink of every store write
+    (shards, Gram, LSH tables, the manifest) — the fault-injection
+    tests monkeypatch it.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
 # ---- length-prefixed frame records ---------------------------------------
 
 
@@ -77,14 +116,15 @@ def write_records(path: Path, payloads: list, policy: str) -> int:
 
     Returns the number of bytes written.  ``policy`` is a
     :data:`~repro.runtime.codec.WIRE_CODECS` name; ``"raw"`` stores
-    unencoded frames (still self-describing).
+    unencoded frames (still self-describing).  The write is atomic —
+    the file appears fully written or not at all.
     """
     blob = bytearray()
     for payload in payloads:
         frame = encode_frame(payload, policy)
         blob += _LEN.pack(frame.nbytes)
         blob += frame.data
-    path.write_bytes(bytes(blob))
+    _atomic_write_bytes(path, bytes(blob))
     return len(blob)
 
 
@@ -191,6 +231,19 @@ class IndexStore:
     version: int = 0
     next_shard: int = 0
     gram_names: list[str] | None = None
+    #: Version-stamped Gram artifact (``gram-<v>.bin``); ``None`` until
+    #: a Gram is stored.  Legacy manifests fall back to ``gram.bin``.
+    gram_file: str | None = None
+    #: Banded-LSH planning target + false-negative budget (see
+    #: :func:`repro.service.lsh.plan_bands`) and the version-stamped
+    #: table artifact (``lsh-<v>.bin``); the table exists iff the
+    #: :data:`LSH_FAMILY` sketches are stored.
+    lsh_threshold: float = 0.5
+    lsh_fn_budget: float = 0.05
+    lsh_file: str | None = None
+    _lsh: "LSHTable | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _lock: threading.RLock = field(
         default_factory=threading.RLock, init=False, repr=False,
         compare=False,
@@ -209,6 +262,8 @@ class IndexStore:
         sketch_seed: int = 0,
         families: tuple[str, ...] = SKETCH_ESTIMATORS,
         metadata: dict | None = None,
+        lsh_threshold: float = 0.5,
+        lsh_fn_budget: float = 0.05,
     ) -> "IndexStore":
         root = Path(root)
         if (root / MANIFEST_NAME).exists():
@@ -234,7 +289,22 @@ class IndexStore:
             sketch_size=int(sketch_size), sketch_bits=int(sketch_bits),
             sketch_seed=int(sketch_seed), families=families,
             metadata=dict(metadata or {}),
+            lsh_threshold=float(lsh_threshold),
+            lsh_fn_budget=float(lsh_fn_budget),
         )
+        if LSH_FAMILY in families:
+            # The banding plan is validated here (raises on a bad
+            # threshold/budget) and the empty table persisted, so
+            # every later mutation only maintains it.
+            table = LSHTable.build(
+                plan_bands(
+                    store.lsh_threshold, store.sketch_size,
+                    store.lsh_fn_budget,
+                ),
+                store.sketch_bits, store.sketch_seed, [],
+            )
+            store.lsh_file = store._write_lsh(table, target=0)
+            store._lsh = table
         store._save_manifest()
         return store
 
@@ -250,6 +320,15 @@ class IndexStore:
                 f"{root}: unsupported store format "
                 f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
             )
+        gram_names = (
+            list(meta["gram_names"])
+            if meta.get("gram_names") is not None
+            else None
+        )
+        gram_file = meta.get("gram_file")
+        if gram_file is None and gram_names is not None:
+            gram_file = GRAM_NAME  # pre-versioned-artifact layout
+        lsh = meta.get("lsh") or {}
         return cls(
             root=root,
             m=int(meta["m"]),
@@ -262,11 +341,11 @@ class IndexStore:
             entries=[GenomeEntry.from_json(e) for e in meta["genomes"]],
             version=int(meta["version"]),
             next_shard=int(meta["next_shard"]),
-            gram_names=(
-                list(meta["gram_names"])
-                if meta.get("gram_names") is not None
-                else None
-            ),
+            gram_names=gram_names,
+            gram_file=gram_file,
+            lsh_threshold=float(lsh.get("threshold", 0.5)),
+            lsh_fn_budget=float(lsh.get("fn_budget", 0.05)),
+            lsh_file=lsh.get("file"),
         )
 
     def _save_manifest(self) -> None:
@@ -285,14 +364,119 @@ class IndexStore:
             "genomes": [e.to_json() for e in self.entries],
             "next_shard": self.next_shard,
             "gram_names": self.gram_names,
+            "gram_file": self.gram_file,
+            "lsh": {
+                "threshold": self.lsh_threshold,
+                "fn_budget": self.lsh_fn_budget,
+                "file": self.lsh_file,
+            },
         }
-        (self.root / MANIFEST_NAME).write_text(
-            json.dumps(payload, indent=2) + "\n"
+        # The atomic manifest replacement is every mutation's commit
+        # point: older bytes are never partially overwritten.
+        _atomic_write_bytes(
+            self.root / MANIFEST_NAME,
+            (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
         )
 
     def _bump(self) -> None:
         self.version += 1
         self._save_manifest()
+
+    # ---- the banded LSH table -----------------------------------------
+
+    @property
+    def has_lsh(self) -> bool:
+        """Whether this store maintains a banded LSH table."""
+        return LSH_FAMILY in self.families
+
+    def lsh_table(self) -> "LSHTable | None":
+        """The current banded LSH table (``None`` without the family).
+
+        Loaded lazily from ``lsh-<version>.bin`` and cached; mutations
+        replace the cache with the table they persist.  A store written
+        before LSH existed (no ``lsh`` manifest entry) is rebuilt from
+        its stored fingerprints in memory, without mutating the store.
+        """
+        with self._lock:
+            if not self.has_lsh:
+                return None
+            if self._lsh is None:
+                if self.lsh_file is not None:
+                    self._lsh = LSHTable.from_payloads(
+                        read_records(self.root / self.lsh_file)
+                    )
+                else:
+                    self._lsh = self._build_lsh()
+            return self._lsh
+
+    def _build_lsh(self) -> "LSHTable":
+        """Rebuild the table from the stored lane fingerprints."""
+        return LSHTable.build(
+            plan_bands(
+                self.lsh_threshold, self.sketch_size, self.lsh_fn_budget
+            ),
+            self.sketch_bits,
+            self.sketch_seed,
+            [
+                unpack_lanes(
+                    self.load_sketch_payload(name, LSH_FAMILY),
+                    self.sketch_bits, self.sketch_size,
+                )
+                for name in self.names
+            ],
+        )
+
+    def _write_lsh(self, table: "LSHTable", target: int | None = None) -> str:
+        """Persist a table under a fresh version-stamped name."""
+        target = self.version + 1 if target is None else target
+        fname = f"lsh-{target:06d}.bin"
+        write_records(self.root / fname, table.to_payloads(), self.codec)
+        return fname
+
+    def _replace_lsh(self, table: "LSHTable", stale: list[str]) -> None:
+        """Stage a new table; the superseded file is unlinked on commit."""
+        if self.lsh_file is not None:
+            stale.append(self.lsh_file)
+        self.lsh_file = self._write_lsh(table)
+        self._lsh = table
+
+    # ---- the mutation transaction -------------------------------------
+
+    @contextmanager
+    def _mutation(self):
+        """Transactional mutation scope, committed by one version bump.
+
+        The body stages new files under fresh version-stamped names and
+        registers superseded ones in the yielded list.  On success the
+        atomic manifest bump commits, then the stale files are
+        unlinked; on failure the in-memory state rolls back, leaving
+        the staged (unreferenced) files orphaned — exactly the state an
+        interrupted process leaves, and one ``open`` reads past.
+        """
+        state = (
+            list(self.entries),
+            [(e, e.removed) for e in self.entries],
+            self.version,
+            self.next_shard,
+            list(self.gram_names) if self.gram_names is not None else None,
+            self.gram_file,
+            self.lsh_file,
+            self._lsh,
+        )
+        stale: list[str] = []
+        try:
+            yield stale
+            self._bump()  # the atomic manifest replace is the commit
+        except BaseException:
+            (
+                self.entries, flags, self.version, self.next_shard,
+                self.gram_names, self.gram_file, self.lsh_file, self._lsh,
+            ) = state
+            for entry, removed in flags:
+                entry.removed = removed
+            raise
+        for fname in stale:
+            (self.root / fname).unlink(missing_ok=True)
 
     # ---- views --------------------------------------------------------
 
@@ -346,6 +530,7 @@ class IndexStore:
                 sketch_bits=self.sketch_bits,
                 sketch_seed=self.sketch_seed,
                 families=self.families,
+                lsh=self.lsh_table(),
             )
 
     def total_bytes(self) -> int:
@@ -385,25 +570,34 @@ class IndexStore:
                 clean.append((name, vals))
             if not clean:
                 return []
-            new_entries = []
-            for name, vals in clean:
-                payloads: list = [vals]
-                for fam in self.families:
-                    sk = make_sketch(
-                        fam, self.sketch_size, self.sketch_bits,
-                        self.sketch_seed,
+            if self.has_lsh:
+                self.lsh_table()  # load before mutating, for with_added
+            with self._mutation() as stale:
+                new_entries = []
+                new_fps: list[np.ndarray] = []
+                for name, vals in clean:
+                    payloads: list = [vals]
+                    for fam in self.families:
+                        sk = make_sketch(
+                            fam, self.sketch_size, self.sketch_bits,
+                            self.sketch_seed,
+                        )
+                        sk.update(vals)
+                        if fam == LSH_FAMILY:
+                            new_fps.append(sk.fingerprints())
+                        payloads.append(self._sketch_payload(fam, sk))
+                    shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
+                    write_records(self.root / shard, payloads, self.codec)
+                    entry = GenomeEntry(
+                        name=name, shard=shard, n_values=int(vals.size)
                     )
-                    sk.update(vals)
-                    payloads.append(self._sketch_payload(fam, sk))
-                shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
-                write_records(self.root / shard, payloads, self.codec)
-                entry = GenomeEntry(
-                    name=name, shard=shard, n_values=int(vals.size)
-                )
-                self.entries.append(entry)
-                self.next_shard += 1
-                new_entries.append(entry)
-            self._bump()
+                    self.entries.append(entry)
+                    self.next_shard += 1
+                    new_entries.append(entry)
+                if self.has_lsh:
+                    self._replace_lsh(
+                        self._lsh.with_added(new_fps), stale
+                    )
             return new_entries
 
     @staticmethod
@@ -432,32 +626,48 @@ class IndexStore:
         return read_record(self.root / self._entry(name).shard, idx)
 
     def remove(self, name: str) -> None:
-        """Tombstone a genome; its Gram row/column is dropped exactly."""
+        """Tombstone a genome; its Gram row/column is dropped exactly.
+
+        The LSH table (if maintained) drops the genome's position
+        incrementally — later live positions shift down by one, in
+        lockstep with the live-genome order.
+        """
         with self._lock:
             entry = self._entry(name)
-            if self.gram_names is not None and name in self.gram_names:
-                inter, sizes, names = self._read_gram()
-                keep = [i for i, n in enumerate(names) if n != name]
-                self._write_gram(
-                    inter[np.ix_(keep, keep)], sizes[keep],
-                    [names[i] for i in keep],
-                )
-            entry.removed = True
-            self._bump()
+            position = self.names.index(name)
+            if self.has_lsh:
+                self.lsh_table()
+            with self._mutation() as stale:
+                if self.gram_names is not None and name in self.gram_names:
+                    inter, sizes, names = self._read_gram()
+                    keep = [i for i, n in enumerate(names) if n != name]
+                    self._write_gram(
+                        inter[np.ix_(keep, keep)], sizes[keep],
+                        [names[i] for i in keep], stale,
+                    )
+                if self.has_lsh:
+                    self._replace_lsh(
+                        self._lsh.with_removed(position), stale
+                    )
+                entry.removed = True
 
     def compact(self) -> int:
         """Drop tombstoned shards from disk; returns shards reclaimed.
 
         Unlinks shard files, so older :class:`StoreSnapshot` views stop
-        being readable — do not compact with queries in flight.
+        being readable — do not compact with queries in flight.  The
+        LSH table is rebuilt from the surviving stored fingerprints
+        (equal, by canonicity, to the incrementally maintained one).
         """
         with self._lock:
             dead = [e for e in self.entries if e.removed]
-            for e in dead:
-                (self.root / e.shard).unlink(missing_ok=True)
-            self.entries = [e for e in self.entries if not e.removed]
-            if dead:
-                self._bump()
+            if not dead:
+                return 0
+            with self._mutation() as stale:
+                stale.extend(e.shard for e in dead)
+                self.entries = [e for e in self.entries if not e.removed]
+                if self.has_lsh:
+                    self._replace_lsh(self._build_lsh(), stale)
             return len(dead)
 
     # ---- the persisted all-pairs result -------------------------------
@@ -483,19 +693,27 @@ class IndexStore:
                 raise StoreError(
                     f"sizes shape {szs.shape} does not match {n} genome(s)"
                 )
-            self._write_gram(inter, szs, names)
-            self._bump()
+            with self._mutation() as stale:
+                self._write_gram(inter, szs, names, stale)
 
     def _write_gram(
-        self, inter: np.ndarray, sizes: np.ndarray, names: list[str]
+        self,
+        inter: np.ndarray,
+        sizes: np.ndarray,
+        names: list[str],
+        stale: list[str],
     ) -> None:
-        write_records(self.root / GRAM_NAME, [inter, sizes], self.codec)
+        if self.gram_file is not None:
+            stale.append(self.gram_file)
+        fname = f"gram-{self.version + 1:06d}.bin"
+        write_records(self.root / fname, [inter, sizes], self.codec)
+        self.gram_file = fname
         self.gram_names = list(names)
 
     def _read_gram(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
-        if self.gram_names is None:
+        if self.gram_names is None or self.gram_file is None:
             raise StoreError("store holds no persisted Gram result")
-        inter, sizes = read_records(self.root / GRAM_NAME)
+        inter, sizes = read_records(self.root / self.gram_file)
         return inter, sizes, list(self.gram_names)
 
     def gram(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
@@ -556,6 +774,11 @@ class StoreSnapshot:
     sketch_bits: int
     sketch_seed: int
     families: tuple[str, ...]
+    #: The banded LSH table of this version's live genomes (``None``
+    #: when the store holds no :data:`LSH_FAMILY` sketches).  Tables
+    #: are immutable value objects, so the snapshot stays frozen while
+    #: the store's own table moves on.
+    lsh: "LSHTable | None" = None
     _values: dict = field(default_factory=dict, repr=False, compare=False)
     _payloads: dict = field(default_factory=dict, repr=False, compare=False)
 

@@ -430,7 +430,9 @@ class TestCacheUnderBatching:
         longer be found by the other path — bump with care.
         """
         vals = np.array([3, 5, 8], dtype=np.int64)
-        key = result_cache_key(vals, 0.5, 7, "cascade", "minhash", "g0", 11)
+        key = result_cache_key(
+            vals, 0.5, 7, "cascade", "minhash", "scan", "g0", 11
+        )
         assert key == (
             hashlib.sha256(vals.tobytes()).hexdigest(),
             3,
@@ -438,15 +440,22 @@ class TestCacheUnderBatching:
             7,
             "cascade",
             "minhash",
+            "scan",
             "g0",
             11,
         )
         # The digest covers the values, so permuted content differs.
         other = result_cache_key(
             np.array([3, 5, 9], dtype=np.int64), 0.5, 7, "cascade",
-            "minhash", "g0", 11,
+            "minhash", "scan", "g0", 11,
         )
         assert other != key
+        # An approximate-candidate answer must never serve an exact
+        # request: the generator is part of the key.
+        lsh = result_cache_key(
+            vals, 0.5, 7, "cascade", "minhash", "lsh", "g0", 11
+        )
+        assert lsh != key
 
 
 class TestConcurrencyStress:
@@ -545,3 +554,169 @@ class TestConcurrencyStress:
             )
         assert batcher.n_requests == len(outcomes)
         assert batcher.n_batches >= 1
+
+
+class TestBatchedLsh:
+    """Batched LSH candidate generation: parity, kernels, audit mode."""
+
+    def test_lsh_plan_pins_stages_and_kernels(self, tmp_path):
+        store = build_store(tmp_path, [{1, 2}, {2, 3}])
+        cfg = SimilarityConfig(
+            query_prefilter="size", query_candidates="lsh"
+        )
+        plan = compile_plan(cfg, store, batched=True)
+        assert [s.name for s in plan.stages] == ["lsh", "window", "verify"]
+        assert plan.kernel("lsh") == "query:batch:lsh"
+        single = compile_plan(cfg, store)
+        assert single.kernel("lsh") == "query:lsh"
+        audit = compile_plan(
+            SimilarityConfig(
+                query_prefilter="size", query_candidates="lsh_exact"
+            ),
+            store,
+        )
+        assert "lsh:audit[query:lsh]" in audit.describe()
+
+    @pytest.mark.parametrize("candidates", ["lsh", "lsh_exact"])
+    def test_batched_equals_single_path(
+        self, tmp_path, clustered_sets, candidates
+    ):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(
+            store, prefilter="size", query_candidates=candidates,
+            query_cache_size=0,
+        )
+        queries = [as_vals(s) for s in clustered_sets[::2]]
+        queries.append(np.empty(0, dtype=np.int64))
+        with QueryBatcher(idx, batch_size=4) as batcher:
+            batched = batcher.query_many(queries, threshold=0.3)
+        for q, res in zip(queries, batched):
+            single = idx.query_values(q, threshold=0.3)
+            assert res.matches == single.matches
+            assert res.n_after_lsh == single.n_after_lsh
+            assert res.n_after_size == single.n_after_size
+            assert res.candidates == candidates
+
+    def test_lsh_exact_batch_equals_bruteforce(
+        self, tmp_path, clustered_sets
+    ):
+        store = build_store(tmp_path, clustered_sets)
+        corpus = [(n, store.load_values(n)) for n in store.names]
+        idx = engine(
+            store, prefilter="size", query_candidates="lsh_exact",
+            query_cache_size=0,
+        )
+        queries = [as_vals(s) for s in clustered_sets]
+        with QueryBatcher(idx, batch_size=5) as batcher:
+            results = batcher.query_many(queries, threshold=0.25)
+        for q, res in zip(queries, results):
+            assert_matches(
+                res, brute_force(corpus, q, threshold=0.25), "lsh_exact"
+            )
+
+    def test_batch_charges_lsh_kernel(self, tmp_path, clustered_sets):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(
+            store, prefilter="size", query_candidates="lsh",
+            query_cache_size=0,
+        )
+        with QueryBatcher(idx, batch_size=4) as batcher:
+            batcher.query_many(
+                [as_vals(s) for s in clustered_sets[:4]], threshold=0.3
+            )
+        kernels = idx.machine.ledger.kernel_totals
+        assert "query:batch:lsh" in kernels
+        assert kernels["query:batch:lsh"][1] > 0
+        assert "query:lsh" not in kernels
+
+    def test_scan_batch_charges_no_lsh_kernel(
+        self, tmp_path, clustered_sets
+    ):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(store, prefilter="size", query_cache_size=0)
+        with QueryBatcher(idx, batch_size=4) as batcher:
+            batcher.query_many(
+                [as_vals(s) for s in clustered_sets[:4]], threshold=0.3
+            )
+        assert "query:batch:lsh" not in idx.machine.ledger.kernel_totals
+
+
+class TestBatchedEdgeCases:
+    """The single-path degenerate inputs, swept through the batcher."""
+
+    CANDIDATES = ["scan", "lsh", "lsh_exact"]
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_top_k_zero_rejected_synchronously(
+        self, tmp_path, clustered_sets, candidates
+    ):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(store, prefilter="size", query_candidates=candidates)
+        with QueryBatcher(idx, batch_size=2) as batcher:
+            with pytest.raises(ValueError, match="top_k"):
+                batcher.submit(as_vals(clustered_sets[0]), top_k=0)
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_top_k_exceeds_corpus(self, tmp_path, clustered_sets, candidates):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(
+            store, prefilter="size", query_candidates=candidates,
+            query_cache_size=0,
+        )
+        with QueryBatcher(idx, batch_size=2) as batcher:
+            (res,) = batcher.query_many(
+                [as_vals(clustered_sets[0])], top_k=10_000
+            )
+        assert len(res.matches) <= len(clustered_sets)
+        single = idx.query_values(as_vals(clustered_sets[0]), top_k=10_000)
+        assert res.matches == single.matches
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    @pytest.mark.parametrize("threshold", [0.0, 1.0])
+    def test_threshold_extremes(
+        self, tmp_path, clustered_sets, candidates, threshold
+    ):
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(
+            store, prefilter="size", query_candidates=candidates,
+            query_cache_size=0,
+        )
+        queries = [as_vals(clustered_sets[0]), np.empty(0, dtype=np.int64)]
+        with QueryBatcher(idx, batch_size=2) as batcher:
+            results = batcher.query_many(queries, threshold=threshold)
+        for q, res in zip(queries, results):
+            single = idx.query_values(q, threshold=threshold)
+            assert res.matches == single.matches
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_empty_store_batch(self, tmp_path, candidates):
+        store = build_store(tmp_path, [])
+        idx = engine(
+            store, prefilter="size", query_candidates=candidates,
+            query_cache_size=0,
+        )
+        with QueryBatcher(idx, batch_size=2) as batcher:
+            results = batcher.query_many(
+                [np.array([1, 2], dtype=np.int64),
+                 np.empty(0, dtype=np.int64)],
+                threshold=0.5,
+            )
+        for res in results:
+            assert list(res.matches) == []
+            assert res.n_candidates == 0
+            assert res.n_after_lsh is None
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_empty_query_in_batch(self, tmp_path, clustered_sets, candidates):
+        # clustered_sets ends with an empty genome: the empty query
+        # must find exactly it (J(0,0) = 1) through every generator.
+        store = build_store(tmp_path, clustered_sets)
+        idx = engine(
+            store, prefilter="size", query_candidates=candidates,
+            query_cache_size=0,
+        )
+        with QueryBatcher(idx, batch_size=1) as batcher:
+            (res,) = batcher.query_many(
+                [np.empty(0, dtype=np.int64)], threshold=0.5
+            )
+        assert res.names == [f"g{len(clustered_sets) - 1}"]

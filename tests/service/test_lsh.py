@@ -1,0 +1,425 @@
+"""Tests for the banded MinHash-LSH candidate index.
+
+The load-bearing invariants, property-tested with Hypothesis:
+
+* the table is *canonical* — incremental ``with_added`` /
+  ``with_removed`` maintenance equals a from-scratch ``build`` over the
+  same item sequence, and the table rebuilt from its on-disk codec
+  frames equals the in-memory one;
+* measured recall over true matches is no worse than the analytic
+  collision bound ``1 - (1 - s^r)^b`` minus a statistical tolerance;
+* ``query_candidates="lsh_exact"`` returns exactly the brute-force
+  answer (the probe only audits; it never narrows).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimilarityConfig
+from repro.core.sketch import make_sketch
+from repro.service import IndexStore, SimilarityIndex
+from repro.service.lsh import (
+    BandPlan,
+    LSHTable,
+    band_keys,
+    collision_probability,
+    plan_bands,
+)
+from repro.service.query import exact_jaccard
+from repro.service.store import LSH_FAMILY
+
+M = 20_000
+LANES = 64
+BITS = 8
+
+
+def fingerprints_for(vals, n_lanes=LANES, bits=BITS, seed=0):
+    sk = make_sketch(LSH_FAMILY, n_lanes, bits, seed)
+    sk.update(np.asarray(sorted(vals), dtype=np.int64))
+    return sk.fingerprints()
+
+
+def corpus_fingerprints(rng, n_items, n_lanes=LANES, seed=0):
+    return [
+        fingerprints_for(
+            np.unique(rng.integers(0, M, size=int(rng.integers(1, 400)))),
+            n_lanes=n_lanes, seed=seed,
+        )
+        for _ in range(n_items)
+    ]
+
+
+class TestCollisionCurve:
+    def test_endpoints(self):
+        assert collision_probability(1.0, 4, 64) == pytest.approx(1.0)
+        assert collision_probability(0.0, 4, 64) == 0.0
+
+    def test_monotone_in_similarity(self):
+        s = np.linspace(0.0, 1.0, 101)
+        p = collision_probability(s, 4, 64)
+        assert np.all(np.diff(p) >= -1e-12)
+
+    def test_vectorized_matches_scalar(self):
+        s = np.array([0.1, 0.5, 0.9])
+        vec = collision_probability(s, 3, 42)
+        for si, pi in zip(s, vec):
+            assert collision_probability(float(si), 3, 42) == pytest.approx(pi)
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError, match="positive"):
+            collision_probability(0.5, 0, 64)
+        with pytest.raises(ValueError, match="positive"):
+            collision_probability(0.5, 4, -1)
+
+
+class TestBandPlanning:
+    def test_default_plan_is_pinned(self):
+        plan = plan_bands(0.5, 256, 0.05)
+        assert (plan.bands, plan.rows) == (64, 4)
+        assert plan.meets_budget
+        assert plan.recall >= 0.95
+
+    def test_plan_honours_lane_budget(self):
+        for n_lanes in (8, 64, 128, 256, 512):
+            plan = plan_bands(0.5, n_lanes)
+            assert plan.bands * plan.rows <= n_lanes
+
+    @given(
+        threshold=st.floats(min_value=0.05, max_value=1.0),
+        n_lanes=st.sampled_from([16, 64, 128, 256, 512]),
+        fn_budget=st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_plan_is_precision_optimal_within_budget(
+        self, threshold, n_lanes, fn_budget
+    ):
+        plan = plan_bands(threshold, n_lanes, fn_budget)
+        assert plan.bands * plan.rows <= plan.n_lanes == n_lanes
+        if plan.meets_budget:
+            # The next-steeper banding must miss the budget (or the
+            # plan used every admissible row already).
+            rows = plan.rows + 1
+            if rows <= n_lanes:
+                worse = collision_probability(
+                    threshold, rows, n_lanes // rows
+                )
+                assert worse < 1.0 - fn_budget or plan.rows == n_lanes
+        else:
+            # Fallback: the highest-recall banding, r = 1.
+            assert plan.rows == 1 and plan.bands == n_lanes
+
+    def test_infeasible_budget_falls_back_to_r1(self):
+        plan = plan_bands(0.01, 16, 0.001)
+        assert (plan.bands, plan.rows) == (16, 1)
+        assert not plan.meets_budget
+        assert "NOT met" in plan.describe()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            plan_bands(0.0, 256)
+        with pytest.raises(ValueError, match="n_lanes"):
+            plan_bands(0.5, 0)
+        with pytest.raises(ValueError, match="fn_budget"):
+            plan_bands(0.5, 256, 1.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            BandPlan(bands=4, rows=4, n_lanes=8, threshold=0.5, fn_budget=0.05)
+
+
+class TestBandKeys:
+    def test_deterministic_and_seed_sensitive(self, rng):
+        plan = plan_bands(0.5, LANES)
+        fps = fingerprints_for(rng.integers(0, M, size=100))
+        assert np.array_equal(band_keys(fps, plan, 7), band_keys(fps, plan, 7))
+        assert not np.array_equal(
+            band_keys(fps, plan, 7), band_keys(fps, plan, 8)
+        )
+
+    def test_equal_lanes_equal_keys(self, rng):
+        # Two items agreeing on every lane of a band share that band key.
+        plan = plan_bands(0.5, LANES)
+        a = fingerprints_for(rng.integers(0, M, size=100))
+        b = a.copy()
+        b[plan.rows] ^= np.uint64(1)  # corrupt one lane of band 1 only
+        ka, kb = band_keys(a, plan, 0), band_keys(b, plan, 0)
+        assert ka[0] == kb[0]
+        assert ka[1] != kb[1]
+        assert np.array_equal(ka[2:], kb[2:])
+
+    def test_too_few_lanes_rejected(self):
+        plan = plan_bands(0.5, LANES)
+        with pytest.raises(ValueError, match="lane"):
+            band_keys(np.zeros(LANES - 1, dtype=np.uint64), plan, 0)
+
+
+class TestTableCanonical:
+    """Incremental maintenance == from-scratch build, bit for bit."""
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_add_equals_scratch(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        n = data.draw(st.integers(min_value=0, max_value=24))
+        split = data.draw(st.integers(min_value=0, max_value=n))
+        rng = np.random.default_rng(seed)
+        fps = corpus_fingerprints(rng, n)
+        plan = plan_bands(0.5, LANES)
+        scratch = LSHTable.build(plan, BITS, 0, fps)
+        grown = LSHTable.build(plan, BITS, 0, fps[:split]).with_added(
+            fps[split:]
+        )
+        assert scratch.equals(grown)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_removal_equals_scratch_without_item(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        n = data.draw(st.integers(min_value=1, max_value=20))
+        pos = data.draw(st.integers(min_value=0, max_value=n - 1))
+        rng = np.random.default_rng(seed)
+        fps = corpus_fingerprints(rng, n)
+        plan = plan_bands(0.5, LANES)
+        removed = LSHTable.build(plan, BITS, 0, fps).with_removed(pos)
+        scratch = LSHTable.build(plan, BITS, 0, fps[:pos] + fps[pos + 1 :])
+        assert removed.equals(scratch)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_payload_round_trip(self, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        n = data.draw(st.integers(min_value=0, max_value=16))
+        rng = np.random.default_rng(seed)
+        table = LSHTable.build(
+            plan_bands(0.5, LANES), BITS, 3, corpus_fingerprints(rng, n)
+        )
+        back = LSHTable.from_payloads(table.to_payloads())
+        assert back.equals(table)
+
+    def test_add_nothing_is_identity(self, rng):
+        table = LSHTable.build(
+            plan_bands(0.5, LANES), BITS, 0, corpus_fingerprints(rng, 5)
+        )
+        assert table.with_added([]) is table
+
+    def test_remove_out_of_range_rejected(self, rng):
+        table = LSHTable.build(
+            plan_bands(0.5, LANES), BITS, 0, corpus_fingerprints(rng, 3)
+        )
+        with pytest.raises(ValueError, match="outside"):
+            table.with_removed(3)
+
+    def test_truncated_payloads_rejected(self, rng):
+        table = LSHTable.build(
+            plan_bands(0.5, LANES), BITS, 0, corpus_fingerprints(rng, 4)
+        )
+        with pytest.raises(ValueError, match="frame"):
+            LSHTable.from_payloads(table.to_payloads()[:-1])
+
+
+class TestProbe:
+    def test_identical_item_always_retrieved(self, rng):
+        # Equal fingerprints share every band key, so every stored
+        # duplicate of the query is a guaranteed candidate.
+        fps = corpus_fingerprints(rng, 12)
+        table = LSHTable.build(plan_bands(0.5, LANES), BITS, 0, fps)
+        for i, f in enumerate(fps):
+            cands, retrieved = table.probe(f)
+            assert i in cands
+            assert retrieved >= cands.size
+
+    def test_probe_empty_table(self):
+        table = LSHTable.build(plan_bands(0.5, LANES), BITS, 0, [])
+        cands, retrieved = table.probe(
+            np.zeros(LANES, dtype=np.uint64)
+        )
+        assert cands.size == 0 and retrieved == 0
+        assert table.probe_cost(0) > 0.0
+
+    def test_candidates_sorted_unique(self, rng):
+        fps = corpus_fingerprints(rng, 30)
+        table = LSHTable.build(plan_bands(0.5, LANES), BITS, 0, fps)
+        cands, _ = table.probe(fps[0])
+        assert np.array_equal(cands, np.unique(cands))
+        assert cands.dtype == np.int64
+
+
+class TestStorePersistence:
+    """Disk-rebuilt tables equal the in-memory ones, across mutations."""
+
+    def stored_sets(self, rng, n=10):
+        return [
+            np.unique(rng.integers(0, M, size=int(rng.integers(5, 300))))
+            for _ in range(n)
+        ]
+
+    def make_store(self, tmp_path, rng, n=10):
+        store = IndexStore.create(
+            tmp_path / "idx", m=M, sketch_size=LANES, sketch_bits=BITS
+        )
+        for i, vals in enumerate(self.stored_sets(rng, n)):
+            store.append(f"g{i}", vals)
+        return store
+
+    def test_reopened_table_equals_live(self, tmp_path, rng):
+        store = self.make_store(tmp_path, rng)
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.lsh_table().equals(store.lsh_table())
+        # ... and both equal a from-scratch rebuild over the sketches.
+        assert store.lsh_table().equals(store._build_lsh())
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_mutations_keep_disk_table_canonical(
+        self, tmp_path_factory, seed
+    ):
+        rng = np.random.default_rng(seed)
+        root = tmp_path_factory.mktemp("lsh") / "idx"
+        store = IndexStore.create(
+            root, m=M, sketch_size=LANES, sketch_bits=BITS
+        )
+        for i, vals in enumerate(self.stored_sets(rng, 8)):
+            store.append(f"g{i}", vals)
+        victim = f"g{int(rng.integers(0, 8))}"
+        store.remove(victim)
+        store.compact()
+        store.append("late", np.unique(rng.integers(0, M, size=50)))
+        assert store.lsh_table().equals(store._build_lsh())
+        assert IndexStore.open(root).lsh_table().equals(store.lsh_table())
+
+    def test_store_without_lsh_family_has_no_table(self, tmp_path):
+        store = IndexStore.create(
+            tmp_path / "idx", m=M, families=("minhash",)
+        )
+        assert not store.has_lsh
+        assert store.lsh_file is None
+
+    def test_lsh_planning_params_persist(self, tmp_path, rng):
+        store = IndexStore.create(
+            tmp_path / "idx", m=M, sketch_size=LANES,
+            lsh_threshold=0.4, lsh_fn_budget=0.02,
+        )
+        store.append("g", rng.integers(0, M, size=40))
+        reopened = IndexStore.open(tmp_path / "idx")
+        assert reopened.lsh_threshold == 0.4
+        assert reopened.lsh_fn_budget == 0.02
+        plan = reopened.lsh_table().plan
+        assert plan.threshold == 0.4 and plan.fn_budget == 0.02
+
+    def test_invalid_lsh_params_rejected_at_create(self, tmp_path):
+        from repro.service.store import StoreError
+
+        with pytest.raises((StoreError, ValueError), match="threshold"):
+            IndexStore.create(tmp_path / "bad", m=M, lsh_threshold=0.0)
+
+
+def planted_corpus(rng, n_families=8, copies=3, size=250, overlap=0.8):
+    """Families of mutated copies: many pairs with high, known-ish J."""
+    sets = []
+    for _ in range(n_families):
+        base = np.unique(rng.integers(0, M, size=size))
+        for _ in range(copies):
+            keep = rng.random(base.size) < overlap
+            extra = rng.integers(0, M, size=max(1, int(size * (1 - overlap))))
+            sets.append(np.unique(np.concatenate([base[keep], extra])))
+    for _ in range(6):
+        sets.append(np.unique(rng.integers(0, M, size=size)))
+    return sets
+
+
+class TestRecallBound:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_measured_recall_meets_analytic_bound(
+        self, tmp_path_factory, seed
+    ):
+        # Aggregate recall over the true matches of many probes must
+        # clear the per-match analytic bound minus a statistical slack
+        # (the bound holds per pair in expectation; with >= 2 true
+        # matches per family the 0.15 slack is > 5 sigma here).
+        threshold = 0.5
+        rng = np.random.default_rng(seed)
+        sets = planted_corpus(rng)
+        plan = plan_bands(threshold, LANES)
+        fps = [fingerprints_for(s) for s in sets]
+        table = LSHTable.build(plan, BITS, 0, fps)
+        truths = retrieved = 0
+        for i, s in enumerate(sets):
+            cands, _ = table.probe(fps[i])
+            hits = set(int(c) for c in cands)
+            for j, other in enumerate(sets):
+                if j == i:
+                    continue
+                if exact_jaccard(s, other) >= threshold:
+                    truths += 1
+                    retrieved += j in hits
+        assert truths > 0
+        bound = plan.recall_at(threshold)
+        assert retrieved / truths >= bound - 0.15
+
+    def test_bound_is_reported_at_query_threshold(self):
+        plan = plan_bands(0.5, 256)
+        # Matches far above the planning threshold are retrieved with
+        # near certainty; the bound at lower thresholds stays valid but
+        # weaker — monotone in t.
+        assert plan.recall_at(0.9) > plan.recall_at(0.5) > plan.recall_at(0.3)
+        assert plan.recall_at(0.3) == pytest.approx(
+            collision_probability(0.3, plan.rows, plan.bands)
+        )
+
+
+class TestLshExactEqualsBruteForce:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_lsh_exact_matches_brute_force(self, tmp_path_factory, seed):
+        rng = np.random.default_rng(seed)
+        sets = planted_corpus(rng, n_families=4, copies=2)
+        root = tmp_path_factory.mktemp("eng") / "idx"
+        store = IndexStore.create(root, m=M, sketch_size=LANES)
+        for i, s in enumerate(sets):
+            store.append(f"g{i}", s)
+        threshold = 0.5
+        query = sets[0]
+        brute = {
+            f"g{i}": exact_jaccard(np.asarray(query), np.asarray(s))
+            for i, s in enumerate(sets)
+        }
+        expect = sorted(
+            (name for name, j in brute.items() if j >= threshold),
+        )
+        for prefilter in ("off", "size", "cascade"):
+            eng = SimilarityIndex(
+                store,
+                config=SimilarityConfig(
+                    query_prefilter=prefilter, query_candidates="lsh_exact"
+                ),
+            )
+            result = eng.query(query, threshold=threshold)
+            assert sorted(m.name for m in result.matches) == expect
+            for m in result.matches:
+                assert m.similarity == pytest.approx(brute[m.name])
+            assert result.candidates == "lsh_exact"
+            assert result.n_after_lsh is not None
+
+    def test_lsh_mode_returns_subset_of_brute_force(self, tmp_path, rng):
+        # "lsh" may miss sub-threshold-recall matches but must never
+        # invent one: every returned match is exact and qualifying.
+        sets = planted_corpus(rng, n_families=3, copies=3)
+        store = IndexStore.create(tmp_path / "idx", m=M, sketch_size=LANES)
+        for i, s in enumerate(sets):
+            store.append(f"g{i}", s)
+        eng = SimilarityIndex(
+            store,
+            config=SimilarityConfig(
+                query_prefilter="size", query_candidates="lsh"
+            ),
+        )
+        threshold = 0.5
+        for qi in (0, 4, len(sets) - 1):
+            result = eng.query(sets[qi], threshold=threshold)
+            for m in result.matches:
+                j = exact_jaccard(
+                    np.asarray(sets[qi]), np.asarray(sets[m.index])
+                )
+                assert m.similarity == pytest.approx(j)
+                assert j >= threshold

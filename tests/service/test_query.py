@@ -330,3 +330,194 @@ class TestLedgerCharges:
         eng = SimilarityIndex(store, machine=machine)
         res = eng.query_values(family_sets[0], threshold=0.5)
         assert res.simulated_seconds > 0.0
+
+
+class TestCandidateGenerators:
+    """query_candidates wiring: stages, counters, and exactness."""
+
+    def test_lsh_exact_equals_scan_equals_brute(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        ref = engine(store, "off").query_values(family_sets[0], threshold=0.3)
+        for prefilter in ("off", "size", "cascade"):
+            res = engine(
+                store, prefilter, query_candidates="lsh_exact"
+            ).query_values(family_sets[0], threshold=0.3)
+            assert [(m.name, m.similarity) for m in res.matches] == [
+                (m.name, m.similarity) for m in ref.matches
+            ]
+
+    def test_lsh_counters_and_summary(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store, "size", query_candidates="lsh").query_values(
+            family_sets[0], threshold=0.5
+        )
+        assert res.candidates == "lsh"
+        assert res.n_after_lsh is not None
+        assert res.n_after_lsh <= res.n_candidates
+        assert res.n_after_size <= res.n_after_lsh
+        assert "after LSH probe" in res.summary()
+        assert "candidates=lsh" in res.summary()
+
+    def test_scan_reports_no_lsh_counter(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        res = engine(store, "size").query_values(
+            family_sets[0], threshold=0.5
+        )
+        assert res.candidates == "scan"
+        assert res.n_after_lsh is None
+        assert "after LSH probe" not in res.summary()
+
+    def test_lsh_finds_stored_duplicate(self, tmp_path, family_sets):
+        # The query equals a stored genome: identical fingerprints
+        # share every band key, so the probe is guaranteed to find it.
+        store = build_index(tmp_path, family_sets)
+        res = engine(store, "size", query_candidates="lsh").query_values(
+            family_sets[3], threshold=0.99
+        )
+        assert "g3" in res.names
+        assert res.matches[0].similarity == 1.0
+
+    def test_lsh_kernel_charged(self, tmp_path, family_sets):
+        machine = Machine(laptop(4))
+        store = build_index(tmp_path, family_sets)
+        eng = SimilarityIndex(
+            store, machine=machine,
+            config=SimilarityConfig(
+                query_prefilter="size", query_candidates="lsh"
+            ),
+        )
+        eng.query_values(family_sets[0], threshold=0.5)
+        assert "query:lsh" in machine.ledger.kernel_totals
+
+    def test_lsh_needs_bbit_family(self, tmp_path, family_sets):
+        from repro.service import StoreError
+
+        store = build_index(tmp_path, family_sets, families=("minhash",))
+        with pytest.raises(StoreError, match="bbit_minhash"):
+            engine(store, "size", query_candidates="lsh").query_values(
+                family_sets[0], threshold=0.5
+            )
+
+    def test_unknown_candidates_rejected(self, tmp_path, family_sets):
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(ValueError, match="query_candidates"):
+            SimilarityConfig(query_candidates="bogus")
+        from repro.service.plan import compile_plan
+
+        cfg = SimilarityConfig()
+        object.__setattr__(cfg, "query_candidates", "bogus")
+        with pytest.raises(ValueError, match="query_candidates"):
+            compile_plan(cfg, store)
+
+
+class TestSketchSeedMismatch:
+    """Regression: sketch-consuming plans reject a mismatched seed."""
+
+    def test_cascade_rejects_mismatched_seed(self, tmp_path, family_sets):
+        from repro.service import StoreError
+
+        store = build_index(tmp_path, family_sets)  # store seed 0
+        eng = engine(store, "cascade", sketch_seed=3)
+        with pytest.raises(StoreError, match="sketch_seed mismatch"):
+            eng.query_values(family_sets[0], threshold=0.5)
+
+    @pytest.mark.parametrize("candidates", ["lsh", "lsh_exact"])
+    def test_lsh_rejects_mismatched_seed(
+        self, tmp_path, family_sets, candidates
+    ):
+        from repro.service import StoreError
+
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, "size", sketch_seed=3, query_candidates=candidates)
+        with pytest.raises(StoreError, match="sketch_seed mismatch"):
+            eng.query_values(family_sets[0], threshold=0.5)
+
+    def test_error_names_both_seeds(self, tmp_path, family_sets):
+        from repro.service import StoreError
+
+        store = build_index(tmp_path, family_sets)
+        with pytest.raises(StoreError, match=r"says 3.*under seed 0"):
+            engine(store, "cascade", sketch_seed=3).query_values(
+                family_sets[0], threshold=0.5
+            )
+
+    @pytest.mark.parametrize("prefilter", ["off", "size"])
+    def test_sketch_free_plans_ignore_seed(
+        self, tmp_path, family_sets, prefilter
+    ):
+        # Without a sketch-consuming stage the seed is irrelevant, so
+        # the query must still answer (and exactly).
+        store = build_index(tmp_path, family_sets)
+        res = engine(store, prefilter, sketch_seed=3).query_values(
+            family_sets[0], threshold=0.5
+        )
+        ref = engine(store, "off").query_values(family_sets[0], threshold=0.5)
+        assert res.names == ref.names
+
+
+class TestEdgeCaseSweep:
+    """Degenerate inputs, swept across every candidate generator."""
+
+    CANDIDATES = ["scan", "lsh", "lsh_exact"]
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_top_k_zero_pins_value_error(
+        self, tmp_path, family_sets, candidates
+    ):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, "size", query_candidates=candidates)
+        with pytest.raises(ValueError, match="top_k"):
+            eng.query_values(family_sets[0], top_k=0)
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_top_k_exceeds_corpus(self, tmp_path, family_sets, candidates):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values(family_sets[0], top_k=10 * len(family_sets))
+        assert len(res.matches) <= len(family_sets)
+        if candidates != "lsh":
+            assert len(res.matches) == len(family_sets)
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_empty_query(self, tmp_path, family_sets, candidates):
+        # Empty sketches have identical fingerprints, so the stored
+        # empty genome co-buckets with the empty query in every band.
+        store = build_index(tmp_path, family_sets + [set()])
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values([], threshold=0.5)
+        assert res.names == [f"g{len(family_sets)}"]
+
+    @pytest.mark.parametrize("candidates", ["scan", "lsh_exact"])
+    def test_threshold_zero_returns_everything(
+        self, tmp_path, family_sets, candidates
+    ):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values(family_sets[0], threshold=0.0)
+        assert len(res.matches) == len(family_sets)
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_threshold_one_exact_duplicates_only(
+        self, tmp_path, family_sets, candidates
+    ):
+        store = build_index(tmp_path, family_sets)
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values(family_sets[1], threshold=1.0)
+        assert res.names == ["g1"]
+        assert res.matches[0].similarity == 1.0
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_empty_store(self, tmp_path, candidates):
+        store = build_index(tmp_path, [])
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values([1, 2, 3], threshold=0.5)
+        assert list(res.matches) == []
+        assert res.n_candidates == 0
+        assert res.n_after_lsh is None
+
+    @pytest.mark.parametrize("candidates", CANDIDATES)
+    def test_single_genome_store(self, tmp_path, candidates):
+        store = build_index(tmp_path, [{1, 2, 3}])
+        eng = engine(store, "size", query_candidates=candidates)
+        res = eng.query_values({1, 2, 3}, threshold=0.5)
+        assert res.names == ["g0"]

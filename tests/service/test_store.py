@@ -277,3 +277,156 @@ class TestGramArtifact:
         store.append("a", [1])
         with pytest.raises(StoreError, match="shape"):
             store.set_gram(np.zeros((2, 2), dtype=np.int64), np.array([1]))
+
+
+class TestCrashConsistency:
+    """Fault injection: a crash mid-write must never tear the store.
+
+    Every byte the store writes flows through
+    ``repro.service.store._atomic_write_bytes``.  The injector below
+    simulates a crash during the N-th write of a mutation: a torn temp
+    file lands on disk, the target is never replaced, and the mutation
+    raises.  Whatever N (mid-shard, mid-Gram, mid-LSH-table,
+    mid-manifest), the live store must roll back in memory and a fresh
+    ``open`` must see the previous committed version intact — and the
+    retried mutation must then succeed.
+    """
+
+    @staticmethod
+    def _baseline(tmp_path, tag):
+        store = IndexStore.create(
+            tmp_path / f"idx-{tag}", m=M, sketch_size=64
+        )
+        sets = {
+            "a": np.array([1, 2, 3, 4], dtype=np.int64),
+            "b": np.array([2, 3, 4], dtype=np.int64),
+            "c": np.array([500, 501], dtype=np.int64),
+        }
+        for name, vals in sets.items():
+            store.append(name, vals)
+        inter = np.array(
+            [[4, 3, 0], [3, 3, 0], [0, 0, 2]], dtype=np.int64
+        )
+        store.set_gram(inter, np.array([4, 3, 2]))
+        return store, sets
+
+    @staticmethod
+    def _state(store):
+        return (
+            store.version,
+            store.names,
+            {n: store.load_values(n).tolist() for n in store.names},
+            store.gram_file,
+            store.lsh_file,
+        )
+
+    @staticmethod
+    def _install_injector(monkeypatch, fail_on):
+        import repro.service.store as store_module
+
+        real = store_module._atomic_write_bytes
+        calls = {"n": 0}
+
+        def torn(path, data):
+            calls["n"] += 1
+            if calls["n"] == fail_on:
+                torn_tmp = path.with_name(path.name + ".tmp")
+                torn_tmp.write_bytes(data[: max(1, len(data) // 2)])
+                raise OSError(
+                    f"injected crash during write #{fail_on} "
+                    f"({path.name})"
+                )
+            real(path, data)
+
+        monkeypatch.setattr(store_module, "_atomic_write_bytes", torn)
+        return calls
+
+    # Each entry is (prep, mutation): prep commits normally, the
+    # mutation is the single transaction the crash is injected into.
+    MUTATIONS = {
+        "append_many": (
+            None,
+            lambda s: s.append_many([("x", [7, 8]), ("y", [9])]),
+        ),
+        "remove": (None, lambda s: s.remove("b")),
+        "compact": (lambda s: s.remove("b"), lambda s: s.compact()),
+        "set_gram": (
+            None,
+            lambda s: s.set_gram(
+                np.eye(3, dtype=np.int64), np.array([4, 3, 2])
+            ),
+        ),
+    }
+
+    def _count_writes(self, tmp_path, monkeypatch, label):
+        # A dry run with an injector that never fires counts the
+        # mutation's writes, so the sweep below hits every one.
+        prep, mutate = self.MUTATIONS[label]
+        with monkeypatch.context() as mp:
+            calls = self._install_injector(mp, fail_on=0)
+            store, _ = self._baseline(tmp_path, f"count-{label}")
+            if prep is not None:
+                prep(store)
+            before = calls["n"]
+            mutate(store)
+            return calls["n"] - before
+
+    @pytest.mark.parametrize("label", sorted(MUTATIONS))
+    def test_crash_at_every_write_rolls_back(
+        self, tmp_path, monkeypatch, label
+    ):
+        prep, mutate = self.MUTATIONS[label]
+        n_writes = self._count_writes(tmp_path, monkeypatch, label)
+        assert n_writes >= 2  # data file(s) + LSH table + manifest
+        for fail_on in range(1, n_writes + 1):
+            store, _ = self._baseline(tmp_path, f"{label}-{fail_on}")
+            if prep is not None:
+                prep(store)
+            committed = self._state(store)
+            table = store.lsh_table()
+            with monkeypatch.context() as mp:
+                self._install_injector(mp, fail_on)
+                with pytest.raises(OSError, match="injected crash"):
+                    mutate(store)
+            # Live store rolled back in memory...
+            assert self._state(store) == committed
+            assert store.lsh_table().equals(table)
+            # ...and a fresh open sees the previous committed version.
+            reopened = IndexStore.open(store.root)
+            assert self._state(reopened) == committed
+            assert reopened.lsh_table().equals(table)
+            # The interrupted mutation retries cleanly.
+            mutate(store)
+            assert store.version == committed[0] + 1
+            final = IndexStore.open(store.root)
+            assert final.names == store.names
+            assert final.lsh_table().equals(store.lsh_table())
+
+    def test_torn_manifest_never_observed(self, tmp_path, monkeypatch):
+        # The injected crash lands during the manifest write itself:
+        # the torn bytes sit in a temp file, the committed manifest is
+        # still the old one, and open() parses it fine.
+        store, _ = self._baseline(tmp_path, "manifest")
+        n_writes = 3  # shard, lsh table, manifest — manifest is last
+        version = store.version
+        with monkeypatch.context() as mp:
+            self._install_injector(mp, fail_on=n_writes)
+            with pytest.raises(OSError, match="injected crash"):
+                store.append("late", [42])
+        torn = list(store.root.glob("manifest.json.tmp"))
+        assert torn, "expected the torn temp file to remain"
+        reopened = IndexStore.open(store.root)
+        assert reopened.version == version
+        assert "late" not in reopened.names
+
+    def test_orphaned_staged_files_are_ignored(self, tmp_path, monkeypatch):
+        # A crash after the LSH table write leaves an unreferenced
+        # lsh-<v+1>.bin on disk; open() reads only the manifest's file.
+        store, _ = self._baseline(tmp_path, "orphan")
+        with monkeypatch.context() as mp:
+            self._install_injector(mp, fail_on=2)  # the LSH-table write
+            with pytest.raises(OSError, match="injected crash"):
+                store.append("late", [42])
+        reopened = IndexStore.open(store.root)
+        assert reopened.lsh_file == store.lsh_file
+        assert reopened.lsh_table().equals(store.lsh_table())
