@@ -69,6 +69,19 @@ The headline the LSH index has to keep earning is a candidate-set
 reduction over the size scan at exact ``lsh_exact`` results with the
 measured recall meeting the analytic bound on both Fig. 2 workloads.
 
+An eighth section benchmarks the size-banded sharded store
+(``repro.service.sharded``): each Fig. 2 workload is persisted flat,
+migrated in place to 1/4/8 quantile size bands (``shard_store``), and
+served through the per-band fan-out engine with each band's cascade
+pinned to its own machine rank.  Appends to ``BENCH_shards.json``:
+modelled serving seconds per shard count, the fan-out speedup of the
+8-band store over the flat engine (overlapped rank clocks: makespan =
+slowest band, not the sum), the candidate pruning from consulting only
+the size-ratio-overlapping bands, and an exactness flag (every sharded
+answer must equal the flat answer bit for bit).  The headline the
+sharded layout has to keep earning is a >=2x modelled fan-out speedup
+at 8 bands with exact results on both Fig. 2 workloads.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
                                               # BENCH_pipeline.json +
@@ -107,6 +120,7 @@ DEFAULT_SKETCH_OUTPUT = REPO_ROOT / "BENCH_sketch.json"
 DEFAULT_QUERY_OUTPUT = REPO_ROOT / "BENCH_query.json"
 DEFAULT_SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 DEFAULT_LSH_OUTPUT = REPO_ROOT / "BENCH_lsh.json"
+DEFAULT_SHARDS_OUTPUT = REPO_ROOT / "BENCH_shards.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -973,6 +987,155 @@ def run_lsh_harness(smoke: bool = False) -> dict:
     return entry
 
 
+#: Shards-section parameters: the same Fig. 2 serving threshold as the
+#: query/LSH sections; shard counts cover the degenerate single band
+#: (must behave exactly like the flat store), the balanced mid case,
+#: and the gated 8-band fan-out.
+SHARD_SPECS = {
+    "fig2a_kingsford_like": dict(
+        threshold=0.3, n_queries=48, shard_counts=(1, 4, 8)
+    ),
+    "fig2b_bigsi_like": dict(
+        threshold=0.3, n_queries=64, shard_counts=(1, 4, 8)
+    ),
+}
+SMOKE_SHARD_SPECS = {
+    "fig2a_kingsford_like": dict(
+        threshold=0.3, n_queries=12, shard_counts=(1, 4, 8)
+    ),
+    "fig2b_bigsi_like": dict(
+        threshold=0.3, n_queries=16, shard_counts=(1, 4, 8)
+    ),
+}
+
+
+def run_shards_workload(name: str, spec: dict, shspec: dict, root) -> dict:
+    """Flat vs 1/4/8-band sharded serving over one migrated index."""
+    import shutil
+
+    from repro.core.config import SimilarityConfig as _Config
+    from repro.service import (
+        IndexStore,
+        ShardedSimilarityIndex,
+        SimilarityIndex,
+        shard_store,
+    )
+
+    source = _source(spec)
+    values = _materialize_values(source)
+    flat_root = Path(root) / "flat"
+    store = IndexStore.create(
+        flat_root, m=spec["m"], codec="adaptive", families=("minhash",),
+        sketch_size=256,
+    )
+    store.append_many(
+        [(f"s{j:05d}", vals) for j, vals in enumerate(values)]
+    )
+    threshold = shspec["threshold"]
+    queries = list(range(min(shspec["n_queries"], source.n)))
+
+    # Every engine gets its own fresh machine: simulated_seconds is a
+    # makespan delta on that machine's rank clocks, so sharing one
+    # machine across engines would telescope the comparisons.
+    flat_engine = SimilarityIndex(
+        store,
+        machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+        config=_Config(query_cache_size=0),
+    )
+    flat_sim = 0.0
+    flat_candidates = 0
+    flat_matches = []
+    flat_real = 0.0
+    for j in queries:
+        t0 = time.perf_counter()
+        r = flat_engine.query_values(values[j], threshold=threshold)
+        flat_real += time.perf_counter() - t0
+        flat_sim += r.simulated_seconds
+        flat_candidates += r.n_candidates
+        flat_matches.append([(m.name, m.similarity) for m in r.matches])
+
+    per_shards = {}
+    exact_all = True
+    for n_shards in shspec["shard_counts"]:
+        sh_root = Path(root) / f"sh{n_shards}"
+        shutil.copytree(flat_root, sh_root)
+        sh = shard_store(sh_root, n_shards)  # quantile bands, in place
+        engine = ShardedSimilarityIndex(
+            sh,
+            machine=_machine(spec["nodes"], spec["ranks_per_node"]),
+            config=_Config(query_cache_size=0),
+        )
+        sim = real = 0.0
+        candidates = 0
+        exact = True
+        for j, ref in zip(queries, flat_matches):
+            t0 = time.perf_counter()
+            r = engine.query_values(values[j], threshold=threshold)
+            real += time.perf_counter() - t0
+            sim += r.simulated_seconds
+            candidates += r.n_candidates
+            exact = exact and (
+                [(m.name, m.similarity) for m in r.matches] == ref
+            )
+        exact_all = exact_all and exact
+        per_shards[str(n_shards)] = {
+            "simulated_seconds": sim,
+            "real_seconds": real,
+            "total_candidates": candidates,
+            "exact_vs_flat": bool(exact),
+            "shard_occupancy": [s.n_genomes for s in sh.shards],
+        }
+    at8 = per_shards[str(max(shspec["shard_counts"]))]
+    summary = {
+        "threshold": threshold,
+        "n_queries": len(queries),
+        "n_genomes": source.n,
+        "shard_counts": list(shspec["shard_counts"]),
+        "flat_simulated_seconds": flat_sim,
+        "flat_real_seconds": flat_real,
+        "flat_total_candidates": flat_candidates,
+        "per_shards": per_shards,
+        "fanout_speedup_at_8": (
+            flat_sim / at8["simulated_seconds"]
+            if at8["simulated_seconds"] > 0 else float("inf")
+        ),
+        "candidate_pruning_at_8": (
+            flat_candidates / max(at8["total_candidates"], 1)
+        ),
+        "exact_at_all_shard_counts": bool(exact_all),
+    }
+    print(
+        f"  {name:<24} t={threshold:<5g} {len(queries)} queries: "
+        f"8-band fan-out {summary['fanout_speedup_at_8']:.2f}x modelled "
+        f"over flat, band selection keeps "
+        f"{at8['total_candidates']} of {flat_candidates} candidate(s) "
+        f"({summary['candidate_pruning_at_8']:.1f}x pruning), "
+        f"exact at {summary['shard_counts']}: {exact_all}"
+    )
+    return {"params": dict(spec, **shspec), "summary": summary}
+
+
+def run_shards_harness(smoke: bool = False) -> dict:
+    """The sharded-store section: one trajectory entry."""
+    import tempfile
+
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    shspecs = SMOKE_SHARD_SPECS if smoke else SHARD_SPECS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) sharded fan-out ==")
+        with tempfile.TemporaryDirectory(prefix="bench_shards_") as tmp:
+            entry["workloads"][name] = run_shards_workload(
+                name, dict(spec), shspecs[name], Path(tmp)
+            )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -1064,6 +1227,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--shards-output", type=Path, default=None,
+        help=(
+            f"sharded-store trajectory file to append to (default "
+            f"{DEFAULT_SHARDS_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -1142,6 +1313,17 @@ def main(argv: list[str] | None = None) -> int:
             "lsh trajectory not written (--output was redirected; "
             "pass --lsh-output to record it)"
         )
+    shards_entry = run_shards_harness(smoke=args.smoke)
+    shards_output = args.shards_output
+    if shards_output is None and not args.smoke and args.output is None:
+        shards_output = DEFAULT_SHARDS_OUTPUT
+    if shards_output is not None:
+        append_entry(shards_entry, shards_output)
+    elif not args.smoke:
+        print(
+            "shards trajectory not written (--output was redirected; "
+            "pass --shards-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -1200,6 +1382,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{s['analytic_recall_bound']:.3f}: "
             f"{s['recall_meets_analytic_bound']}, lsh_exact==brute: "
             f"{s['lsh_exact_vs_bruteforce']})"
+        )
+    for name, wl in shards_entry["workloads"].items():
+        s = wl["summary"]
+        print(
+            f"{name}: 8-band fan-out {s['fanout_speedup_at_8']:.2f}x "
+            f"modelled over flat, {s['candidate_pruning_at_8']:.1f}x "
+            f"candidate pruning (exact at {s['shard_counts']}: "
+            f"{s['exact_at_all_shard_counts']})"
         )
     return 0
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 
 from repro.core.sketch import (
     ESTIMATORS,
@@ -34,6 +35,32 @@ QUERY_PREFILTERS = ("off", "size", "cascade")
 #: (exact; used to audit measured LSH recall against the analytic
 #: bound).
 QUERY_CANDIDATES = ("scan", "lsh", "lsh_exact")
+
+#: How a sharded store's size-band edges are planned (see
+#: :func:`repro.service.sharded.plan_size_bands`).  ``"geometric"`` —
+#: edges grow by a constant ratio across ``[1, m]`` (matches the
+#: size-ratio window's multiplicative shape); ``"uniform"`` — equal
+#: width bands; ``"quantile"`` — equal-count bands over observed sizes
+#: (needs a size sample; best load balance).  Defined here (not in the
+#: service package) so the config layer never imports upward.
+SHARD_BAND_POLICIES = ("geometric", "uniform", "quantile")
+
+#: Canonical namespaced knob name -> dataclass field, for every knob
+#: whose flat name predates the ``query.*`` / ``store.*`` namespaces.
+#: ``to_dict`` emits the canonical spellings; ``from_dict`` accepts
+#: both, warning on the legacy flat spellings.
+_NAMESPACED_KNOBS = {
+    "query.prefilter": "query_prefilter",
+    "query.candidates": "query_candidates",
+    "query.cache_size": "query_cache_size",
+    "query.batch_size": "query_batch_size",
+    "query.max_wait": "query_max_wait",
+    "store.shards": "store_shards",
+    "store.band_policy": "shard_band_policy",
+}
+_LEGACY_KNOB_ALIASES = {
+    field_name: canonical for canonical, field_name in _NAMESPACED_KNOBS.items()
+}
 
 
 @dataclass(frozen=True)
@@ -149,6 +176,16 @@ class SimilarityConfig:
         Longest wall-clock time (seconds) an admitted request may wait
         for its batch to fill before the batch is flushed anyway; 0
         flushes after every admission (no coalescing across callers).
+    store_shards:
+        Number of size-banded shards a newly created store is split
+        into (canonical knob name ``store.shards``).  1 (default) keeps
+        the classic single-directory :class:`~repro.service.store.
+        IndexStore`; >= 2 creates a :class:`~repro.service.sharded.
+        ShardedStore` whose threshold/top-k queries fan out only over
+        the bands the size-ratio window overlaps.
+    shard_band_policy:
+        How the shard band edges are planned (canonical knob name
+        ``store.band_policy``); one of :data:`SHARD_BAND_POLICIES`.
     reduce_every_batch:
         When ``True``, replication layers reduce their partial ``B`` after
         every batch (as in the paper's Listing 1 accumulation order);
@@ -183,6 +220,8 @@ class SimilarityConfig:
     query_cache_size: int = 128
     query_batch_size: int = 32
     query_max_wait: float = 0.01
+    store_shards: int = 1
+    shard_band_policy: str = "geometric"
     reduce_every_batch: bool = False
     gather_result: bool = True
     compute_distance: bool = True
@@ -262,7 +301,67 @@ class SimilarityConfig:
             raise ValueError(
                 f"query_max_wait must be >= 0, got {self.query_max_wait}"
             )
+        if self.store_shards < 1:
+            raise ValueError(
+                f"store_shards must be >= 1, got {self.store_shards}"
+            )
+        if self.shard_band_policy not in SHARD_BAND_POLICIES:
+            raise ValueError(
+                f"shard_band_policy must be one of {SHARD_BAND_POLICIES}, "
+                f"got {self.shard_band_policy!r}"
+            )
         if not 0.0 < self.memory_fraction <= 1.0:
             raise ValueError(
                 f"memory_fraction must be in (0, 1], got {self.memory_fraction}"
             )
+
+    # ---- canonical knob names -----------------------------------------
+
+    def to_dict(self) -> dict:
+        """The config as a dict under the *canonical* knob names.
+
+        Service-layer knobs are emitted under the ``query.*`` /
+        ``store.*`` namespaces (``query.prefilter``, ``store.shards``,
+        ...); everything else keeps its flat field name.  The output
+        round-trips through :meth:`from_dict`.
+        """
+        out = {}
+        for f in fields(self):
+            out[_LEGACY_KNOB_ALIASES.get(f.name, f.name)] = getattr(
+                self, f.name
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimilarityConfig":
+        """Build a config from canonical (or legacy-alias) knob names.
+
+        Canonical ``query.*`` / ``store.*`` spellings are preferred;
+        the legacy flat spellings (``query_prefilter``, ``store_shards``,
+        ...) are still accepted for one release and warn with
+        ``DeprecationWarning``.  An unknown knob raises ``ValueError``.
+        """
+        field_names = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key in _NAMESPACED_KNOBS:
+                name = _NAMESPACED_KNOBS[key]
+            elif key in _LEGACY_KNOB_ALIASES:
+                warnings.warn(
+                    f"config knob {key!r} is deprecated; use "
+                    f"{_LEGACY_KNOB_ALIASES[key]!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                name = key
+            elif key in field_names:
+                name = key
+            else:
+                raise ValueError(f"unknown config knob {key!r}")
+            if name in kwargs:
+                raise ValueError(
+                    f"config knob {name!r} given more than once "
+                    f"(canonical and legacy spellings)"
+                )
+            kwargs[name] = value
+        return cls(**kwargs)

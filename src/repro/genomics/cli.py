@@ -6,11 +6,18 @@ Two modes:
   pipeline on a directory of FASTA files against a configurable
   simulated machine and writes the similarity/distance matrices, a
   PHYLIP export, a Newick tree, and the BSP cost report.
-* **index** (``genome-at-scale index build|add|query``): the
+* **index** (``genome-at-scale index build|add|query|shard``): the
   persistent serving layer — build an on-disk similarity index from
-  FASTA samples, extend it incrementally (border-block Gram updates),
-  and answer threshold/top-k queries through the pruning cascade of
-  :mod:`repro.service.query`.
+  FASTA samples (flat, or size-band sharded with ``--shards``), extend
+  it incrementally (border-block Gram updates), answer threshold/top-k
+  queries through the pruning cascade of :mod:`repro.service.query`
+  (fanned out per band on a sharded index), and migrate an existing
+  flat index into size bands in place (``index shard``).
+
+Query knobs are spelled under the canonical ``--query-*`` namespace
+(``--query-prefilter``, ``--query-candidates``, ``--query-batch-size``,
+``--query-max-wait``); the legacy flat spellings remain accepted as
+aliases for one release.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 from repro.core.config import (
     QUERY_CANDIDATES,
     QUERY_PREFILTERS,
+    SHARD_BAND_POLICIES,
     SimilarityConfig,
 )
 from repro.core.sketch import ESTIMATORS
@@ -174,6 +182,24 @@ def build_index_parser() -> argparse.ArgumentParser:
         "--sketch-bits", type=int, default=8,
         help="bits per stored b-bit MinHash lane (default 8)",
     )
+    build.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "split the new index into this many size-banded shards "
+            "(default 1 = the classic flat layout); threshold queries "
+            "then consult only the bands their size-ratio window "
+            "overlaps"
+        ),
+    )
+    build.add_argument(
+        "--band-policy", choices=list(SHARD_BAND_POLICIES),
+        default="quantile",
+        help=(
+            "how the shard band edges are planned (with --shards; "
+            "default quantile = equal-count bands over the sample "
+            "sizes, best load balance)"
+        ),
+    )
 
     add = sub.add_parser(
         "add", help="incrementally add FASTA samples to an index"
@@ -202,12 +228,20 @@ def build_index_parser() -> argparse.ArgumentParser:
         ),
     )
     query.add_argument(
-        "--batch-size", type=int, default=None,
-        help="queries coalesced per batch (default: config, 32)",
+        "--query-batch-size", "--batch-size", dest="query_batch_size",
+        type=int, default=None,
+        help=(
+            "queries coalesced per batch (default: config, 32; "
+            "--batch-size is the deprecated alias)"
+        ),
     )
     query.add_argument(
-        "--max-wait", type=float, default=None,
-        help="batch admission wait in seconds (default: config, 0.01)",
+        "--query-max-wait", "--max-wait", dest="query_max_wait",
+        type=float, default=None,
+        help=(
+            "batch admission wait in seconds (default: config, 0.01; "
+            "--max-wait is the deprecated alias)"
+        ),
     )
     query.add_argument(
         "--threshold", type=float, default=None,
@@ -218,22 +252,26 @@ def build_index_parser() -> argparse.ArgumentParser:
         help="return the k most similar genomes",
     )
     query.add_argument(
-        "--prefilter", choices=list(QUERY_PREFILTERS), default="cascade",
+        "--query-prefilter", "--prefilter", dest="query_prefilter",
+        choices=list(QUERY_PREFILTERS), default="cascade",
         help=(
             "cascade depth: off = brute-force exact; size = size-ratio "
             "bound only; cascade (default) adds the conservative sketch "
-            "prefilter before exact verification"
+            "prefilter before exact verification (--prefilter is the "
+            "deprecated alias)"
         ),
     )
     query.add_argument(
-        "--candidates", choices=list(QUERY_CANDIDATES), default="scan",
+        "--query-candidates", "--candidates", dest="query_candidates",
+        choices=list(QUERY_CANDIDATES), default="scan",
         help=(
             "candidate generator: scan (default) = every stored genome "
             "enters the cascade; lsh = probe the store's banded "
             "MinHash-LSH buckets first (sub-linear, approximate "
             "recall bounded by the band plan); lsh_exact = probe the "
             "buckets but keep the full scan (exact answers, LSH "
-            "recall auditable from the counters)"
+            "recall auditable from the counters; --candidates is the "
+            "deprecated alias)"
         ),
     )
     query.add_argument(
@@ -247,6 +285,28 @@ def build_index_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--json", type=Path, default=None,
         help="also write the matches and cascade stats as JSON",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help=(
+            "migrate an existing flat index into size-banded shards "
+            "in place (queries before and after are identical)"
+        ),
+    )
+    shard.add_argument("--index", type=Path, required=True,
+                       help="index store directory")
+    shard.add_argument(
+        "--shards", type=int, required=True,
+        help="number of size-banded shards to split the index into",
+    )
+    shard.add_argument(
+        "--band-policy", choices=list(SHARD_BAND_POLICIES),
+        default="quantile",
+        help=(
+            "how the band edges are planned over the stored sizes "
+            "(default quantile = equal-count bands)"
+        ),
     )
     return parser
 
@@ -265,11 +325,25 @@ def _index_tool(args: argparse.Namespace, **config_overrides) -> GenomeAtScale:
 
 def index_main(argv: list[str]) -> int:
     args = build_index_parser().parse_args(argv)
-    fasta_paths = collect_inputs(args.inputs)
+    inputs = getattr(args, "inputs", None)
+    fasta_paths = collect_inputs(inputs) if inputs else []
+    if args.command == "shard":
+        from repro.service import shard_store
+
+        store = shard_store(
+            args.index, args.shards, band_policy=args.band_policy
+        )
+        print(store.summary())
+        print(
+            f"\nsharded {args.index} into {store.n_shards} size "
+            f"band(s) [{args.band_policy}]; queries are unchanged"
+        )
+        return 0
     if args.command == "build":
         tool = _index_tool(
             args, wire_codec=args.wire_codec,
             sketch_size=args.sketch_size, sketch_bits=args.sketch_bits,
+            store_shards=args.shards, shard_band_policy=args.band_policy,
         )
         store = tool.build_index(fasta_paths, args.index)
         print(store.summary())
@@ -292,13 +366,13 @@ def index_main(argv: list[str]) -> int:
     if args.threshold is None and args.top_k is None:
         raise SystemExit("index query requires --threshold and/or --top-k")
     overrides = dict(
-        query_prefilter=args.prefilter, estimator=args.estimator,
-        query_candidates=args.candidates,
+        query_prefilter=args.query_prefilter, estimator=args.estimator,
+        query_candidates=args.query_candidates,
     )
-    if args.batch_size is not None:
-        overrides["query_batch_size"] = args.batch_size
-    if args.max_wait is not None:
-        overrides["query_max_wait"] = args.max_wait
+    if args.query_batch_size is not None:
+        overrides["query_batch_size"] = args.query_batch_size
+    if args.query_max_wait is not None:
+        overrides["query_max_wait"] = args.query_max_wait
     tool = _index_tool(args, **overrides)
     if args.batch_file is not None:
         if fasta_paths:
@@ -414,7 +488,8 @@ def main(argv: list[str] | None = None) -> int:
     # one of them, so a FASTA file or directory literally named
     # "index" still reaches the batch parser.
     if argv[:1] == ["index"] and (
-        len(argv) == 1 or argv[1] in ("build", "add", "query", "-h", "--help")
+        len(argv) == 1
+        or argv[1] in ("build", "add", "query", "shard", "-h", "--help")
     ):
         return index_main(argv[1:])
     args = build_parser().parse_args(argv)

@@ -203,38 +203,40 @@ class GenomeAtScale:
     ):
         """FASTA files -> a persistent, query-ready similarity index.
 
-        Creates an :class:`~repro.service.store.IndexStore` keyed by
-        this tool's k-mer space, appends every sample, and persists the
-        exact all-pairs Gram so later :meth:`extend_index` calls only
-        compute border blocks.  Returns the store.
+        Routes through the :class:`~repro.service.api.SimilarityService`
+        facade: ``config.store_shards`` picks the layout (a flat
+        :class:`~repro.service.store.IndexStore` or a size-banded
+        :class:`~repro.service.sharded.ShardedStore`, banded over the
+        cleaned sample sizes), every sample is appended, and the exact
+        all-pairs Gram is persisted so later :meth:`extend_index` calls
+        only compute border blocks.  Returns the store.
         """
         from repro.genomics.kmer import kmer_space_size
-        from repro.service import IndexStore, add_genomes
+        from repro.service import SimilarityService
 
         config = self.config if self.config is not None else SimilarityConfig()
-        store = IndexStore.create(
+        cleaned = self._clean_inputs(fasta_paths, names)
+        service = SimilarityService.create(
             index_dir,
             m=kmer_space_size(self.k),
-            codec=config.wire_codec,
-            sketch_size=config.sketch_size,
-            sketch_bits=config.sketch_bits,
-            sketch_seed=config.sketch_seed,
+            machine=self.machine,
+            config=config,
             metadata={
                 "k": self.k,
                 "canonical": self.canonical,
                 "min_count": self.min_count,
             },
+            size_hint=np.array(
+                [codes.size for _, codes in cleaned], dtype=np.int64
+            ),
         )
-        add_genomes(
-            store, self._clean_inputs(fasta_paths, names),
-            machine=self.machine, config=config,
-        )
-        return store
+        service.add(cleaned)
+        return service.store
 
     def _open_index(self, index_dir: str | Path):
-        from repro.service import IndexStore
+        from repro.service import open_store
 
-        store = IndexStore.open(index_dir)
+        store = open_store(index_dir)
         if store.metadata.get("k") != self.k:
             raise ValueError(
                 f"index at {index_dir} was built with k="
@@ -273,11 +275,16 @@ class GenomeAtScale:
         bit-identical to rebuilding from scratch.  Returns the
         :class:`~repro.service.incremental.IncrementalReport`.
         """
-        from repro.service import add_genomes
+        return self._service(index_dir).add(
+            self._clean_inputs(fasta_paths, names)
+        )
 
-        store = self._open_index(index_dir)
-        return add_genomes(
-            store, self._clean_inputs(fasta_paths, names),
+    def _service(self, index_dir: str | Path):
+        """The metadata-validated service facade over an index dir."""
+        from repro.service import SimilarityService
+
+        return SimilarityService(
+            self._open_index(index_dir),
             machine=self.machine, config=self.config,
         )
 
@@ -291,16 +298,13 @@ class GenomeAtScale:
         """Threshold/top-k query of one FASTA sample against an index.
 
         Returns the :class:`~repro.service.query.QueryResult` of the
-        cascade (size bound -> sketch prefilter -> exact verify).
+        cascade (size bound -> sketch prefilter -> exact verify); on a
+        sharded index only the overlapping size bands are consulted.
         """
-        from repro.service import SimilarityIndex
-
-        store = self._open_index(index_dir)
         (_, codes), = self._clean_inputs([fasta_path], None)
-        engine = SimilarityIndex(
-            store, machine=self.machine, config=self.config
+        return self._service(index_dir).query(
+            values=codes, threshold=threshold, top_k=top_k
         )
-        return engine.query_values(codes, threshold=threshold, top_k=top_k)
 
     def query_index_batch(
         self,
@@ -314,20 +318,14 @@ class GenomeAtScale:
         All samples run through the :class:`~repro.service.batch.QueryBatcher`
         (one size-sorted window + one rectangular popcount block per
         admitted batch of ``config.query_batch_size``); results come
-        back in input order and match :meth:`query_index` exactly.
+        back in input order and match :meth:`query_index` exactly —
+        on a sharded index each query is batched per overlapping band.
         """
-        from repro.service import QueryBatcher, SimilarityIndex
-
-        store = self._open_index(index_dir)
         cleaned = self._clean_inputs(fasta_paths, None)
-        engine = SimilarityIndex(
-            store, machine=self.machine, config=self.config
+        return self._service(index_dir).query_batch(
+            [codes for _, codes in cleaned],
+            threshold=threshold, top_k=top_k,
         )
-        with QueryBatcher(engine) as batcher:
-            return batcher.query_many(
-                [codes for _, codes in cleaned],
-                threshold=threshold, top_k=top_k,
-            )
 
     def run_streaming(
         self,

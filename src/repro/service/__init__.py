@@ -5,12 +5,21 @@ The fourth architectural layer of the repo: the batch engine
 compress, the sketches (:mod:`repro.core.sketch`) estimate — this
 package **persists and serves**:
 
+* :mod:`repro.service.api` — :class:`SimilarityService`, the **public
+  facade**: one front door over both store layouts, incremental
+  maintenance, and both query paths;
 * :mod:`repro.service.store` — a versioned on-disk index of genomes
   (sorted value columns + sketches as codec frames) with an optional
   persisted all-pairs Gram result, a store-level lock, and
   version-consistent snapshots;
+* :mod:`repro.service.sharded` — the size-banded sharded layout: a
+  top-level manifest maps size bands to shard directories, each shard
+  a full :class:`~repro.service.store.IndexStore`; plus the in-place
+  flat-to-sharded migration (:func:`shard_store`) and the
+  layout-dispatching :func:`open_store`;
 * :mod:`repro.service.incremental` — add genomes by computing only the
-  new-vs-existing border block (bit-identical to a rebuild);
+  new-vs-existing border block (bit-identical to a rebuild), routed
+  per band on a sharded store;
 * :mod:`repro.service.lsh` — banded MinHash-LSH bucket tables over the
   stored b-bit lane fingerprints: band/row planning from the collision
   curve ``1 - (1 - s^r)^b``, incremental maintenance, and codec-frame
@@ -18,26 +27,33 @@ package **persists and serves**:
 * :mod:`repro.service.plan` — the explicit :class:`QueryPlan` stage
   pipeline both query paths compile to;
 * :mod:`repro.service.query` — the threshold/top-k query engine with
-  the size-ratio / sketch / exact-verify cascade, charged under
-  ``query:*`` kernels;
+  the size-ratio / sketch / exact-verify cascade (``query:*``
+  kernels), and the sharded fan-out engine that runs it per band;
 * :mod:`repro.service.batch` — the coalescing :class:`QueryBatcher`
   front end: one size-sorted window and one rectangular popcount block
   per batch, charged under ``query:batch:*`` kernels;
 * :mod:`repro.service.cache` — the LRU query/result cache, shared by
-  both paths through one key schema.
+  both paths through one topology-aware key schema;
+* :mod:`repro.service.errors` — the :class:`ServiceError` hierarchy
+  every service-layer failure raises under.
 
-See ``docs/service.md`` for the store layout, the cascade correctness
-argument, and the batched admission model.
+See ``docs/service.md`` for the store layouts, the cascade correctness
+argument, the batched admission model, and the facade contract.
 """
 
+import warnings
+
+from repro.service import incremental as _incremental
+from repro.service.api import SimilarityService
 from repro.service.batch import BatchQuery, QueryBatcher
 from repro.service.cache import CacheStats, QueryCache, result_cache_key
-from repro.service.incremental import (
-    IncrementalReport,
-    add_genomes,
-    rebuild,
-    similarity_from_gram,
+from repro.service.errors import (
+    ConfigError,
+    QueryError,
+    ServiceError,
+    StoreError,
 )
+from repro.service.incremental import IncrementalReport, similarity_from_gram
 from repro.service.lsh import (
     BandPlan,
     LSHTable,
@@ -49,24 +65,33 @@ from repro.service.plan import PlanStage, QueryPlan, compile_plan
 from repro.service.query import (
     QueryMatch,
     QueryResult,
+    ShardedSimilarityIndex,
     SimilarityIndex,
     exact_jaccard,
+    merge_shard_results,
     size_ratio_mask,
     size_ratio_window,
 )
-from repro.service.store import (
-    GenomeEntry,
-    IndexStore,
-    StoreError,
-    StoreSnapshot,
+from repro.service.sharded import (
+    ShardedEntry,
+    ShardedStore,
+    open_store,
+    plan_size_bands,
+    shard_store,
 )
+from repro.service.store import GenomeEntry, IndexStore, StoreSnapshot
 
 __all__ = [
+    "SimilarityService",
     "BatchQuery",
     "QueryBatcher",
     "CacheStats",
     "QueryCache",
     "result_cache_key",
+    "ServiceError",
+    "StoreError",
+    "QueryError",
+    "ConfigError",
     "IncrementalReport",
     "add_genomes",
     "rebuild",
@@ -82,11 +107,47 @@ __all__ = [
     "QueryMatch",
     "QueryResult",
     "SimilarityIndex",
+    "ShardedSimilarityIndex",
     "exact_jaccard",
+    "merge_shard_results",
     "size_ratio_mask",
     "size_ratio_window",
     "GenomeEntry",
     "IndexStore",
-    "StoreError",
     "StoreSnapshot",
+    "ShardedEntry",
+    "ShardedStore",
+    "open_store",
+    "plan_size_bands",
+    "shard_store",
 ]
+
+
+def add_genomes(*args, **kwargs):
+    """Deprecated shim for :func:`repro.service.incremental.add_genomes`.
+
+    Route through :meth:`SimilarityService.add` (or import from
+    :mod:`repro.service.incremental` directly).
+    """
+    warnings.warn(
+        "repro.service.add_genomes is deprecated; use "
+        "SimilarityService.add or repro.service.incremental.add_genomes",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _incremental.add_genomes(*args, **kwargs)
+
+
+def rebuild(*args, **kwargs):
+    """Deprecated shim for :func:`repro.service.incremental.rebuild`.
+
+    Route through :meth:`SimilarityService.rebuild` (or import from
+    :mod:`repro.service.incremental` directly).
+    """
+    warnings.warn(
+        "repro.service.rebuild is deprecated; use "
+        "SimilarityService.rebuild or repro.service.incremental.rebuild",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _incremental.rebuild(*args, **kwargs)

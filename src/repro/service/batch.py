@@ -53,6 +53,7 @@ import numpy as np
 from repro.core.sketch import make_sketch
 from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
 from repro.service.cache import result_cache_key
+from repro.service.errors import ConfigError, QueryError
 from repro.service.plan import ADMIT_KERNEL, QueryPlan, compile_plan
 from repro.service.query import (
     _EPS,
@@ -144,14 +145,14 @@ class QueryBatcher:
             else self.config.query_batch_size
         )
         if self.batch_size <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"batch_size must be positive, got {self.batch_size}"
             )
         self.max_wait = float(
             max_wait if max_wait is not None else self.config.query_max_wait
         )
         if self.max_wait < 0:
-            raise ValueError(
+            raise ConfigError(
                 f"max_wait must be >= 0, got {self.max_wait}"
             )
         self._owns_executor = executor is None
@@ -286,15 +287,15 @@ class QueryBatcher:
         vals = _as_values(values)
         m = self.index.store.m
         if vals.size and (vals[0] < 0 or vals[-1] >= m):
-            raise ValueError(f"query values outside [0, {m})")
+            raise QueryError(f"query values outside [0, {m})")
         if threshold is None and top_k is None:
-            raise ValueError("pass threshold, top_k, or both")
+            raise QueryError("pass threshold, top_k, or both")
         if threshold is not None and not 0.0 <= threshold <= 1.0:
-            raise ValueError(
+            raise QueryError(
                 f"threshold must be in [0, 1], got {threshold}"
             )
         if top_k is not None and top_k <= 0:
-            raise ValueError(f"top_k must be positive, got {top_k}")
+            raise QueryError(f"top_k must be positive, got {top_k}")
         return vals
 
     def _admit_batch_locked(self) -> _Batch:
@@ -371,7 +372,11 @@ class QueryBatcher:
         plan: QueryPlan,
     ) -> list[QueryResult]:
         machine = self.machine
-        serving = machine.world.sub([0])
+        # Charge the serving rank the index is pinned to (a sharded
+        # fan-out pins each band's batcher to a distinct rank).
+        serving = machine.world.sub(
+            [getattr(self.index, "serving_rank", 0)]
+        )
         self.n_batches += 1
         batch_size = len(requests)
         results: list[QueryResult | None] = [None] * batch_size

@@ -30,6 +30,15 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro.service.errors import ConfigError
+
+#: Topology component of a single-shard store's cache key.  Sharded
+#: stores pass their own ``ShardedStore.topology()`` tuple instead, so
+#: re-banding a store (which changes which shards a query fans out
+#: over, but not the answer) still keys distinctly from the flat
+#: layout.
+SINGLE_TOPOLOGY = ("single",)
+
 
 def result_cache_key(
     vals: np.ndarray,
@@ -40,6 +49,7 @@ def result_cache_key(
     candidates: str,
     exclude_name: str | None,
     store_version: int,
+    topology: tuple = SINGLE_TOPOLOGY,
 ) -> tuple:
     """The canonical cache key of one threshold/top-k query.
 
@@ -52,12 +62,16 @@ def result_cache_key(
     changes the version and so invalidates every prior entry).  Batch
     membership is deliberately absent — a query answers the same
     whether it arrived alone or coalesced, so both execution paths
-    share entries.
+    share entries.  ``topology`` is the store's shard topology
+    (:data:`SINGLE_TOPOLOGY` for a flat store, the sharded store's band
+    layout otherwise): the answers are exactly equal across layouts,
+    but the per-shard counters a cached :class:`~repro.service.query.
+    QueryResult` carries are not, so entries never cross topologies.
     """
     return (
         hashlib.sha256(vals.tobytes()).hexdigest(),
         int(vals.size), threshold, top_k, prefilter,
-        family, candidates, exclude_name, store_version,
+        family, candidates, exclude_name, store_version, topology,
     )
 
 
@@ -101,7 +115,7 @@ class QueryCache:
 
     def __init__(self, capacity: int):
         if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
+            raise ConfigError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()

@@ -1,0 +1,44 @@
+"""The service-layer error hierarchy.
+
+Before the unified :class:`~repro.service.api.SimilarityService` facade,
+service errors were scattered: the store raised its own
+``StoreError(ValueError)`` while the query/batch/plan validation paths
+raised bare ``ValueError``.  Callers who wanted "anything the serving
+layer can reject" had to catch ``ValueError`` and hope nothing else
+leaked through.  This module consolidates them:
+
+* :class:`ServiceError` — the root; catching it covers every error the
+  service layer raises deliberately.
+* :class:`StoreError` — a malformed store directory or an invalid store
+  operation (re-exported by :mod:`repro.service.store` for existing
+  call sites).
+* :class:`QueryError` — an invalid query request (bad threshold/top-k,
+  out-of-range values, missing parameters).
+* :class:`ConfigError` — a service configuration the engines reject
+  (unknown prefilter/candidate generator, bad batch sizing).
+
+Every class keeps :class:`ValueError` in its MRO, so the bare
+``except ValueError`` / ``pytest.raises(ValueError)`` call sites that
+predate the hierarchy keep working unchanged — the messages themselves
+are pinned by ``tests/service/test_errors.py``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServiceError", "StoreError", "QueryError", "ConfigError"]
+
+
+class ServiceError(Exception):
+    """Root of every deliberate service-layer error."""
+
+
+class StoreError(ServiceError, ValueError):
+    """A malformed store directory or an invalid store operation."""
+
+
+class QueryError(ServiceError, ValueError):
+    """An invalid threshold/top-k query request."""
+
+
+class ConfigError(ServiceError, ValueError):
+    """A service configuration the serving engines reject."""

@@ -35,6 +35,7 @@ from repro.core.indicator import SetSource
 from repro.runtime.codec import resolve_wire_codec
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
+from repro.service.sharded import ShardedEntry, ShardedStore
 from repro.service.store import IndexStore, StoreError, _as_values
 from repro.sparse.spgemm import gram_popcount_blocked
 
@@ -112,7 +113,7 @@ def _border_block(
 
 
 def rebuild(
-    store: IndexStore,
+    store,
     machine: Machine | None = None,
     config: SimilarityConfig | None = None,
 ):
@@ -120,7 +121,10 @@ def rebuild(
 
     Runs the full exact pipeline over the live genomes and stores the
     intersection matrix + sizes.  Returns the engine's
-    :class:`~repro.core.result.SimilarityResult`.
+    :class:`~repro.core.result.SimilarityResult` — or, for a
+    :class:`~repro.service.sharded.ShardedStore` (whose Gram is one
+    block per band), the list of per-band results, committed as one
+    top-level transaction.
     """
     from repro.core.similarity import SimilarityAtScale
 
@@ -131,35 +135,25 @@ def rebuild(
             f"estimator='exact', got {config.estimator!r}"
         )
     engine = SimilarityAtScale(machine=machine, config=config)
+    if isinstance(store, ShardedStore):
+        with store._mutation():
+            results = []
+            for shard in store.shards:
+                if not shard.n_genomes:
+                    continue
+                result = engine.run(shard.as_source())
+                shard.set_gram(result.intersections, result.sample_sizes)
+                results.append(result)
+        return results
     result = engine.run(store.as_source())
     store.set_gram(result.intersections, result.sample_sizes)
     return result
 
 
-def add_genomes(
-    store: IndexStore,
-    named_values: list[tuple[str, object]],
-    machine: Machine | None = None,
-    config: SimilarityConfig | None = None,
-) -> IncrementalReport:
-    """Append genomes and fold only the border block into the stored Gram.
-
-    ``named_values`` is a list of ``(name, values)`` pairs.  The store
-    must either be empty (the "border" is then the whole Gram) or hold a
-    current Gram to merge into; otherwise call :func:`rebuild` first.
-    """
-    if not named_values:
-        raise ValueError("need at least one genome to add")
-    machine, config = _resolve(machine, config)
-    n_before = store.n_genomes
-    if n_before and not store.gram_current:
-        raise StoreError(
-            "store has no current Gram to merge into; run rebuild() first"
-        )
-    before = machine.ledger.snapshot()
-    old_names = store.names
+def _validate_batch(store, named_values) -> list[tuple[str, np.ndarray]]:
+    """Coerce and validate an add batch against the whole store."""
     clean = [(name, _as_values(values)) for name, values in named_values]
-    seen = set(old_names)
+    seen = set(store.names)
     for name, vals in clean:
         if name in seen:
             raise StoreError(f"genome {name!r} already present")
@@ -168,10 +162,24 @@ def add_genomes(
             raise StoreError(
                 f"genome {name!r} has values outside [0, {store.m})"
             )
+    return clean
 
-    # Compute everything before mutating the store: a failure anywhere
-    # in the border computation (memory, interrupt) must not strand the
-    # persisted shards with a stale Gram.
+
+def _merge_border(
+    store: IndexStore,
+    clean: list[tuple[str, np.ndarray]],
+    machine: Machine,
+    config: SimilarityConfig,
+) -> int:
+    """Border-merge one validated batch into one flat store.
+
+    Computes the border block, appends the batch, and persists the
+    merged Gram; returns the number of border batches executed.  The
+    border is computed *before* any mutation, so a failure in the
+    computation leaves the store untouched.
+    """
+    n_before = store.n_genomes
+    old_names = store.names
     n_new = len(clean)
     n_all = n_before + n_new
     source = SetSource(
@@ -195,15 +203,96 @@ def add_genomes(
     inter[n_before:, :] = border.T
 
     entries = store.append_many(clean)
-    added = [e.name for e in entries]
-    store.set_gram(inter, store.sizes(), old_names + added)
+    store.set_gram(
+        inter, store.sizes(), old_names + [e.name for e in entries]
+    )
+    return batches
+
+
+def add_genomes(
+    store,
+    named_values: list[tuple[str, object]],
+    machine: Machine | None = None,
+    config: SimilarityConfig | None = None,
+) -> IncrementalReport:
+    """Append genomes and fold only the border block into the stored Gram.
+
+    ``named_values`` is a list of ``(name, values)`` pairs.  The store
+    must either be empty (the "border" is then the whole Gram) or hold a
+    current Gram to merge into; otherwise call :func:`rebuild` first.
+
+    A :class:`~repro.service.sharded.ShardedStore` routes each genome
+    to its size band and border-merges **only the touched bands** —
+    each border block is ``(band live + band new) x (band new)``, never
+    the whole corpus — inside one top-level two-level transaction (a
+    crash rolls back every band).
+    """
+    if not named_values:
+        raise StoreError("need at least one genome to add")
+    machine, config = _resolve(machine, config)
+    if isinstance(store, ShardedStore):
+        return _add_genomes_sharded(store, named_values, machine, config)
+    n_before = store.n_genomes
+    if n_before and not store.gram_current:
+        raise StoreError(
+            "store has no current Gram to merge into; run rebuild() first"
+        )
+    before = machine.ledger.snapshot()
+    clean = _validate_batch(store, named_values)
+    batches = _merge_border(store, clean, machine, config)
     cost = machine.ledger.diff(before)
+    n_all = n_before + len(clean)
     return IncrementalReport(
-        added=tuple(added),
+        added=tuple(name for name, _ in clean),
         n_before=n_before,
         n_after=n_all,
         batches=batches,
-        border_shape=(n_all, n_new),
+        border_shape=(n_all, len(clean)),
+        simulated_seconds=cost.simulated_seconds,
+    )
+
+
+def _add_genomes_sharded(
+    store: ShardedStore,
+    named_values,
+    machine: Machine,
+    config: SimilarityConfig,
+) -> IncrementalReport:
+    """Per-band incremental add: only the touched bands pay a border."""
+    with store._lock:
+        n_before = store.n_genomes
+        clean = _validate_batch(store, named_values)
+        groups: dict[int, list[tuple[str, np.ndarray]]] = {}
+        for name, vals in clean:
+            groups.setdefault(store.band_of(vals.size), []).append(
+                (name, vals)
+            )
+        for band in sorted(groups):
+            shard = store.shards[band]
+            if shard.n_genomes and not shard.gram_current:
+                raise StoreError(
+                    "store has no current Gram to merge into; "
+                    "run rebuild() first"
+                )
+        before = machine.ledger.snapshot()
+        batches = 0
+        with store._mutation():
+            for band in sorted(groups):
+                batches += _merge_border(
+                    store.shards[band], groups[band], machine, config
+                )
+            store.genomes.extend(
+                ShardedEntry(name=name, band=store.band_of(vals.size))
+                for name, vals in clean
+            )
+        cost = machine.ledger.diff(before)
+    n_all = n_before + len(clean)
+    return IncrementalReport(
+        added=tuple(name for name, _ in clean),
+        n_before=n_before,
+        n_after=n_all,
+        batches=batches,
+        border_shape=(n_all, len(clean)),
         simulated_seconds=cost.simulated_seconds,
     )
 

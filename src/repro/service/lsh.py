@@ -33,6 +33,13 @@ holding a table stays frozen while the store moves on.
 Serialization is a list of codec frames (the store's wire codecs),
 persisted by :mod:`repro.service.store` next to the manifest and
 versioned with it.
+
+On a size-banded :class:`~repro.service.sharded.ShardedStore` there is
+no global table: every size band is a full
+:class:`~repro.service.store.IndexStore` owning its *own* LSH table
+over its own members, so a fan-out query probes only the tables of the
+shards its size-ratio window overlaps — the probe cost shrinks with
+the same band selection that prunes the scan.
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.core.config import QUERY_CANDIDATES, QUERY_PREFILTERS
 from repro.core.sketch import SKETCH_ESTIMATORS, sketch_error_bound
+from repro.service.errors import ConfigError
 from repro.service.store import LSH_FAMILY, StoreError
 
 #: Stage names in execution order (not every plan runs every stage).
@@ -79,6 +80,12 @@ class QueryPlan:
     :data:`~repro.core.config.QUERY_CANDIDATES` value): plans compiled
     with ``"lsh"`` / ``"lsh_exact"`` open with an ``lsh`` stage that
     probes the store's banded bucket tables before the window runs.
+
+    ``fanout`` is the shard count of the store the plan was compiled
+    against (1 for a flat store): a plan with ``fanout > 1`` runs its
+    ``window`` stage first as a *band selector* (which shards does the
+    size-ratio window overlap?) and then executes the remaining cascade
+    once per selected shard.
     """
 
     prefilter: str
@@ -88,6 +95,7 @@ class QueryPlan:
     batched: bool
     stages: tuple[PlanStage, ...]
     candidates: str = "scan"
+    fanout: int = 1
 
     def stage(self, name: str) -> PlanStage | None:
         """The stage record for ``name``, or ``None`` if it is not run."""
@@ -131,7 +139,10 @@ class QueryPlan:
             elif st.name == "lsh" and self.candidates == "lsh_exact":
                 label = "lsh:audit"
             parts.append(f"{label}[{st.kernel}]")
-        return " -> ".join(parts)
+        described = " -> ".join(parts)
+        if self.fanout > 1:
+            described += f" (x{self.fanout} shard fan-out)"
+        return described
 
 
 def resolve_family(estimator: str, families: tuple[str, ...]) -> str:
@@ -150,7 +161,9 @@ def resolve_family(estimator: str, families: tuple[str, ...]) -> str:
     return families[0]
 
 
-def compile_plan(config, store, batched: bool = False) -> QueryPlan:
+def compile_plan(
+    config, store, batched: bool = False, shards: int = 1
+) -> QueryPlan:
     """Compile a config + store (or snapshot) into a :class:`QueryPlan`.
 
     ``store`` only needs ``families`` / ``sketch_size`` / ``sketch_bits``
@@ -169,13 +182,13 @@ def compile_plan(config, store, batched: bool = False) -> QueryPlan:
     """
     prefilter = config.query_prefilter
     if prefilter not in QUERY_PREFILTERS:
-        raise ValueError(
+        raise ConfigError(
             f"query_prefilter must be one of {QUERY_PREFILTERS}, "
             f"got {prefilter!r}"
         )
     candidates = config.query_candidates
     if candidates not in QUERY_CANDIDATES:
-        raise ValueError(
+        raise ConfigError(
             f"query_candidates must be one of {QUERY_CANDIDATES}, "
             f"got {candidates!r}"
         )
@@ -216,4 +229,5 @@ def compile_plan(config, store, batched: bool = False) -> QueryPlan:
         batched=batched,
         stages=tuple(stages),
         candidates=candidates,
+        fanout=int(shards),
     )

@@ -54,9 +54,12 @@ from repro.core.sketch import (
     unpack_lanes,
 )
 from repro.runtime.engine import Machine
+from repro.runtime.executor import SequentialExecutor
 from repro.runtime.machine import laptop
 from repro.service.cache import CacheStats, QueryCache, result_cache_key
+from repro.service.errors import ConfigError, QueryError
 from repro.service.plan import QueryPlan, compile_plan, resolve_family
+from repro.service.sharded import ShardedStore
 from repro.service.store import LSH_FAMILY, IndexStore, StoreError, _as_values
 
 #: Tolerance of the threshold comparisons: protects the exact-equality
@@ -79,7 +82,7 @@ def size_ratio_window(size: int, threshold: float) -> tuple[int, int]:
     (50, 200)
     """
     if not 0.0 <= threshold <= 1.0:
-        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        raise QueryError(f"threshold must be in [0, 1], got {threshold}")
     if threshold == 0.0:
         return (0, int(np.iinfo(np.int64).max))
     if size == 0:
@@ -242,15 +245,21 @@ class SimilarityIndex:
         store: IndexStore,
         machine: Machine | None = None,
         config: SimilarityConfig | None = None,
+        serving_rank: int = 0,
     ):
         self.store = store
         self.machine = machine if machine is not None else Machine(laptop(4))
         self.config = config if config is not None else SimilarityConfig()
         if self.config.query_prefilter not in QUERY_PREFILTERS:
-            raise ValueError(
+            raise ConfigError(
                 f"query_prefilter must be one of {QUERY_PREFILTERS}, "
                 f"got {self.config.query_prefilter!r}"
             )
+        # Which machine rank this engine's cascade charges.  The
+        # sharded fan-out assigns each shard engine a distinct rank, so
+        # per-shard cascades overlap in the ledger's per-rank clocks
+        # (the makespan, not the sum, is the modelled fan-out cost).
+        self.serving_rank = serving_rank % self.machine.world.size
         self.cache = QueryCache(self.config.query_cache_size)
         self._cached_version: int | None = None
         self._payloads: dict[str, list[np.ndarray]] = {}
@@ -287,7 +296,7 @@ class SimilarityIndex:
     ) -> QueryResult:
         """Query by values or by the name of an indexed genome."""
         if (values is None) == (name is None):
-            raise ValueError("pass exactly one of values or name")
+            raise QueryError("pass exactly one of values or name")
         if name is not None:
             return self.query_name(name, threshold=threshold, top_k=top_k)
         return self.query_values(values, threshold=threshold, top_k=top_k)
@@ -316,17 +325,17 @@ class SimilarityIndex:
         """Run the cascade for one query set of attribute values."""
         vals = _as_values(values)
         if vals.size and (vals[0] < 0 or vals[-1] >= self.store.m):
-            raise ValueError(
+            raise QueryError(
                 f"query values outside [0, {self.store.m})"
             )
         if threshold is None and top_k is None:
-            raise ValueError("pass threshold, top_k, or both")
+            raise QueryError("pass threshold, top_k, or both")
         if threshold is not None and not 0.0 <= threshold <= 1.0:
-            raise ValueError(
+            raise QueryError(
                 f"threshold must be in [0, 1], got {threshold}"
             )
         if top_k is not None and top_k <= 0:
-            raise ValueError(f"top_k must be positive, got {top_k}")
+            raise QueryError(f"top_k must be positive, got {top_k}")
         plan = self.plan()
         key = result_cache_key(
             vals, threshold, top_k, plan.prefilter, plan.family,
@@ -352,13 +361,15 @@ class SimilarityIndex:
         exclude_name: str | None,
     ) -> QueryResult:
         machine = self.machine
-        serving = machine.world.sub([0])
+        serving = machine.world.sub([self.serving_rank])
         family = plan.family
         bound = plan.error_bound
         names = self.store.names
         sizes = self.store.sizes()
         cand = np.arange(len(names), dtype=np.int64)
-        if exclude_name is not None:
+        if exclude_name is not None and exclude_name in names:
+            # Absence is fine: in a sharded fan-out the excluded
+            # genome lives in exactly one shard's engine.
             cand = cand[cand != names.index(exclude_name)]
         n_candidates = int(cand.size)
         before = machine.ledger.snapshot()
@@ -562,6 +573,257 @@ def sketch_estimates(
     else:
         est = np.where(cand_sizes == 0, 0.0, est)
     return est
+
+
+# ---- the sharded fan-out engine -------------------------------------------
+
+
+def merge_shard_results(
+    plan: QueryPlan,
+    shard_results: list[QueryResult],
+    threshold: float | None,
+    top_k: int | None,
+    positions: dict[str, int],
+    store_version: int,
+    batch_size: int = 1,
+) -> QueryResult:
+    """Merge per-shard results into one exact global answer.
+
+    ``positions`` maps each live name to its **global insertion
+    position** (the top-level manifest's order), which re-bases every
+    per-shard match index and is the tie-break of the merged ordering —
+    the same ``(descending J, ascending position)`` order the flat
+    store produces, so merged results are bit-identical to it.  A
+    candidate a shard's local top-``k`` cut dropped is always correctly
+    dropped globally: within one shard, local order equals relative
+    global order, so at least ``k`` same-shard candidates outrank it.
+
+    The cascade counters are summed over the *consulted* shards only —
+    shards outside the query's band range contribute nothing, which is
+    exactly the per-shard candidate pruning the fan-out buys.
+    ``simulated_seconds`` is left 0.0 for the caller to fill with the
+    ledger makespan of the whole fan-out.
+    """
+    matches = [
+        QueryMatch(
+            name=m.name, index=positions[m.name], similarity=m.similarity
+        )
+        for r in shard_results
+        for m in r.matches
+    ]
+    matches.sort(key=lambda m: (-m.similarity, m.index))
+    if top_k is not None:
+        matches = matches[:top_k]
+    lsh_counts = [
+        r.n_after_lsh for r in shard_results if r.n_after_lsh is not None
+    ]
+    return QueryResult(
+        matches=tuple(matches),
+        threshold=threshold,
+        top_k=top_k,
+        prefilter=plan.prefilter,
+        estimator=plan.estimator,
+        error_bound=plan.error_bound,
+        n_candidates=sum(r.n_candidates for r in shard_results),
+        n_after_size=sum(r.n_after_size for r in shard_results),
+        n_after_sketch=sum(r.n_after_sketch for r in shard_results),
+        store_version=store_version,
+        simulated_seconds=0.0,
+        candidates=plan.candidates,
+        n_after_lsh=sum(lsh_counts) if lsh_counts else None,
+        batch_size=batch_size,
+    )
+
+
+class ShardedSimilarityIndex:
+    """Fan-out query engine over a :class:`~repro.service.sharded.ShardedStore`.
+
+    Compiles the same :class:`QueryPlan` as the flat engine (with
+    ``fanout = n_shards``); the plan's ``window`` stage runs first as a
+    *band selector* — the query's size-ratio window is mapped onto the
+    store's band edges, and only the overlapping shards are consulted.
+    Each consulted shard then runs the full single-shard cascade
+    (size -> lsh -> sketch -> verify) through its own
+    :class:`SimilarityIndex`, pinned to machine rank ``shard % ranks``:
+    the ledger's per-rank clocks advance independently, so the fan-out's
+    ``simulated_seconds`` (one ledger diff around the whole fan-out) is
+    the parallel **makespan** of the per-shard cascades, not their sum.
+    Per-shard results merge via :func:`merge_shard_results` into an
+    answer bit-identical to the flat store's.
+
+    ``executor`` maps the per-shard queries (default
+    :class:`~repro.runtime.executor.SequentialExecutor`; parallelism is
+    *modelled* by the rank assignment either way).  Results are cached
+    at this level — keyed with the store's shard topology — while the
+    per-shard engines run cache-less, so one mutation invalidates
+    exactly one layer.
+
+    Queries hold the store's lock for the duration of the fan-out, so a
+    concurrent multi-shard ``add_genomes`` can never interleave between
+    per-shard cascades — every answer reflects exactly one store
+    version.
+    """
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        machine: Machine | None = None,
+        config: SimilarityConfig | None = None,
+        executor=None,
+    ):
+        self.store = store
+        self.machine = machine if machine is not None else Machine(laptop(4))
+        self.config = config if config is not None else SimilarityConfig()
+        if self.config.query_prefilter not in QUERY_PREFILTERS:
+            raise ConfigError(
+                f"query_prefilter must be one of {QUERY_PREFILTERS}, "
+                f"got {self.config.query_prefilter!r}"
+            )
+        self.cache = QueryCache(self.config.query_cache_size)
+        self.executor = (
+            executor if executor is not None else SequentialExecutor()
+        )
+        ranks = self.machine.world.size
+        shard_config = replace(self.config, query_cache_size=0)
+        self.engines = [
+            SimilarityIndex(
+                shard, machine=self.machine, config=shard_config,
+                serving_rank=i % ranks,
+            )
+            for i, shard in enumerate(store.shards)
+        ]
+
+    # ---- configuration ------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        return resolve_family(
+            self.config.estimator, tuple(self.store.families)
+        )
+
+    @property
+    def error_bound(self) -> float:
+        return sketch_error_bound(
+            self.family, self.store.sketch_size, self.store.sketch_bits
+        )
+
+    def plan(self, batched: bool = False) -> QueryPlan:
+        return compile_plan(
+            self.config, self.store, batched=batched,
+            shards=self.store.n_shards,
+        )
+
+    # ---- public API ----------------------------------------------------
+
+    def query(
+        self,
+        values=None,
+        name: str | None = None,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        """Query by values or by the name of an indexed genome."""
+        if (values is None) == (name is None):
+            raise QueryError("pass exactly one of values or name")
+        if name is not None:
+            return self.query_name(name, threshold=threshold, top_k=top_k)
+        return self.query_values(values, threshold=threshold, top_k=top_k)
+
+    def query_name(
+        self,
+        name: str,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        return self.query_values(
+            self.store.load_values(name),
+            threshold=threshold,
+            top_k=top_k,
+            exclude_name=name,
+        )
+
+    def query_values(
+        self,
+        values,
+        threshold: float | None = None,
+        top_k: int | None = None,
+        exclude_name: str | None = None,
+    ) -> QueryResult:
+        """Fan the cascade out over the overlapping size bands."""
+        vals = _as_values(values)
+        if vals.size and (vals[0] < 0 or vals[-1] >= self.store.m):
+            raise QueryError(
+                f"query values outside [0, {self.store.m})"
+            )
+        if threshold is None and top_k is None:
+            raise QueryError("pass threshold, top_k, or both")
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise QueryError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        if top_k is not None and top_k <= 0:
+            raise QueryError(f"top_k must be positive, got {top_k}")
+        plan = self.plan()
+        key = result_cache_key(
+            vals, threshold, top_k, plan.prefilter, plan.family,
+            plan.candidates, exclude_name, self.store.version,
+            topology=self.store.topology(),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return replace(
+                cached, from_cache=True, cache_stats=self.cache.stats
+            )
+        with self.store._lock:
+            result = self._fan_out(vals, threshold, top_k, plan, exclude_name)
+        self.cache.put(key, result)
+        return replace(result, cache_stats=self.cache.stats)
+
+    # ---- the fan-out ---------------------------------------------------
+
+    def _fan_out(
+        self,
+        vals: np.ndarray,
+        threshold: float | None,
+        top_k: int | None,
+        plan: QueryPlan,
+        exclude_name: str | None,
+    ) -> QueryResult:
+        machine = self.machine
+        before = machine.ledger.snapshot()
+        if (
+            threshold is not None
+            and threshold > 0.0
+            and plan.stage("window") is not None
+        ):
+            lo, hi = size_ratio_window(int(vals.size), threshold)
+            b_lo, b_hi = self.store.band_range(lo, hi)
+            bands = list(range(b_lo, b_hi + 1))
+        else:
+            # Top-k-only (or unwindowed) queries can match any size.
+            bands = list(range(self.store.n_shards))
+        with machine.phase("query"):
+            # Band selection: one comparison per band edge, on rank 0.
+            machine.world.sub([0]).charge_compute(
+                float(self.store.n_shards), kernel="query:bands"
+            )
+        shard_results = list(
+            self.executor.map(
+                lambda band: self.engines[band].query_values(
+                    vals,
+                    threshold=threshold,
+                    top_k=top_k,
+                    exclude_name=exclude_name,
+                ),
+                bands,
+            )
+        )
+        cost = machine.ledger.diff(before)
+        merged = merge_shard_results(
+            plan, shard_results, threshold, top_k,
+            self.store.positions(), self.store.version,
+        )
+        return replace(merged, simulated_seconds=cost.simulated_seconds)
 
 
 def _estimate_minhash(

@@ -71,7 +71,15 @@ import numpy as np
 
 from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch, unpack_lanes
 from repro.runtime.codec import WIRE_CODECS, decode_frame, encode_frame
+from repro.service.errors import StoreError
 from repro.service.lsh import LSHTable, plan_bands
+
+__all__ = [
+    "GenomeEntry",
+    "IndexStore",
+    "StoreError",
+    "StoreSnapshot",
+]
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "shards"
@@ -85,10 +93,6 @@ LSH_FAMILY = "bbit_minhash"
 FORMAT_VERSION = 1
 
 _LEN = struct.Struct("<Q")
-
-
-class StoreError(ValueError):
-    """A malformed store directory or an invalid store operation."""
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -248,6 +252,19 @@ class IndexStore:
         default_factory=threading.RLock, init=False, repr=False,
         compare=False,
     )
+    #: When this store is one band of a :class:`~repro.service.sharded.
+    #: ShardedStore`, its own manifest bump is *not* the durable commit
+    #: point — the parent's top-level manifest is.  The parent sets this
+    #: flag so post-commit cleanup of superseded files is deferred into
+    #: :attr:`_deferred_stale` until the parent commits (see
+    #: :meth:`drain_deferred`); a crash before the parent's commit must
+    #: leave every file the parent's embedded shard manifests reference.
+    _defer_cleanup: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
+    _deferred_stale: list = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     # ---- lifecycle ----------------------------------------------------
 
@@ -316,10 +333,29 @@ class IndexStore:
             raise StoreError(f"no index store at {root}")
         meta = json.loads(manifest.read_text())
         if meta.get("format_version") != FORMAT_VERSION:
+            hint = (
+                "; this is a sharded store — open it with "
+                "repro.service.open_store or ShardedStore.open"
+                if meta.get("layout") == "sharded"
+                else ""
+            )
             raise StoreError(
                 f"{root}: unsupported store format "
                 f"{meta.get('format_version')!r} (expected {FORMAT_VERSION})"
+                f"{hint}"
             )
+        return cls._from_payload(root, meta)
+
+    @classmethod
+    def _from_payload(cls, root: Path, meta: dict) -> "IndexStore":
+        """Materialize a store from an already-parsed manifest payload.
+
+        This is how :class:`~repro.service.sharded.ShardedStore` opens
+        its bands: the payloads embedded in the *top-level* manifest are
+        authoritative, so a band whose own on-disk manifest ran ahead of
+        an interrupted top-level commit is silently re-read at the
+        committed version (its staged files are simply never referenced).
+        """
         gram_names = (
             list(meta["gram_names"])
             if meta.get("gram_names") is not None
@@ -348,8 +384,15 @@ class IndexStore:
             lsh_file=lsh.get("file"),
         )
 
-    def _save_manifest(self) -> None:
-        payload = {
+    def _manifest_payload(self) -> dict:
+        """The JSON manifest payload for the current in-memory state.
+
+        Shared by :meth:`_save_manifest` and the sharded store, which
+        embeds each band's payload inside its top-level manifest so the
+        bands can be reopened without trusting their own (possibly
+        ahead-of-commit) manifest files.
+        """
+        return {
             "format_version": FORMAT_VERSION,
             "version": self.version,
             "m": self.m,
@@ -371,6 +414,9 @@ class IndexStore:
                 "file": self.lsh_file,
             },
         }
+
+    def _save_manifest(self) -> None:
+        payload = self._manifest_payload()
         # The atomic manifest replacement is every mutation's commit
         # point: older bytes are never partially overwritten.
         _atomic_write_bytes(
@@ -475,8 +521,20 @@ class IndexStore:
             for entry, removed in flags:
                 entry.removed = removed
             raise
-        for fname in stale:
+        if self._defer_cleanup:
+            # Band of a sharded store: the parent's top-level commit is
+            # the durable one, so superseded files must survive until
+            # the parent drains them (see ShardedStore._mutation).
+            self._deferred_stale.extend(stale)
+        else:
+            for fname in stale:
+                (self.root / fname).unlink(missing_ok=True)
+
+    def drain_deferred(self) -> None:
+        """Unlink files whose cleanup a parent sharded commit deferred."""
+        for fname in self._deferred_stale:
             (self.root / fname).unlink(missing_ok=True)
+        self._deferred_stale.clear()
 
     # ---- views --------------------------------------------------------
 

@@ -1,4 +1,6 @@
-"""Tests for SimilarityConfig validation."""
+"""Tests for SimilarityConfig validation and the knob namespace."""
+
+import dataclasses
 
 import pytest
 
@@ -68,3 +70,73 @@ class TestEstimatorValidation:
             SimilarityConfig(sketch_bits=0)
         with pytest.raises(ValueError, match="sketch_bits"):
             SimilarityConfig(sketch_bits=17)
+
+
+class TestKnobNamespace:
+    """Service knobs live under one ``query.*`` / ``store.*`` namespace."""
+
+    CANONICAL = {
+        "query.prefilter": "query_prefilter",
+        "query.candidates": "query_candidates",
+        "query.cache_size": "query_cache_size",
+        "query.batch_size": "query_batch_size",
+        "query.max_wait": "query_max_wait",
+        "store.shards": "store_shards",
+        "store.band_policy": "shard_band_policy",
+    }
+
+    def test_to_dict_emits_canonical_names(self):
+        d = SimilarityConfig().to_dict()
+        for canonical, field_name in self.CANONICAL.items():
+            assert canonical in d
+            assert field_name not in d
+
+    def test_round_trip(self):
+        cfg = SimilarityConfig(
+            query_prefilter="size", store_shards=4,
+            shard_band_policy="uniform",
+        )
+        assert SimilarityConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_alias_equals_canonical(self):
+        # The legacy flat spelling builds the identical config — it is
+        # an alias, not a fork.
+        for canonical, field_name in self.CANONICAL.items():
+            default = SimilarityConfig()
+            value = getattr(default, field_name)
+            via_canonical = SimilarityConfig.from_dict({canonical: value})
+            with pytest.warns(DeprecationWarning, match=field_name):
+                via_alias = SimilarityConfig.from_dict({field_name: value})
+            assert via_canonical == via_alias == default
+
+    def test_plain_field_names_stay_silent(self):
+        # Non-namespaced fields never warn.
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            cfg = SimilarityConfig.from_dict({"bit_width": 32})
+        assert cfg.bit_width == 32
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown config knob"):
+            SimilarityConfig.from_dict({"query.bogus": 1})
+
+    def test_duplicate_spellings_rejected(self):
+        with pytest.raises(ValueError, match="more than once"), \
+                pytest.warns(DeprecationWarning):
+            SimilarityConfig.from_dict(
+                {"store.shards": 4, "store_shards": 4}
+            )
+
+    def test_shard_knob_validation(self):
+        with pytest.raises(ValueError, match="store_shards"):
+            SimilarityConfig(store_shards=0)
+        with pytest.raises(ValueError, match="shard_band_policy"):
+            SimilarityConfig(shard_band_policy="alphabetical")
+
+    def test_every_field_round_trips(self):
+        cfg = SimilarityConfig()
+        d = cfg.to_dict()
+        assert len(d) == len(dataclasses.fields(cfg))
+        assert SimilarityConfig.from_dict(d) == cfg

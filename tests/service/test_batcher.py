@@ -443,6 +443,7 @@ class TestCacheUnderBatching:
             "scan",
             "g0",
             11,
+            ("single",),
         )
         # The digest covers the values, so permuted content differs.
         other = result_cache_key(
@@ -456,6 +457,19 @@ class TestCacheUnderBatching:
             vals, 0.5, 7, "cascade", "minhash", "lsh", "g0", 11
         )
         assert lsh != key
+        # A sharded store's answer must never serve a flat store (or a
+        # differently-banded sharded store): topology is part of the
+        # key, defaulting to the flat ("single",).
+        sharded = result_cache_key(
+            vals, 0.5, 7, "cascade", "minhash", "scan", "g0", 11,
+            topology=("sharded", 4, "quantile", (10, 20, 30, 1001)),
+        )
+        assert sharded != key
+        rebanded = result_cache_key(
+            vals, 0.5, 7, "cascade", "minhash", "scan", "g0", 11,
+            topology=("sharded", 4, "quantile", (10, 20, 40, 1001)),
+        )
+        assert rebanded != sharded
 
 
 class TestConcurrencyStress:

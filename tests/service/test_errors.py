@@ -1,0 +1,121 @@
+"""Regression pins for the service-layer error hierarchy.
+
+Every service-layer failure raises under ``ServiceError``; the concrete
+classes also subclass ``ValueError`` so call sites written against the
+pre-hierarchy API keep working.  The message tests pin the exact
+strings other tests (and downstream tooling) match on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimilarityConfig
+from repro.service import (
+    ConfigError,
+    IndexStore,
+    QueryError,
+    ServiceError,
+    SimilarityIndex,
+    StoreError,
+)
+from repro.service.cache import QueryCache
+from repro.service.errors import ServiceError as ModuleServiceError
+
+M = 1_000
+
+
+class TestHierarchy:
+    def test_service_error_is_the_root(self):
+        for exc in (StoreError, QueryError, ConfigError):
+            assert issubclass(exc, ServiceError)
+
+    def test_concrete_errors_stay_value_errors(self):
+        # Backwards compatibility: pre-hierarchy call sites catch
+        # ValueError; the hierarchy must not break them.
+        for exc in (StoreError, QueryError, ConfigError):
+            assert issubclass(exc, ValueError)
+
+    def test_service_error_is_not_a_value_error(self):
+        # The root is a plain Exception: "catch everything the service
+        # raises" must not accidentally catch unrelated ValueErrors.
+        assert not issubclass(ServiceError, ValueError)
+
+    def test_one_canonical_module(self):
+        assert ServiceError is ModuleServiceError
+
+    def test_catching_the_root_catches_everything(self, tmp_path):
+        with pytest.raises(ServiceError):
+            IndexStore.open(tmp_path / "nope")
+        store = IndexStore.create(tmp_path / "idx", m=M)
+        engine = SimilarityIndex(store)
+        with pytest.raises(ServiceError):
+            engine.query_values(np.array([1], dtype=np.int64))
+
+
+class TestPinnedMessages:
+    """The exact strings: changing one is an API break."""
+
+    def test_store_errors(self, tmp_path):
+        with pytest.raises(StoreError, match=r"no index store at"):
+            IndexStore.open(tmp_path / "missing")
+        store = IndexStore.create(tmp_path / "idx", m=M)
+        store.append("a", [1, 2])
+        with pytest.raises(StoreError, match=r"already exists at"):
+            IndexStore.create(tmp_path / "idx", m=M)
+        with pytest.raises(
+            StoreError, match=r"genome 'a' already present"
+        ):
+            store.append("a", [3])
+        with pytest.raises(
+            StoreError, match=r"genome 'b' has values outside \[0, 1000\)"
+        ):
+            store.append("b", [M])
+        # Unknown-name lookups are KeyError (mapping semantics), not
+        # StoreError — pinned so the distinction stays deliberate.
+        with pytest.raises(KeyError, match=r"unknown genome 'zzz'"):
+            store.load_values("zzz")
+
+    def test_query_errors(self, tmp_path):
+        store = IndexStore.create(tmp_path / "idx", m=M)
+        store.append("a", [1, 2])
+        engine = SimilarityIndex(store)
+        q = np.array([1], dtype=np.int64)
+        with pytest.raises(
+            QueryError, match=r"pass threshold, top_k, or both"
+        ):
+            engine.query_values(q)
+        with pytest.raises(
+            QueryError, match=r"threshold must be in \[0, 1\], got 1.5"
+        ):
+            engine.query_values(q, threshold=1.5)
+        with pytest.raises(
+            QueryError, match=r"top_k must be positive, got 0"
+        ):
+            engine.query_values(q, top_k=0)
+        with pytest.raises(
+            QueryError, match=r"query values outside \[0, 1000\)"
+        ):
+            engine.query_values(np.array([M], dtype=np.int64), top_k=1)
+        with pytest.raises(
+            QueryError, match=r"pass exactly one of values or name"
+        ):
+            engine.query()
+
+    def test_config_errors(self, tmp_path):
+        store = IndexStore.create(tmp_path / "idx", m=M)
+        with pytest.raises(
+            ConfigError, match=r"query_prefilter must be one of"
+        ):
+            SimilarityIndex(store, config=_bad_prefilter_config())
+        with pytest.raises(
+            ConfigError, match=r"capacity must be >= 0, got -1"
+        ):
+            QueryCache(-1)
+
+
+def _bad_prefilter_config():
+    # SimilarityConfig validates query_prefilter itself, so sneak an
+    # invalid value past __post_init__ to exercise the engine's check.
+    config = SimilarityConfig()
+    object.__setattr__(config, "query_prefilter", "bogus")
+    return config

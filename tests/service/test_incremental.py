@@ -9,10 +9,9 @@ from repro.runtime.machine import laptop
 from repro.service import (
     IndexStore,
     StoreError,
-    add_genomes,
-    rebuild,
     similarity_from_gram,
 )
+from repro.service.incremental import add_genomes, rebuild
 
 M = 2_000
 

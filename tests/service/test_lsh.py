@@ -14,7 +14,7 @@ The load-bearing invariants, property-tested with Hypothesis:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import SimilarityConfig
@@ -353,7 +353,9 @@ class TestRecallBound:
                 if exact_jaccard(s, other) >= threshold:
                     truths += 1
                     retrieved += j in hits
-        assert truths > 0
+        # An unlucky seed can mutate every family below the threshold;
+        # recall over zero true matches is vacuous, not a failure.
+        assume(truths > 0)
         bound = plan.recall_at(threshold)
         assert retrieved / truths >= bound - 0.15
 

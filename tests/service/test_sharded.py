@@ -1,0 +1,481 @@
+"""Tests for the size-banded sharded store and the fan-out query engine.
+
+The central invariant (the PR's acceptance criterion): a sharded
+store's threshold/top-k answers are **bit-identical** to the flat
+store's — at 1, 4, and 8 shards, under every query shape, including
+while a concurrent ``add_genomes`` mutates the store.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimilarityConfig
+from repro.runtime.engine import Machine
+from repro.runtime.machine import laptop
+from repro.service import (
+    IndexStore,
+    ShardedSimilarityIndex,
+    ShardedStore,
+    SimilarityIndex,
+    StoreError,
+    open_store,
+    plan_size_bands,
+    shard_store,
+)
+from repro.service.incremental import add_genomes, rebuild
+from repro.service.query import exact_jaccard
+
+M = 3_000
+
+
+def corpus(rng, n=24):
+    """Skewed small-size sets (plus one empty genome).
+
+    Sizes stay under 900 << M, so on *uniform* banding the upper bands
+    are empty — which also exercises empty shards.  Use
+    :func:`spread_corpus` when a test needs every band populated.
+    """
+    sets = []
+    for i in range(n):
+        size = int(rng.integers(1, 60) ** 1.8) % 900 + 1
+        sets.append(np.unique(rng.integers(0, M, size=size)))
+    sets.append(np.array([], dtype=np.int64))  # an empty genome
+    return sets
+
+
+def spread_corpus(rng, per_band=6, bands=4):
+    """Sets planted inside every uniform band over [0, M)."""
+    width = M // bands
+    sets = []
+    for b in range(bands):
+        lo = b * width + width // 8
+        hi = (b + 1) * width - width // 8
+        for _ in range(per_band):
+            size = int(rng.integers(lo, hi))
+            sets.append(np.sort(rng.choice(M, size=size, replace=False)))
+    return sets
+
+
+def build_flat(tmp_path, sets, name="flat"):
+    store = IndexStore.create(tmp_path / name, m=M, sketch_size=64)
+    for i, s in enumerate(sets):
+        store.append(f"g{i:02d}", s)
+    return store
+
+
+def build_sharded(tmp_path, sets, shards, name=None, policy="uniform"):
+    sizes = np.array([len(s) for s in sets], dtype=np.int64)
+    store = ShardedStore.create(
+        tmp_path / (name or f"sh{shards}"), m=M, shards=shards,
+        band_policy=policy, sketch_size=64,
+        size_hint=sizes if policy == "quantile" else None,
+    )
+    store.append_many([(f"g{i:02d}", s) for i, s in enumerate(sets)])
+    return store
+
+
+def matches_of(result):
+    return [(m.name, m.index, m.similarity) for m in result.matches]
+
+
+class TestBandPlanning:
+    def test_edges_are_monotone_and_cover(self):
+        for policy in ("geometric", "uniform"):
+            for n in (1, 2, 5, 16):
+                edges = plan_size_bands(M, n, policy)
+                assert edges.shape == (n,)
+                assert edges[-1] == M + 1
+                assert np.all(np.diff(edges) > 0) or n == 1
+
+    def test_quantile_needs_sizes(self):
+        with pytest.raises(StoreError, match="quantile banding needs"):
+            plan_size_bands(M, 4, "quantile")
+        edges = plan_size_bands(
+            M, 4, "quantile", sizes=np.array([5, 6, 7, 100, 101, 900])
+        )
+        assert edges[-1] == M + 1
+        assert np.all(np.diff(edges) > 0)
+
+    def test_errors(self):
+        with pytest.raises(StoreError, match="at least one size band"):
+            plan_size_bands(M, 0)
+        with pytest.raises(StoreError, match="cannot split"):
+            plan_size_bands(3, 10)
+        with pytest.raises(StoreError, match="band_policy"):
+            plan_size_bands(M, 2, "bogus")
+
+    def test_band_of_covers_every_size(self, tmp_path):
+        store = ShardedStore.create(
+            tmp_path / "sh", m=M, shards=5, band_policy="geometric"
+        )
+        bands = [store.band_of(s) for s in range(0, M + 1)]
+        assert min(bands) == 0 and max(bands) == 4
+        assert bands == sorted(bands)  # monotone in size
+        # band_bounds is half-open: [lo, hi) belongs to the band, hi
+        # itself to the next one.
+        lo, hi = store.band_bounds(2)
+        assert store.band_of(lo) == 2 and store.band_of(hi - 1) == 2
+        assert store.band_of(hi) == 3
+
+
+class TestStoreParity:
+    """The sharded store mirrors the flat store's read API."""
+
+    def test_names_sizes_values_match_flat(self, tmp_path, rng):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        sh = build_sharded(tmp_path, sets, 4)
+        assert sh.names == flat.names
+        assert np.array_equal(sh.sizes(), flat.sizes())
+        for name in flat.names:
+            assert np.array_equal(
+                sh.load_values(name), flat.load_values(name)
+            )
+
+    def test_reopen_round_trip(self, tmp_path, rng):
+        sets = corpus(rng)
+        sh = build_sharded(tmp_path, sets, 4)
+        reopened = open_store(sh.root)
+        assert isinstance(reopened, ShardedStore)
+        assert reopened.names == sh.names
+        assert np.array_equal(reopened.band_edges, sh.band_edges)
+        assert [s.n_genomes for s in reopened.shards] == [
+            s.n_genomes for s in sh.shards
+        ]
+
+    def test_flat_open_rejects_sharded_with_hint(self, tmp_path, rng):
+        sh = build_sharded(tmp_path, corpus(rng), 4)
+        with pytest.raises(StoreError, match="open it with"):
+            IndexStore.open(sh.root)
+
+    def test_open_store_dispatches_both_layouts(self, tmp_path, rng):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        sh = build_sharded(tmp_path, sets, 4)
+        assert isinstance(open_store(flat.root), IndexStore)
+        assert isinstance(open_store(sh.root), ShardedStore)
+        with pytest.raises(StoreError, match="no index store"):
+            open_store(tmp_path / "missing")
+
+    def test_remove_and_per_shard_compact(self, tmp_path, rng):
+        sets = corpus(rng)
+        sh = build_sharded(tmp_path, sets, 4)
+        victim = "g03"
+        band = sh._entry(victim).band
+        versions = [s.version for s in sh.shards]
+        sh.remove(victim)
+        assert victim not in sh.names
+        reclaimed = sh.compact()
+        assert reclaimed >= 0
+        # Only the victim's band compacted; the others never mutated.
+        for i, s in enumerate(sh.shards):
+            if i == band:
+                assert s.version > versions[i]
+            else:
+                assert all(not e.removed for e in s.entries)
+        reopened = open_store(sh.root)
+        assert reopened.names == sh.names
+
+    def test_append_routes_by_size_band(self, tmp_path, rng):
+        sh = ShardedStore.create(
+            tmp_path / "sh", m=M, shards=3, band_policy="uniform"
+        )
+        sh.append("small", np.arange(5))
+        sh.append("big", np.arange(2500))
+        assert sh._entry("small").band == 0
+        assert sh._entry("big").band == 2
+        assert sh.shards[0].names == ["small"]
+        assert sh.shards[2].names == ["big"]
+
+
+@pytest.mark.parametrize("shards", [1, 4, 8])
+class TestQueryEquality:
+    """Bit-identical answers at 1, 4, and 8 shards."""
+
+    def _engines(self, tmp_path, rng, shards):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        sh = build_sharded(tmp_path, sets, shards)
+        return (
+            sets,
+            SimilarityIndex(flat),
+            ShardedSimilarityIndex(sh),
+        )
+
+    def test_threshold_topk_and_both(self, tmp_path, rng, shards):
+        sets, flat_eng, sh_eng = self._engines(tmp_path, rng, shards)
+        queries = [
+            np.unique(rng.integers(0, M, size=s))
+            for s in (1, 20, 200, 700)
+        ] + [np.array([], dtype=np.int64)]
+        cases = [
+            dict(threshold=0.05),
+            dict(threshold=0.0),
+            dict(threshold=1.0),
+            dict(top_k=3),
+            dict(top_k=100),
+            dict(threshold=0.02, top_k=5),
+        ]
+        for q in queries:
+            for case in cases:
+                r_flat = flat_eng.query_values(q, **case)
+                r_sh = sh_eng.query_values(q, **case)
+                assert matches_of(r_flat) == matches_of(r_sh), (
+                    q.size, case
+                )
+                # Consulted-shards-only counters never exceed flat's.
+                assert r_sh.n_candidates <= r_flat.n_candidates
+                assert r_sh.n_verified <= r_flat.n_verified
+
+    def test_topk_ties_break_identically(self, tmp_path, rng, shards):
+        # Exact duplicates across bands of different sizes can't tie,
+        # but same-J pairs within the window can: plant duplicates.
+        sets = [np.arange(10), np.arange(10), np.arange(10) + 100,
+                np.arange(400), np.arange(400) + 7]
+        flat = build_flat(tmp_path, sets)
+        sh = build_sharded(tmp_path, sets, shards)
+        q = np.arange(10)
+        r_flat = SimilarityIndex(flat).query_values(q, top_k=3)
+        r_sh = ShardedSimilarityIndex(sh).query_values(q, top_k=3)
+        assert matches_of(r_flat) == matches_of(r_sh)
+        # The tie broke by global store position.
+        assert r_flat.matches[0].index < r_flat.matches[1].index
+
+    def test_query_name_excludes_self(self, tmp_path, rng, shards):
+        sets, flat_eng, sh_eng = self._engines(tmp_path, rng, shards)
+        for name in ("g00", "g07", "g20"):
+            r_flat = flat_eng.query_name(name, threshold=0.0)
+            r_sh = sh_eng.query_name(name, threshold=0.0)
+            assert name not in r_sh.names
+            assert matches_of(r_flat) == matches_of(r_sh)
+
+    def test_brute_force_ground_truth(self, tmp_path, rng, shards):
+        sets, _, sh_eng = self._engines(tmp_path, rng, shards)
+        q = np.unique(rng.integers(0, M, size=150))
+        t = 0.03
+        expected = sorted(
+            (
+                (i, exact_jaccard(q, np.asarray(s, dtype=np.int64)))
+                for i, s in enumerate(sets)
+                if exact_jaccard(q, np.asarray(s, dtype=np.int64)) >= t
+            ),
+            key=lambda p: (-p[1], p[0]),
+        )
+        got = sh_eng.query_values(q, threshold=t)
+        assert [(m.index, m.similarity) for m in got.matches] == expected
+
+
+class TestFanOut:
+    def test_band_selection_prunes_shards(self, tmp_path, rng):
+        # Genomes planted in every uniform band: a threshold-0.5 query
+        # of size 200 has size window [100, 400], which overlaps only
+        # the lowest of 8 bands (width 375) — genomes in the other
+        # bands are never even candidates.
+        sets = spread_corpus(rng, per_band=3, bands=8)
+        sh = build_sharded(tmp_path, sets, 8)
+        eng = ShardedSimilarityIndex(sh)
+        q = np.sort(rng.choice(M, size=200, replace=False))
+        r = eng.query_values(q, threshold=0.5)
+        assert r.n_candidates < sh.n_genomes
+        # Threshold 0 must consult everything.
+        r_all = eng.query_values(q, threshold=0.0)
+        assert r_all.n_candidates == sh.n_genomes
+
+    def test_fanout_makespan_beats_serial_sum(self, tmp_path, rng):
+        # With every band populated and per-shard cascades pinned to
+        # distinct ranks, the fan-out's modelled time is the slowest
+        # rank's clock advance — below the sum of the per-shard times.
+        sets = spread_corpus(rng, per_band=10, bands=4)
+        sh = build_sharded(tmp_path, sets, 4)
+        machine = Machine(laptop(4))
+        eng = ShardedSimilarityIndex(
+            sh, machine=machine,
+            config=SimilarityConfig(query_cache_size=0),
+        )
+        q = np.sort(rng.choice(M, size=1500, replace=False))
+        r = eng.query_values(q, threshold=0.0)
+        # The serial baseline runs each shard's cascade on its own
+        # fresh machine: simulated_seconds is a makespan delta, so
+        # re-querying through the fan-out's shared machine would
+        # telescope to the fan-out time instead of the true sum.
+        serial = sum(
+            SimilarityIndex(
+                shard, machine=Machine(laptop(4)),
+                config=SimilarityConfig(query_cache_size=0),
+            ).query_values(q, threshold=0.0).simulated_seconds
+            for shard in sh.shards
+        )
+        assert r.simulated_seconds < serial
+        # The overlap is real, not epsilon: >= 2x on 4 balanced bands.
+        assert serial / r.simulated_seconds >= 2.0
+
+    def test_plan_reports_fanout(self, tmp_path, rng):
+        sh = build_sharded(tmp_path, corpus(rng), 4)
+        plan = ShardedSimilarityIndex(sh).plan()
+        assert plan.fanout == 4
+        assert "x4 shard fan-out" in plan.describe()
+
+    def test_cache_keyed_by_topology(self, tmp_path, rng):
+        sets = corpus(rng)
+        sh = build_sharded(tmp_path, sets, 4)
+        eng = ShardedSimilarityIndex(sh)
+        q = np.unique(rng.integers(0, M, size=100))
+        first = eng.query_values(q, threshold=0.1)
+        again = eng.query_values(q, threshold=0.1)
+        assert not first.from_cache and again.from_cache
+        # Per-shard engines run cache-less: one layer of caching.
+        assert all(e.cache.capacity == 0 for e in eng.engines)
+
+
+class TestIncrementalSharded:
+    def test_add_routes_borders_per_band(self, tmp_path, rng):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        sh = build_sharded(tmp_path, sets, 4)
+        rebuild(flat)
+        rebuild(sh)
+        new = [
+            ("n0", np.unique(rng.integers(0, M, size=30))),
+            ("n1", np.unique(rng.integers(0, M, size=400))),
+        ]
+        report_flat = add_genomes(flat, list(new))
+        report_sh = add_genomes(sh, list(new))
+        assert report_sh.added == report_flat.added
+        assert report_sh.n_after == report_flat.n_after
+        assert sh.names == flat.names
+        # Untouched bands never paid a border: answers still equal.
+        r_flat = SimilarityIndex(flat).query_values(
+            new[0][1], threshold=0.0
+        )
+        r_sh = ShardedSimilarityIndex(sh).query_values(
+            new[0][1], threshold=0.0
+        )
+        assert matches_of(r_flat) == matches_of(r_sh)
+        # Per-band Grams stay exact: rebuild is a no-op change.
+        for shard in sh.shards:
+            if shard.n_genomes:
+                assert shard.gram_current
+
+    def test_add_empty_batch_raises(self, tmp_path, rng):
+        sh = build_sharded(tmp_path, corpus(rng), 4)
+        with pytest.raises(
+            StoreError, match="need at least one genome to add"
+        ):
+            add_genomes(sh, [])
+
+    def test_queries_under_concurrent_adds_stay_exact(
+        self, tmp_path, rng
+    ):
+        """The acceptance criterion: equality under concurrent adds.
+
+        Queries hold the store lock for the whole fan-out, so every
+        answer reflects exactly one committed store version; we verify
+        each answer against brute force over the corpus at the version
+        it reports.
+        """
+        sets = corpus(rng, n=16)
+        sh = build_sharded(tmp_path, sets, 4)
+        rebuild(sh)
+        eng = ShardedSimilarityIndex(
+            sh, config=SimilarityConfig(query_cache_size=0)
+        )
+        batches = [
+            [(f"w{b}_{i}", np.unique(rng.integers(0, M, size=int(sz))))
+             for i, sz in enumerate(rng.integers(5, 600, size=2))]
+            for b in range(4)
+        ]
+        corpora = {sh.version: {n: sh.load_values(n) for n in sh.names}}
+        snap = dict(corpora[sh.version])
+        for batch in batches:
+            snap = dict(snap)
+            snap.update({n: v for n, v in batch})
+        # Precompute the corpus at every future version.
+        versions = [sh.version]
+        snap = dict(corpora[sh.version])
+        v = sh.version
+        for batch in batches:
+            snap = dict(snap)
+            snap.update({n: v2 for n, v2 in batch})
+            v += 1
+            corpora[v] = snap
+            versions.append(v)
+
+        results = []
+        q = np.unique(rng.integers(0, M, size=120))
+        stop = threading.Event()
+
+        def querier():
+            while not stop.is_set():
+                results.append(eng.query_values(q, threshold=0.02))
+
+        t = threading.Thread(target=querier)
+        t.start()
+        try:
+            for batch in batches:
+                add_genomes(sh, batch)
+        finally:
+            stop.set()
+            t.join()
+        results.append(eng.query_values(q, threshold=0.02))
+        assert results
+        for r in results:
+            assert r.store_version in corpora, r.store_version
+            ref = corpora[r.store_version]
+            expected = sorted(
+                (
+                    (n, exact_jaccard(q, np.asarray(v, dtype=np.int64)))
+                    for n, v in ref.items()
+                    if exact_jaccard(q, np.asarray(v, dtype=np.int64))
+                    >= 0.02
+                ),
+                key=lambda p: (-p[1], list(ref).index(p[0])),
+            )
+            assert [(m.name, m.similarity) for m in r.matches] == expected
+
+
+class TestMigration:
+    def test_shard_store_preserves_everything(self, tmp_path, rng):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        rebuild(flat)
+        q = np.unique(rng.integers(0, M, size=150))
+        before = SimilarityIndex(flat).query_values(q, threshold=0.02)
+        sh = shard_store(flat.root, 4)
+        assert isinstance(sh, ShardedStore)
+        assert sh.names == [f"g{i:02d}" for i in range(len(sets))]
+        after = ShardedSimilarityIndex(sh).query_values(q, threshold=0.02)
+        assert matches_of(before) == matches_of(after)
+        # The migrated per-band Grams are slices of the flat Gram.
+        for shard in sh.shards:
+            if shard.n_genomes:
+                assert shard.gram_current
+        # Incremental adds work immediately after migration.
+        add_genomes(sh, [("post", np.unique(rng.integers(0, M, 50)))])
+        assert "post" in sh.names
+
+    def test_migrated_store_reopens(self, tmp_path, rng):
+        sets = corpus(rng)
+        flat = build_flat(tmp_path, sets)
+        version = flat.version
+        sh = shard_store(flat.root, 4)
+        assert sh.version == version + 1
+        reopened = open_store(sh.root)
+        assert reopened.names == sh.names
+        assert [s.n_genomes for s in reopened.shards] == [
+            s.n_genomes for s in sh.shards
+        ]
+
+    def test_already_sharded_rejected(self, tmp_path, rng):
+        sh = build_sharded(tmp_path, corpus(rng), 4)
+        with pytest.raises(StoreError, match="already a sharded store"):
+            shard_store(sh.root, 8)
+
+    def test_quantile_default_balances_occupancy(self, tmp_path, rng):
+        sets = corpus(rng, n=32)
+        flat = build_flat(tmp_path, sets)
+        sh = shard_store(flat.root, 4, band_policy="quantile")
+        counts = [s.n_genomes for s in sh.shards]
+        assert sum(counts) == len(sets)
+        assert max(counts) - min(counts) <= len(sets) // 2

@@ -430,3 +430,158 @@ class TestCrashConsistency:
         reopened = IndexStore.open(store.root)
         assert reopened.lsh_file == store.lsh_file
         assert reopened.lsh_table().equals(store.lsh_table())
+
+
+def _sharded_rebuild(store):
+    from repro.service.incremental import rebuild
+
+    return rebuild(store)
+
+
+def _sharded_add(store):
+    from repro.service.incremental import add_genomes
+
+    return add_genomes(
+        store,
+        [
+            ("x", np.array([7, 8], dtype=np.int64)),
+            ("y", np.arange(4000, 8000, dtype=np.int64)),
+        ],
+    )
+
+
+class TestShardedCrashConsistency:
+    """Fault injection on the two-level (shard + top manifest) commit.
+
+    A sharded mutation appends to several shard stores and then bumps
+    the top-level manifest; a crash at ANY write — inside a shard's
+    data file, inside a shard's LSH table, between one shard's commit
+    and the next, or during the top-level manifest replacement itself —
+    must leave a fresh ``ShardedStore.open`` at the previous version on
+    **every** shard (the top-level manifest embeds the shard payloads,
+    so a shard's committed-but-unreferenced files are simply ignored).
+    """
+
+    @staticmethod
+    def _baseline(tmp_path, tag):
+        from repro.service.sharded import ShardedStore
+
+        store = ShardedStore.create(
+            tmp_path / f"sh-{tag}", m=M, shards=3,
+            band_policy="uniform", sketch_size=64,
+        )
+        sets = {
+            "small": np.array([1, 2, 3], dtype=np.int64),
+            # M // 3 = 3333: mid band starts there.
+            "mid": np.arange(3400, 7000, dtype=np.int64),
+            "large": np.arange(100, 7900, dtype=np.int64),
+        }
+        store.append_many(list(sets.items()))
+        return store, sets
+
+    @staticmethod
+    def _state(store):
+        return (
+            store.version,
+            store.names,
+            {n: store.load_values(n).tolist() for n in store.names},
+            [s.version for s in store.shards],
+            [s.gram_file for s in store.shards],
+            [s.lsh_file for s in store.shards],
+        )
+
+    _install_injector = staticmethod(
+        TestCrashConsistency._install_injector
+    )
+
+    # Every mutation below touches >= 2 shards, so the sweep hits
+    # crash points between shard commits, not just within one.
+    MUTATIONS = {
+        "append_many": (
+            None,
+            lambda s: s.append_many(
+                [
+                    ("x", np.array([7, 8], dtype=np.int64)),
+                    ("y", np.arange(4000, 8000, dtype=np.int64)),
+                ]
+            ),
+        ),
+        "remove": (None, lambda s: s.remove("mid")),
+        "compact": (
+            lambda s: (s.remove("small"), s.remove("large")),
+            lambda s: s.compact(),
+        ),
+        # The border-merge needs a current Gram on every touched shard.
+        "add_genomes": (
+            lambda s: _sharded_rebuild(s),
+            lambda s: _sharded_add(s),
+        ),
+    }
+
+    def _count_writes(self, tmp_path, monkeypatch, label):
+        prep, mutate = self.MUTATIONS[label]
+        with monkeypatch.context() as mp:
+            calls = self._install_injector(mp, fail_on=0)
+            store, _ = self._baseline(tmp_path, f"count-{label}")
+            if prep is not None:
+                prep(store)
+            before = calls["n"]
+            mutate(store)
+            return calls["n"] - before
+
+    @pytest.mark.parametrize("label", sorted(MUTATIONS))
+    def test_crash_at_every_write_rolls_back(
+        self, tmp_path, monkeypatch, label
+    ):
+        from repro.service.sharded import ShardedStore
+
+        prep, mutate = self.MUTATIONS[label]
+        n_writes = self._count_writes(tmp_path, monkeypatch, label)
+        # Two shards' files plus the top-level manifest, at least.
+        assert n_writes >= 3
+        for fail_on in range(1, n_writes + 1):
+            store, _ = self._baseline(tmp_path, f"{label}-{fail_on}")
+            if prep is not None:
+                prep(store)
+            committed = self._state(store)
+            with monkeypatch.context() as mp:
+                self._install_injector(mp, fail_on)
+                with pytest.raises(OSError, match="injected crash"):
+                    mutate(store)
+            # Live store rolled back in memory...
+            assert self._state(store) == committed
+            # ...and a fresh open sees the previous committed version
+            # on the top level AND on every shard.
+            reopened = ShardedStore.open(store.root)
+            assert self._state(reopened) == committed
+            # The interrupted mutation retries cleanly.
+            mutate(store)
+            assert store.version == committed[0] + 1
+            final = ShardedStore.open(store.root)
+            assert final.names == store.names
+            assert [s.version for s in final.shards] == [
+                s.version for s in store.shards
+            ]
+
+    def test_crash_between_shard_commit_and_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        # The top-level manifest is the LAST write of a multi-shard
+        # append.  Crash exactly there: every shard has already written
+        # its new files, yet reopening must still see the old version —
+        # the new shard files are unreferenced and ignored.
+        from repro.service.sharded import ShardedStore
+
+        n_writes = self._count_writes(tmp_path, monkeypatch, "append_many")
+        _, mutate = self.MUTATIONS["append_many"]
+        store, _ = self._baseline(tmp_path, "last-write")
+        committed = self._state(store)
+        with monkeypatch.context() as mp:
+            self._install_injector(mp, fail_on=n_writes)
+            with pytest.raises(OSError, match="injected crash"):
+                mutate(store)
+        torn = list(store.root.glob("manifest.json.tmp"))
+        assert torn, "the crash must have hit the top-level manifest"
+        reopened = ShardedStore.open(store.root)
+        assert self._state(reopened) == committed
+        assert "x" not in reopened.names and "y" not in reopened.names

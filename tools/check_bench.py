@@ -3,7 +3,8 @@
 
 Each benchmark trajectory file (``BENCH_kernels.json``,
 ``BENCH_pipeline.json``, ``BENCH_wire.json``, ``BENCH_sketch.json``,
-``BENCH_query.json``, ``BENCH_service.json``, ``BENCH_lsh.json``)
+``BENCH_query.json``, ``BENCH_service.json``, ``BENCH_lsh.json``,
+``BENCH_shards.json``)
 records one summary per workload per run.  This gate takes the *latest*
 run with the requested label (``full`` for the committed trajectories,
 ``smoke`` for the CI harness run) and checks every metric named in
@@ -47,6 +48,7 @@ SECTIONS = {
     "query": REPO_ROOT / "BENCH_query.json",
     "service": REPO_ROOT / "BENCH_service.json",
     "lsh": REPO_ROOT / "BENCH_lsh.json",
+    "shards": REPO_ROOT / "BENCH_shards.json",
 }
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end CLI smoke over the committed tiny FASTA set.
 
-Two sections, both driving the ``genome-at-scale`` CLI as subprocesses
+Three sections, all driving the ``genome-at-scale`` CLI as subprocesses
 over ``tests/data/smoke_fasta``:
 
 * ``estimator`` — the batch engine: one ``--estimator exact`` run and
@@ -16,6 +16,10 @@ over ``tests/data/smoke_fasta``:
   pass feeds every sample through ``index query --batch-file`` and
   requires each batched answer to equal the per-query answer for the
   same sample, name for name and similarity for similarity.
+* ``shard`` — the migration path: ``index build`` over every sample,
+  per-sample baseline queries, then ``index shard --shards 2``
+  upgrades the flat index into size bands in place; every re-run
+  query must return the identical answer through the fan-out engine.
 
 These are the cheapest whole-pipeline checks there are: FASTA parsing,
 k-mer extraction, the distributed engine, the sketch subsystem, the
@@ -46,7 +50,7 @@ FASTA_DIR = REPO_ROOT / "tests" / "data" / "smoke_fasta"
 #: The bound line ``result.summary()`` prints for sketch runs.
 BOUND_RE = re.compile(r"estimated J \+/- ([0-9.]+) at 95%")
 
-SECTIONS = ("estimator", "index")
+SECTIONS = ("estimator", "index", "shard")
 
 
 def run_cli(args: list[str]) -> None:
@@ -225,6 +229,59 @@ def check_index(
     )
 
 
+def check_shard(
+    workdir: Path, threshold: float = 0.1, verbose: bool = False
+) -> str:
+    """Shard a live flat index in place; answers must not move."""
+    fastas = sorted(FASTA_DIR.glob("*.fasta"))
+    if len(fastas) < 2:
+        raise SystemExit(f"need at least two smoke FASTA files in {FASTA_DIR}")
+    index_dir = workdir / "shard_index"
+    if index_dir.exists():
+        shutil.rmtree(index_dir)
+    run_cli(["index", "build", *map(str, fastas), "--index", str(index_dir)])
+
+    def query_all(tag: str) -> dict[str, list[tuple[str, float]]]:
+        answers = {}
+        for fasta in fastas:
+            out_json = workdir / f"shard_{tag}_{fasta.stem}.json"
+            run_cli(
+                [
+                    "index", "query", str(fasta), "--index", str(index_dir),
+                    "--threshold", str(threshold), "--json", str(out_json),
+                ]
+            )
+            payload = json.loads(out_json.read_text())
+            answers[fasta.stem] = [
+                (m["name"], m["similarity"]) for m in payload["matches"]
+            ]
+        return answers
+
+    before = query_all("flat")
+    run_cli(["index", "shard", "--index", str(index_dir), "--shards", "2"])
+    manifest = json.loads((index_dir / "manifest.json").read_text())
+    if manifest.get("layout") != "sharded":
+        raise SystemExit(
+            f"index shard left no sharded manifest in {index_dir}: "
+            f"layout = {manifest.get('layout')!r}"
+        )
+    after = query_all("sharded")
+    if verbose:
+        print(f"flat answers: {before}")
+        print(f"sharded answers: {after}")
+    for stem in before:
+        if after[stem] != before[stem]:
+            raise SystemExit(
+                f"query for {stem} moved after index shard: "
+                f"{before[stem]} -> {after[stem]}"
+            )
+    return (
+        f"cli smoke ok [shard]: build({len(fastas)}) -> shard(2) kept "
+        f"every query t={threshold:g} answer identical across "
+        f"{len(fastas)} samples"
+    )
+
+
 def check(
     workdir: Path,
     sketch_size: int,
@@ -236,6 +293,8 @@ def check(
         out.append(check_estimator(workdir, sketch_size, verbose))
     if "index" in sections:
         out.append(check_index(workdir, verbose=verbose))
+    if "shard" in sections:
+        out.append(check_shard(workdir, verbose=verbose))
     return out
 
 
