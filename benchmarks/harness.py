@@ -82,6 +82,18 @@ answer must equal the flat answer bit for bit).  The headline the
 sharded layout has to keep earning is a >=2x modelled fan-out speedup
 at 8 bands with exact results on both Fig. 2 workloads.
 
+A ninth section benchmarks the similarity-semantics subsystem
+(``repro.semantics``): each Fig. 2 workload is persisted with synthetic
+k-mer abundance counts (plain sketch families plus ``weighted_minhash``)
+and served at t=0.3 under every registered measure — ``jaccard``,
+``weighted_jaccard``, ``containment``, ``cosine`` — through the full
+cascade.  Appends to ``BENCH_semantics.json``: per measure the
+candidate pruning ratio of that measure's own bound (symmetric window /
+one-sided containment bound / mass window) and an exactness flag
+against a per-pair ``SimilarityMeasure.exact_pair`` brute-force
+reference.  The headline the semantics layer has to keep earning is
+exact results under every measure on both Fig. 2 workloads.
+
 Run:  python benchmarks/harness.py            # full sizes, appends to
                                               # BENCH_kernels.json +
                                               # BENCH_pipeline.json +
@@ -121,6 +133,7 @@ DEFAULT_QUERY_OUTPUT = REPO_ROOT / "BENCH_query.json"
 DEFAULT_SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 DEFAULT_LSH_OUTPUT = REPO_ROOT / "BENCH_lsh.json"
 DEFAULT_SHARDS_OUTPUT = REPO_ROOT / "BENCH_shards.json"
+DEFAULT_SEMANTICS_OUTPUT = REPO_ROOT / "BENCH_semantics.json"
 
 POLICIES = KERNEL_POLICIES
 FIXED_POLICIES = tuple(p for p in POLICIES if p != "adaptive")
@@ -1136,6 +1149,142 @@ def run_shards_harness(smoke: bool = False) -> dict:
     return entry
 
 
+#: Semantics-section parameters: every registered measure served at the
+#: query section's threshold over abundance-annotated Fig. 2 corpora.
+SEMANTICS_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=24),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=32),
+}
+SMOKE_SEMANTICS_SPECS = {
+    "fig2a_kingsford_like": dict(threshold=0.3, n_queries=8),
+    "fig2b_bigsi_like": dict(threshold=0.3, n_queries=10),
+}
+
+
+def run_semantics_workload(name: str, spec: dict, sespec: dict, root) -> dict:
+    """Every similarity measure's cascade vs per-pair brute force."""
+    from repro.core.config import SIMILARITY_MEASURES
+    from repro.core.config import SimilarityConfig as _Config
+    from repro.semantics import get_measure
+    from repro.semantics.wminhash import WEIGHTED_MINHASH_FAMILY
+    from repro.service import IndexStore, SimilarityIndex
+
+    source = _source(spec)
+    values = _materialize_values(source)
+    rng = np.random.default_rng(spec["seed"] + 101)
+    counts = [
+        rng.integers(1, 6, size=vals.size).astype(np.int64)
+        for vals in values
+    ]
+    store = IndexStore.create(
+        root, m=spec["m"], codec="adaptive",
+        families=("minhash", WEIGHTED_MINHASH_FAMILY), sketch_size=256,
+    )
+    store.append_many(
+        [
+            (f"s{j:05d}", vals, cnts)
+            for j, (vals, cnts) in enumerate(zip(values, counts))
+        ]
+    )
+    threshold = sespec["threshold"]
+    queries = list(range(min(sespec["n_queries"], source.n)))
+    machine = _machine(spec["nodes"], spec["ranks_per_node"])
+
+    summary: dict = {"threshold": threshold, "n_queries": len(queries)}
+    per_measure = {}
+    for measure_name in SIMILARITY_MEASURES:
+        measure = get_measure(measure_name)
+        engine = SimilarityIndex(
+            store, machine=machine,
+            config=_Config(
+                similarity=measure_name, query_prefilter="cascade",
+                query_cache_size=0,
+            ),
+        )
+        weighted = measure.weighted
+        candidates = verified = matches = 0
+        exact = True
+        real = sim = 0.0
+        for j in queries:
+            q_counts = counts[j] if weighted else None
+            t0 = time.perf_counter()
+            res = engine.query_values(
+                values[j], threshold=threshold, counts=q_counts
+            )
+            real += time.perf_counter() - t0
+            sim += res.simulated_seconds
+            candidates += res.n_candidates
+            verified += res.n_verified
+            matches += len(res.matches)
+            # Independent per-pair reference straight off the measure.
+            ref = []
+            for i, (vals, cnts) in enumerate(zip(values, counts)):
+                score = (
+                    measure.exact_pair(values[j], vals, counts[j], cnts)
+                    if weighted
+                    else measure.exact_pair(values[j], vals)
+                )
+                if score >= threshold:
+                    ref.append((f"s{i:05d}", score))
+            ref.sort(key=lambda kv: (-kv[1], kv[0]))
+            got = [(m.name, m.similarity) for m in res.matches]
+            exact = exact and (
+                [n for n, _ in got] == [n for n, _ in ref]
+                and all(
+                    abs(a - b) < 1e-9
+                    for (_, a), (_, b) in zip(got, ref)
+                )
+            )
+        pruning = candidates / max(verified, 1)
+        per_measure[measure_name] = {
+            "bound_type": measure.bound_type,
+            "total_candidates": candidates,
+            "total_verified": verified,
+            "total_matches": matches,
+            "pruning_ratio": pruning,
+            "exact_vs_bruteforce": bool(exact),
+            "mean_query_seconds": real / len(queries),
+            "mean_simulated_seconds": sim / len(queries),
+        }
+        summary[f"pruning_{measure_name}"] = pruning
+        summary[f"exact_{measure_name}"] = bool(exact)
+        print(
+            f"  {name:<24} {measure_name:<17} "
+            f"({measure.bound_type}): {pruning:.1f}x pruning "
+            f"({candidates} -> {verified} verified), {matches} match(es), "
+            f"exact={exact}"
+        )
+    summary["all_measures_exact"] = all(
+        per_measure[m]["exact_vs_bruteforce"] for m in per_measure
+    )
+    return {
+        "params": dict(spec, **sespec),
+        "measures": per_measure,
+        "summary": summary,
+    }
+
+
+def run_semantics_harness(smoke: bool = False) -> dict:
+    """The similarity-semantics section: one trajectory entry."""
+    import tempfile
+
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    sespecs = SMOKE_SEMANTICS_SPECS if smoke else SEMANTICS_SPECS
+    entry = {
+        "label": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "numpy": np.__version__,
+        "workloads": {},
+    }
+    for name, spec in workloads.items():
+        print(f"== {name} ({spec['figure']}) similarity measures ==")
+        with tempfile.TemporaryDirectory(prefix="bench_semantics_") as tmp:
+            entry["workloads"][name] = run_semantics_workload(
+                name, dict(spec), sespecs[name], Path(tmp) / "index"
+            )
+    return entry
+
+
 def run_harness(smoke: bool = False) -> dict:
     """Run every workload under every policy; return one trajectory entry."""
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
@@ -1235,6 +1384,14 @@ def main(argv: list[str] | None = None) -> int:
             f"--pipeline-output)"
         ),
     )
+    parser.add_argument(
+        "--semantics-output", type=Path, default=None,
+        help=(
+            f"similarity-semantics trajectory file to append to (default "
+            f"{DEFAULT_SEMANTICS_OUTPUT}; same redirect rule as "
+            f"--pipeline-output)"
+        ),
+    )
     args = parser.parse_args(argv)
     entry = run_harness(smoke=args.smoke)
     output = args.output
@@ -1324,6 +1481,17 @@ def main(argv: list[str] | None = None) -> int:
             "shards trajectory not written (--output was redirected; "
             "pass --shards-output to record it)"
         )
+    semantics_entry = run_semantics_harness(smoke=args.smoke)
+    semantics_output = args.semantics_output
+    if semantics_output is None and not args.smoke and args.output is None:
+        semantics_output = DEFAULT_SEMANTICS_OUTPUT
+    if semantics_output is not None:
+        append_entry(semantics_entry, semantics_output)
+    elif not args.smoke:
+        print(
+            "semantics trajectory not written (--output was redirected; "
+            "pass --semantics-output to record it)"
+        )
     for name, wl in entry["workloads"].items():
         if "summary" not in wl:
             continue
@@ -1390,6 +1558,16 @@ def main(argv: list[str] | None = None) -> int:
             f"modelled over flat, {s['candidate_pruning_at_8']:.1f}x "
             f"candidate pruning (exact at {s['shard_counts']}: "
             f"{s['exact_at_all_shard_counts']})"
+        )
+    for name, wl in semantics_entry["workloads"].items():
+        s = wl["summary"]
+        prunes = "/".join(
+            f"{s[f'pruning_{m}']:.1f}x"
+            for m in ("jaccard", "weighted_jaccard", "containment", "cosine")
+        )
+        print(
+            f"{name}: measures J/Jw/C/cos prune {prunes} at "
+            f"t={s['threshold']:g} (all exact: {s['all_measures_exact']})"
         )
     return 0
 

@@ -108,22 +108,36 @@ def threshold_clusters(
     samples,
     threshold: float,
     candidates: str = "scan",
+    similarity: str = "jaccard",
+    counts=None,
     sketch_size: int = 256,
     sketch_bits: int = 8,
     seed: int = 0,
 ) -> np.ndarray:
-    """Connected components of the ``J >= threshold`` similarity graph.
+    """Connected components of the ``score >= threshold`` similarity graph.
 
     The threshold variant of single-linkage clustering: two samples
-    land in one cluster iff a chain of pairs with ``J >= threshold``
-    connects them.  Candidate pairs come from the query engine's
-    candidate generators instead of all ``n^2`` pairs:
+    land in one cluster iff a chain of pairs with ``score >= threshold``
+    connects them.  ``similarity`` picks the measure
+    (:data:`~repro.core.config.SIMILARITY_MEASURES`); the symmetric
+    measures (jaccard, weighted_jaccard, cosine) use their score
+    directly, while asymmetric containment draws an edge when *either*
+    direction qualifies (``max(c(A,B), c(B,A)) >= t``, i.e. the smaller
+    sample is mostly inside the larger).  ``counts`` (a sequence of
+    per-sample abundance vectors, aligned with ``samples``) feeds
+    ``weighted_jaccard``; omitted counts mean multiplicity-free samples.
 
-    * ``candidates="scan"`` (default) — the exact size-ratio pruning
-      bound (:func:`repro.service.query.size_ratio_window`): sorted by
-      set size, sample ``i`` is only verified against samples whose
-      size falls in ``[t * |A_i|, |A_i| / t]``; every pair outside the
-      window provably has ``J < t``.  Exact.
+    Candidate pairs come from the query engine's candidate generators
+    instead of all ``n^2`` pairs:
+
+    * ``candidates="scan"`` (default) — the measure's exact pruning
+      bound (:meth:`~repro.semantics.measures.SimilarityMeasure.window`):
+      sorted by extent (set size, or total mass for the weighted
+      measure), sample ``i`` is only verified against samples whose
+      extent falls inside its window; every pair outside provably
+      scores below ``t``.  Containment's either-direction edge has no
+      such bound (a tiny sample sits fully inside an arbitrarily large
+      one), so its sweep verifies every pair.  Exact for every measure.
     * ``candidates="lsh"`` — a banded MinHash-LSH table
       (:mod:`repro.service.lsh`) built in memory over b-bit lane
       fingerprints; only co-bucketed pairs inside the size window are
@@ -134,13 +148,18 @@ def threshold_clusters(
     * ``candidates="lsh_exact"`` — both generators unioned; exact,
       with the LSH probes exercised (for recall auditing).
 
+    The LSH modes require ``similarity="jaccard"``: the band plan's
+    collision curve is calibrated against plain Jaccard resemblance
+    and bounds nothing about the other measures' scores.
+
     Only surviving candidates pay for an exact intersection; every
     reported edge is exact in all modes.  Returns cluster labels
     (``0..k-1``, numbered by first appearance).
     """
     from repro.core.config import QUERY_CANDIDATES
-    from repro.service.query import exact_jaccard, size_ratio_window
+    from repro.semantics import coerce_counts, get_measure
 
+    measure = get_measure(similarity)
     if not 0.0 < threshold <= 1.0:
         raise ValueError(
             f"threshold must be in (0, 1], got {threshold}"
@@ -150,12 +169,44 @@ def threshold_clusters(
             f"candidates must be one of {QUERY_CANDIDATES}, "
             f"got {candidates!r}"
         )
-    arrays = [
-        np.unique(np.asarray(sorted(s), dtype=np.int64)) for s in samples
-    ]
+    if candidates != "scan" and similarity != "jaccard":
+        raise ValueError(
+            "lsh candidate generation is calibrated for plain Jaccard "
+            "collisions only; use candidates='scan' with "
+            f"similarity={similarity!r}"
+        )
+    samples = list(samples)
+    if counts is not None:
+        if not measure.weighted:
+            raise ValueError(
+                "counts only apply to similarity='weighted_jaccard'"
+            )
+        if len(counts) != len(samples):
+            raise ValueError(
+                f"{len(counts)} counts vectors for {len(samples)} samples"
+            )
+        # coerce_counts aligns counts positionally with the sample's
+        # values as given, then sorts/merges — never pre-sort here.
+        normalized = [
+            coerce_counts(s, c) for s, c in zip(samples, counts)
+        ]
+        arrays = [v for v, _ in normalized]
+        cnts: list | None = [c for _, c in normalized]
+    else:
+        arrays = [
+            np.unique(np.asarray(sorted(s), dtype=np.int64)) for s in samples
+        ]
+        cnts = None
     n = len(arrays)
+    extents = np.array(
+        [
+            measure.extent(a, cnts[i] if cnts is not None else None)
+            for i, a in enumerate(arrays)
+        ],
+        dtype=np.int64,
+    )
     sizes = np.array([a.size for a in arrays], dtype=np.int64)
-    order = np.argsort(sizes, kind="stable")
+    order = np.argsort(extents, kind="stable")
 
     parent = np.arange(n, dtype=np.int64)
 
@@ -165,15 +216,26 @@ def threshold_clusters(
             x = int(parent[x])
         return x
 
+    def pair_score(i: int, j: int) -> float:
+        ci = cnts[i] if cnts is not None else None
+        cj = cnts[j] if cnts is not None else None
+        score = measure.exact_pair(arrays[i], arrays[j], ci, cj)
+        if measure.name == "containment":
+            # Either-direction edge: the asymmetric score is taken in
+            # the qualifying direction (small-inside-large).
+            score = max(score, measure.exact_pair(arrays[j], arrays[i]))
+        return score
+
     def try_union(i: int, j: int) -> None:
         if find(i) == find(j):
             return
-        if exact_jaccard(arrays[i], arrays[j]) >= threshold:
+        if pair_score(i, j) >= threshold:
             parent[find(j)] = find(i)
 
     if candidates in ("lsh", "lsh_exact"):
         from repro.core.sketch import make_sketch
         from repro.service.lsh import LSHTable, plan_bands
+        from repro.service.query import size_ratio_window
 
         fps = []
         for arr in arrays:
@@ -193,19 +255,25 @@ def threshold_clusters(
                 try_union(i, j)
 
     if candidates in ("scan", "lsh_exact"):
-        # Size-sorted sweep: for each sample (ascending size), the
-        # bound caps how much larger a partner may be, so the inner
-        # scan stops at the first size outside the window.
-        sorted_sizes = sizes[order]
+        # Extent-sorted sweep: for each sample (ascending extent), the
+        # measure's window caps how much larger a partner's extent may
+        # be, so the inner scan stops at the first extent outside the
+        # window.  Containment's either-direction edge admits partners
+        # of any size, so its window never breaks the sweep.
+        sorted_extents = extents[order]
+        one_sided = measure.bound_type == "one_sided_window"
         for pos in range(n):
             i = int(order[pos])
-            _, hi = size_ratio_window(int(sizes[i]), threshold)
+            if one_sided:
+                hi = np.iinfo(np.int64).max
+            else:
+                _, hi = measure.window(int(extents[i]), threshold)
             for pos2 in range(pos + 1, n):
-                if sorted_sizes[pos2] > hi:
+                if sorted_extents[pos2] > hi:
                     break
                 try_union(i, int(order[pos2]))
-            # Samples of equal size sort adjacently, so the break above
-            # never skips an in-window partner.
+            # Samples of equal extent sort adjacently, so the break
+            # above never skips an in-window partner.
 
     labels = np.full(n, -1, dtype=np.int64)
     next_label = 0

@@ -36,6 +36,17 @@ QUERY_PREFILTERS = ("off", "size", "cascade")
 #: bound).
 QUERY_CANDIDATES = ("scan", "lsh", "lsh_exact")
 
+#: Similarity measures the service layer can serve from one store (see
+#: :mod:`repro.semantics` for the per-measure score formulas, pruning
+#: bounds, and sketch stories).  ``"jaccard"`` — presence/absence
+#: ``|A∩B| / |A∪B|`` (the paper's Eq. 2); ``"weighted_jaccard"`` —
+#: multiset ``sum min(a_v, b_v) / sum max(a_v, b_v)`` over k-mer
+#: abundances; ``"containment"`` — the asymmetric ``|A∩B| / |A|``
+#: (query containment); ``"cosine"`` — the binary Ochiai coefficient
+#: ``|A∩B| / sqrt(|A| |B|)``.  Defined here (not in the semantics
+#: package) so the config layer never imports upward.
+SIMILARITY_MEASURES = ("jaccard", "weighted_jaccard", "containment", "cosine")
+
 #: How a sharded store's size-band edges are planned (see
 #: :func:`repro.service.sharded.plan_size_bands`).  ``"geometric"`` —
 #: edges grow by a constant ratio across ``[1, m]`` (matches the
@@ -50,6 +61,7 @@ SHARD_BAND_POLICIES = ("geometric", "uniform", "quantile")
 #: ``to_dict`` emits the canonical spellings; ``from_dict`` accepts
 #: both, warning on the legacy flat spellings.
 _NAMESPACED_KNOBS = {
+    "query.similarity": "similarity",
     "query.prefilter": "query_prefilter",
     "query.candidates": "query_candidates",
     "query.cache_size": "query_cache_size",
@@ -139,6 +151,18 @@ class SimilarityConfig:
     sketch_seed:
         Root seed of every sketch hash; sketches are deterministic in
         (seed, sample values) whatever the rank layout or batching.
+    similarity:
+        Similarity measure the service layer answers queries in
+        (canonical knob name ``query.similarity``); one of
+        :data:`SIMILARITY_MEASURES`.  ``"jaccard"`` (default) is the
+        paper's presence/absence Eq. 2; ``"containment"`` scores the
+        asymmetric query containment ``|Q∩C| / |Q|`` (one-sided
+        pruning bound); ``"cosine"`` the binary Ochiai coefficient
+        ``|Q∩C| / sqrt(|Q| |C|)``; ``"weighted_jaccard"`` the multiset
+        ``sum min / sum max`` over k-mer abundance counts (mass-ratio
+        pruning bound; needs stored counts for abundance-aware
+        answers).  Every measure is exactness-preserving on every
+        query path — see ``docs/semantics.md``.
     query_prefilter:
         Candidate-pruning depth of the service-layer query cascade
         (:mod:`repro.service.query`): ``"cascade"`` (default) applies
@@ -215,6 +239,7 @@ class SimilarityConfig:
     sketch_size: int = 256
     sketch_bits: int = 8
     sketch_seed: int = 0
+    similarity: str = "jaccard"
     query_prefilter: str = "cascade"
     query_candidates: str = "scan"
     query_cache_size: int = 128
@@ -277,6 +302,11 @@ class SimilarityConfig:
                 f"sketch_bits must be in "
                 f"[{MIN_SKETCH_BITS}, {MAX_SKETCH_BITS}], "
                 f"got {self.sketch_bits}"
+            )
+        if self.similarity not in SIMILARITY_MEASURES:
+            raise ValueError(
+                f"similarity must be one of {SIMILARITY_MEASURES}, "
+                f"got {self.similarity!r}"
             )
         if self.query_prefilter not in QUERY_PREFILTERS:
             raise ValueError(

@@ -611,5 +611,15 @@ def make_sketch(
 def sketch_error_bound(
     estimator: str, size: int, bits: int = 8, z: float = Z_95
 ) -> float:
-    """The analytic worst-case bound of an estimator configuration."""
+    """The analytic worst-case bound of an estimator configuration.
+
+    Also covers the opt-in ``"weighted_minhash"`` store family
+    (:mod:`repro.semantics.wminhash`), whose bottom-``s`` estimator over
+    the expanded multiset carries the same ``z * 0.5 / sqrt(s)`` bound
+    as plain bottom-``s`` MinHash.
+    """
+    if estimator == "weighted_minhash":
+        if size <= 0:
+            raise ValueError(f"sketch size must be positive, got {size}")
+        return min(1.0, z * 0.5 / math.sqrt(size))
     return make_sketch(estimator, size, bits).error_bound(z)

@@ -33,6 +33,7 @@ from repro.core.config import (
     QUERY_CANDIDATES,
     QUERY_PREFILTERS,
     SHARD_BAND_POLICIES,
+    SIMILARITY_MEASURES,
     SimilarityConfig,
 )
 from repro.core.sketch import ESTIMATORS
@@ -147,6 +148,17 @@ def _add_index_common(parser: argparse.ArgumentParser) -> None:
                         help="node count for the stampede2 preset")
     parser.add_argument("--ranks", type=int, default=4,
                         help="rank count for the laptop preset")
+    parser.add_argument(
+        "--similarity", choices=list(SIMILARITY_MEASURES),
+        default="jaccard",
+        help=(
+            "similarity measure the index serves: jaccard (default), "
+            "weighted_jaccard (k-mer abundances kept through cleaning "
+            "and scored as mass min/max), containment (asymmetric, "
+            "one-sided pruning bound), or cosine (Ochiai); every "
+            "measure's final scores are exact"
+        ),
+    )
 
 
 def build_index_parser() -> argparse.ArgumentParser:
@@ -316,6 +328,10 @@ def _index_tool(args: argparse.Namespace, **config_overrides) -> GenomeAtScale:
         spec = stampede2_knl(args.nodes)
     else:
         spec = laptop(args.ranks)
+    if "similarity" not in config_overrides:
+        config_overrides["similarity"] = getattr(
+            args, "similarity", "jaccard"
+        )
     config = SimilarityConfig(**config_overrides)
     return GenomeAtScale(
         machine=Machine(spec), config=config, k=args.k,
@@ -388,8 +404,9 @@ def index_main(argv: list[str]) -> int:
         for path, result in zip(batch_paths, results):
             print(f"== {path} ==")
             print(result.summary())
+            label = _SCORE_LABELS.get(result.similarity_measure, "sim")
             for m in result.matches:
-                print(f"  {m.name:<24} J = {m.similarity:.6f}")
+                print(f"  {m.name:<24} {label} = {m.similarity:.6f}")
             if not result.matches:
                 print("  (no genome qualified)")
         if args.json is not None:
@@ -415,8 +432,9 @@ def index_main(argv: list[str]) -> int:
         threshold=args.threshold, top_k=args.top_k,
     )
     print(result.summary())
+    label = _SCORE_LABELS.get(result.similarity_measure, "sim")
     for m in result.matches:
-        print(f"  {m.name:<24} J = {m.similarity:.6f}")
+        print(f"  {m.name:<24} {label} = {m.similarity:.6f}")
     if not result.matches:
         print("  (no genome qualified)")
     if args.json is not None:
@@ -424,6 +442,15 @@ def index_main(argv: list[str]) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
     return 0
+
+
+#: Score label per measure in the human-readable match listing.
+_SCORE_LABELS = {
+    "jaccard": "J",
+    "weighted_jaccard": "Jw",
+    "containment": "C",
+    "cosine": "cos",
+}
 
 
 def _read_batch_file(path: Path) -> list[Path]:
@@ -451,6 +478,8 @@ def _query_payload(path: Path, result) -> dict:
         "prefilter": result.prefilter,
         "estimator": result.estimator,
         "candidates": result.candidates,
+        "similarity": result.similarity_measure,
+        "bound_type": result.bound_type,
         "error_bound": result.error_bound,
         "n_candidates": result.n_candidates,
         "n_after_lsh": result.n_after_lsh,

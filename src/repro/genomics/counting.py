@@ -100,10 +100,36 @@ def clean_sample(
     ``min_count=None`` applies :func:`kingsford_threshold` on the
     sample's total base count.
     """
+    codes, _, report = clean_sample_counts(
+        sequences, k, min_count=min_count, canonical=canonical
+    )
+    return codes, report
+
+
+def clean_sample_counts(
+    sequences, k: int, min_count: int | None = None, canonical: bool = True
+) -> tuple[np.ndarray, np.ndarray, CleaningReport]:
+    """Like :func:`clean_sample`, but keeps the surviving abundances.
+
+    Returns ``(codes, counts, report)`` with ``counts`` aligned to the
+    kept codes — the input of the weighted-Jaccard index path
+    (``similarity="weighted_jaccard"``), where each sample's k-mer
+    multiplicities feed the min/max mass accumulation instead of being
+    discarded after cleaning.
+    """
     codes, counts = count_kmers(sequences, k, canonical)
     if min_count is None:
         total_bases = sum(
             len(getattr(seq, "sequence", seq)) for seq in sequences
         )
         min_count = kingsford_threshold(total_bases)
-    return clean_kmers(codes, counts, min_count)
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    keep = counts >= min_count
+    kept, kept_counts = codes[keep], counts[keep]
+    report = CleaningReport(
+        threshold=min_count,
+        kmers_before=int(codes.size),
+        kmers_after=int(kept.size),
+    )
+    return kept, kept_counts, report

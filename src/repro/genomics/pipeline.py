@@ -23,7 +23,11 @@ import numpy as np
 from repro.core.config import SimilarityConfig
 from repro.core.result import SimilarityResult
 from repro.core.similarity import SimilarityAtScale
-from repro.genomics.counting import CleaningReport, clean_sample
+from repro.genomics.counting import (
+    CleaningReport,
+    clean_sample,
+    clean_sample_counts,
+)
 from repro.genomics.fasta import read_fasta
 from repro.genomics.phylogeny import jaccard_tree
 from repro.genomics.samples import SampleStore
@@ -173,10 +177,25 @@ class GenomeAtScale:
 
     # ---- the persistent index (repro.service) --------------------------
 
+    @property
+    def _weighted(self) -> bool:
+        """Whether the configured measure consumes k-mer abundances."""
+        return (
+            self.config is not None
+            and self.config.similarity == "weighted_jaccard"
+        )
+
     def _clean_inputs(
         self, fasta_paths: list[str | Path], names: list[str] | None
-    ) -> list[tuple[str, "np.ndarray"]]:
-        """FASTA files -> (name, cleaned k-mer codes) pairs."""
+    ) -> list[tuple]:
+        """FASTA files -> cleaned index items.
+
+        ``(name, codes)`` pairs normally; under ``weighted_jaccard``
+        the surviving abundances are kept and the items are
+        ``(name, codes, counts)`` triples, which every store-layer
+        entry point (:meth:`IndexStore.append_many` and friends)
+        accepts directly.
+        """
         paths = [Path(p) for p in fasta_paths]
         if not paths:
             raise ValueError("need at least one FASTA file")
@@ -188,11 +207,18 @@ class GenomeAtScale:
             )
         out = []
         for name, path in zip(names, paths):
-            codes, _ = clean_sample(
-                read_fasta(path), self.k, min_count=self.min_count,
-                canonical=self.canonical,
-            )
-            out.append((name, codes))
+            if self._weighted:
+                codes, counts, _ = clean_sample_counts(
+                    read_fasta(path), self.k, min_count=self.min_count,
+                    canonical=self.canonical,
+                )
+                out.append((name, codes, counts))
+            else:
+                codes, _ = clean_sample(
+                    read_fasta(path), self.k, min_count=self.min_count,
+                    canonical=self.canonical,
+                )
+                out.append((name, codes))
         return out
 
     def build_index(
@@ -227,7 +253,7 @@ class GenomeAtScale:
                 "min_count": self.min_count,
             },
             size_hint=np.array(
-                [codes.size for _, codes in cleaned], dtype=np.int64
+                [item[1].size for item in cleaned], dtype=np.int64
             ),
         )
         service.add(cleaned)
@@ -301,9 +327,10 @@ class GenomeAtScale:
         cascade (size bound -> sketch prefilter -> exact verify); on a
         sharded index only the overlapping size bands are consulted.
         """
-        (_, codes), = self._clean_inputs([fasta_path], None)
+        item, = self._clean_inputs([fasta_path], None)
+        counts = item[2] if len(item) == 3 else None
         return self._service(index_dir).query(
-            values=codes, threshold=threshold, top_k=top_k
+            values=item[1], threshold=threshold, top_k=top_k, counts=counts,
         )
 
     def query_index_batch(
@@ -321,10 +348,19 @@ class GenomeAtScale:
         back in input order and match :meth:`query_index` exactly —
         on a sharded index each query is batched per overlapping band.
         """
+        from repro.service.batch import BatchQuery
+
         cleaned = self._clean_inputs(fasta_paths, None)
+        if self._weighted:
+            queries = [
+                BatchQuery(codes, threshold=threshold, top_k=top_k,
+                           counts=counts)
+                for _, codes, counts in cleaned
+            ]
+        else:
+            queries = [codes for _, codes in cleaned]
         return self._service(index_dir).query_batch(
-            [codes for _, codes in cleaned],
-            threshold=threshold, top_k=top_k,
+            queries, threshold=threshold, top_k=top_k,
         )
 
     def run_streaming(

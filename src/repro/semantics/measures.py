@@ -1,0 +1,322 @@
+"""The similarity-measure registry: score, pruning bound, sketch story.
+
+Every measure the service layer can serve (:data:`~repro.core.config.
+SIMILARITY_MEASURES`) is one :class:`SimilarityMeasure` object defining
+the three contracts the query cascade composes:
+
+* :meth:`~SimilarityMeasure.score_from_stats` — how the Gram statistics
+  (exact intersection counts + per-sample extents) map to a score.
+  ``jaccard`` / ``containment`` / ``cosine`` all derive from the same
+  intersections+sizes block; ``weighted_jaccard`` applies the identical
+  rational form to min/max *mass* accumulations
+  (:mod:`repro.semantics.weighted`).
+* :meth:`~SimilarityMeasure.window` — the measure's exact candidate
+  pruning bound as an inclusive window on the candidate extent (support
+  size, or total mass for the weighted measure).  Every candidate
+  outside the window provably scores below the threshold; the
+  derivations live in ``docs/semantics.md``.
+* :meth:`~SimilarityMeasure.sketch_score_bounds` — conservative
+  ``[lower, upper]`` score bounds from a plain MinHash Jaccard estimate
+  carrying an additive error bound, via the monotone transform
+  ``i(J) = J (q + s) / (1 + J)`` (``weighted_jaccard`` consumes weighted
+  MinHash estimates of ``J_w`` directly instead; see
+  :mod:`repro.semantics.wminhash`).
+
+Score conventions at the empty-set edge (shared by every exact path and
+pinned in ``tests/semantics/``): a score of two empty samples is 1.0;
+exactly one empty side scores 0.0 — except containment, whose empty
+*query* is contained in everything (``c(∅, C) = 1.0``).
+
+Worked example (doctested)::
+
+    >>> import numpy as np
+    >>> q = np.array([1, 2, 3, 4], dtype=np.int64)
+    >>> c = np.array([3, 4, 5, 6, 7, 8], dtype=np.int64)
+    >>> [round(get_measure(m).exact_pair(q, c), 6)
+    ...  for m in ("jaccard", "containment", "cosine")]
+    [0.25, 0.5, 0.408248]
+    >>> get_measure("containment").exact_pair(c, q)  # asymmetric
+    0.3333333333333333
+    >>> get_measure("jaccard").window(100, 0.5)
+    (50, 200)
+    >>> get_measure("containment").window(100, 0.5)[0]
+    50
+    >>> get_measure("cosine").window(100, 0.5)
+    (25, 400)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.exact import intersection_size_sorted
+from repro.core.config import SIMILARITY_MEASURES
+from repro.semantics.weighted import (
+    coerce_counts,
+    total_mass,
+    weighted_jaccard_pair,
+)
+
+__all__ = ["MEASURES", "SimilarityMeasure", "get_measure"]
+
+_EPS = 1e-12
+_I64_MAX = np.iinfo(np.int64).max
+
+
+def _no_upper_bound(hi: float) -> int:
+    """Clamp an unbounded/overflowing window edge to the int64 ceiling."""
+    return _I64_MAX if hi >= _I64_MAX else int(hi)
+
+
+class SimilarityMeasure:
+    """One pluggable similarity semantics (see the module docstring).
+
+    Attributes
+    ----------
+    name:
+        Registry key; one of :data:`~repro.core.config.
+        SIMILARITY_MEASURES`.
+    bound_type:
+        Shape of the pruning bound — ``"symmetric_window"`` (jaccard,
+        cosine: a two-sided size-ratio window), ``"one_sided_window"``
+        (containment: a lower size bound only), or ``"mass_window"``
+        (weighted_jaccard: a two-sided window over total k-mer mass).
+    weighted:
+        Whether the measure consumes abundance counts (extent = total
+        mass) rather than supports (extent = distinct-value count).
+    prefilter_margin:
+        Multiplier applied to the sketch family's additive error bound
+        before pruning.  Measures estimated *through* the Jaccard
+        transform (containment, cosine) invert their threshold into the
+        low-``J`` region where boundary pairs concentrate, so they
+        prune at a wider (~3 sigma) band than the measures whose
+        decision boundary sits at the threshold itself.
+    """
+
+    name: str = ""
+    bound_type: str = "symmetric_window"
+    weighted: bool = False
+    prefilter_margin: float = 1.0
+
+    def extent(self, vals: np.ndarray, counts=None) -> int:
+        """The pruning-relevant size of one sample (support or mass)."""
+        return int(vals.size)
+
+    def score_from_stats(
+        self, inter: np.ndarray, q_extent: int, c_extents: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized scores from exact intersection statistics."""
+        raise NotImplementedError
+
+    def window(self, q_extent: int, threshold: float) -> tuple[int, int]:
+        """Inclusive candidate-extent window implied by ``score >= t``.
+
+        The caller guarantees ``0 <= threshold <= 1``; ``threshold = 0``
+        never prunes.
+        """
+        raise NotImplementedError
+
+    def exact_pair(self, a_vals, b_vals, a_counts=None, b_counts=None) -> float:
+        """Exact reference score of one pair of sorted-unique samples."""
+        inter = intersection_size_sorted(a_vals, b_vals)
+        return float(
+            self.score_from_stats(
+                np.array([inter], dtype=np.int64),
+                int(a_vals.size),
+                np.array([b_vals.size], dtype=np.int64),
+            )[0]
+        )
+
+    def sketch_score_bounds(
+        self,
+        est: np.ndarray,
+        bound: float,
+        q_size: int,
+        c_sizes: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Conservative ``[lower, upper]`` score bounds per candidate.
+
+        ``est`` is the plain MinHash Jaccard estimate (the weighted
+        measure overrides this to consume weighted-MinHash ``J_w``
+        estimates), ``bound`` its additive analytic error at the
+        configured confidence, widened by :attr:`prefilter_margin`.
+        A candidate may be pruned only when ``upper < t``; top-k
+        partial sorts must rank by ``lower``.
+        """
+        bound = bound * self.prefilter_margin
+        j_lo = np.clip(est - bound, 0.0, 1.0)
+        j_hi = np.clip(est + bound, 0.0, 1.0)
+        return self._bounds_from_jaccard(j_lo, j_hi, q_size, c_sizes)
+
+    def _bounds_from_jaccard(self, j_lo, j_hi, q_size, c_sizes):
+        raise NotImplementedError
+
+    @staticmethod
+    def _inter_from_jaccard(j: np.ndarray, q_size: int, c_sizes: np.ndarray):
+        """Invert ``J = i / (q + s - i)``: ``i(J) = J (q + s) / (1 + J)``,
+        monotone increasing in ``J``."""
+        total = np.asarray(c_sizes, dtype=np.float64) + float(q_size)
+        return j * total / (1.0 + j)
+
+
+class _Jaccard(SimilarityMeasure):
+    name = "jaccard"
+    bound_type = "symmetric_window"
+
+    def score_from_stats(self, inter, q_extent, c_extents):
+        inter = np.asarray(inter, dtype=np.float64)
+        union = float(q_extent) + np.asarray(c_extents, dtype=np.float64) - inter
+        return np.where(
+            union == 0.0, 1.0, inter / np.where(union == 0.0, 1.0, union)
+        )
+
+    def window(self, q_extent, threshold):
+        if threshold <= 0.0:
+            return 0, _I64_MAX
+        if q_extent == 0:
+            # J(∅, C) > 0 only for C = ∅.
+            return 0, 0
+        lo = int(np.ceil(threshold * q_extent - _EPS))
+        return lo, _no_upper_bound(np.floor(q_extent / threshold + _EPS))
+
+    def _bounds_from_jaccard(self, j_lo, j_hi, q_size, c_sizes):
+        return j_lo, j_hi
+
+
+class _Containment(SimilarityMeasure):
+    name = "containment"
+    bound_type = "one_sided_window"
+    prefilter_margin = 1.5
+
+    def score_from_stats(self, inter, q_extent, c_extents):
+        inter = np.asarray(inter, dtype=np.float64)
+        shape = np.broadcast(inter, np.asarray(c_extents)).shape
+        if q_extent == 0:
+            # The empty query is contained in every candidate.
+            return np.ones(shape, dtype=np.float64)
+        return (inter / float(q_extent)).reshape(shape)
+
+    def window(self, q_extent, threshold):
+        if threshold <= 0.0 or q_extent == 0:
+            return 0, _I64_MAX
+        # c(Q, C) >= t needs i >= t|Q|, and i <= |C| always — the
+        # one-sided bound |C| >= ceil(t |Q|); no upper bound exists.
+        return int(np.ceil(threshold * q_extent - _EPS)), _I64_MAX
+
+    def _bounds_from_jaccard(self, j_lo, j_hi, q_size, c_sizes):
+        c = np.asarray(c_sizes, dtype=np.float64)
+        if q_size == 0:
+            ones = np.ones_like(c)
+            return ones, ones
+        i_lo = self._inter_from_jaccard(j_lo, q_size, c_sizes)
+        i_hi = np.minimum(
+            self._inter_from_jaccard(j_hi, q_size, c_sizes),
+            np.minimum(float(q_size), c),
+        )
+        return i_lo / q_size, np.minimum(i_hi / q_size, 1.0)
+
+
+class _Cosine(SimilarityMeasure):
+    name = "cosine"
+    bound_type = "symmetric_window"
+    prefilter_margin = 1.5
+
+    def score_from_stats(self, inter, q_extent, c_extents):
+        inter = np.asarray(inter, dtype=np.float64)
+        c = np.asarray(c_extents, dtype=np.float64)
+        if q_extent == 0:
+            return np.where(c == 0.0, 1.0, 0.0)
+        denom = np.sqrt(float(q_extent) * c)
+        return np.where(
+            denom == 0.0, 0.0, inter / np.where(denom == 0.0, 1.0, denom)
+        )
+
+    def window(self, q_extent, threshold):
+        if threshold <= 0.0:
+            return 0, _I64_MAX
+        if q_extent == 0:
+            return 0, 0
+        # cos = i / sqrt(qs) <= sqrt(min(q,s) / max(q,s)), so cos >= t
+        # forces t^2 q <= s <= q / t^2.
+        t2 = threshold * threshold
+        lo = int(np.ceil(t2 * q_extent - _EPS))
+        return lo, _no_upper_bound(np.floor(q_extent / t2 + _EPS))
+
+    def _bounds_from_jaccard(self, j_lo, j_hi, q_size, c_sizes):
+        c = np.asarray(c_sizes, dtype=np.float64)
+        if q_size == 0:
+            exact = np.where(c == 0.0, 1.0, 0.0)
+            return exact, exact
+        denom = np.sqrt(float(q_size) * c)
+        safe = np.where(denom == 0.0, 1.0, denom)
+        i_lo = self._inter_from_jaccard(j_lo, q_size, c_sizes)
+        i_hi = np.minimum(
+            self._inter_from_jaccard(j_hi, q_size, c_sizes),
+            np.minimum(float(q_size), c),
+        )
+        lower = np.where(denom == 0.0, 0.0, i_lo / safe)
+        upper = np.where(denom == 0.0, 0.0, i_hi / safe)
+        return lower, np.minimum(upper, 1.0)
+
+
+class _WeightedJaccard(SimilarityMeasure):
+    name = "weighted_jaccard"
+    bound_type = "mass_window"
+    weighted = True
+
+    def extent(self, vals, counts=None):
+        if counts is None:
+            return int(vals.size)
+        return total_mass(counts)
+
+    def score_from_stats(self, inter, q_extent, c_extents):
+        # Identical rational form to Jaccard, over masses: the union
+        # mass is m_Q + m_C - sum_min.
+        inter = np.asarray(inter, dtype=np.float64)
+        union = float(q_extent) + np.asarray(c_extents, dtype=np.float64) - inter
+        return np.where(
+            union == 0.0, 1.0, inter / np.where(union == 0.0, 1.0, union)
+        )
+
+    def window(self, q_extent, threshold):
+        # sum_min <= min(m_Q, m_C) and sum_max >= max(m_Q, m_C) give
+        # the mass-ratio window t m_Q <= m_C <= m_Q / t.  No bound on
+        # the *support* size exists (a huge-count single value can
+        # dominate the mass), which is why sharded weighted queries
+        # consult every size band.
+        if threshold <= 0.0:
+            return 0, _I64_MAX
+        if q_extent == 0:
+            return 0, 0
+        lo = int(np.ceil(threshold * q_extent - _EPS))
+        return lo, _no_upper_bound(np.floor(q_extent / threshold + _EPS))
+
+    def exact_pair(self, a_vals, b_vals, a_counts=None, b_counts=None):
+        a_vals, a_counts = coerce_counts(a_vals, a_counts)
+        b_vals, b_counts = coerce_counts(b_vals, b_counts)
+        return weighted_jaccard_pair(a_vals, a_counts, b_vals, b_counts)
+
+    def sketch_score_bounds(self, est, bound, q_size, c_sizes):
+        # ``est`` here is a weighted-MinHash estimate of J_w itself
+        # (plain sketches carry no information about J_w — see
+        # docs/semantics.md for the two-sided counterexamples).
+        return np.clip(est - bound, 0.0, 1.0), np.clip(est + bound, 0.0, 1.0)
+
+
+#: The measure registry, keyed exactly by
+#: :data:`~repro.core.config.SIMILARITY_MEASURES`.
+MEASURES: dict[str, SimilarityMeasure] = {
+    m.name: m for m in (_Jaccard(), _WeightedJaccard(), _Containment(), _Cosine())
+}
+
+assert tuple(MEASURES) == SIMILARITY_MEASURES
+
+
+def get_measure(name: str) -> SimilarityMeasure:
+    """Look up one measure; raises ``ValueError`` on an unknown name."""
+    try:
+        return MEASURES[name]
+    except KeyError:
+        raise ValueError(
+            f"similarity must be one of {SIMILARITY_MEASURES}, got {name!r}"
+        ) from None

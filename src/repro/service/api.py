@@ -46,12 +46,15 @@ from repro.service.incremental import (
     add_genomes,
     rebuild,
 )
+from repro.core.sketch import SKETCH_ESTIMATORS
+from repro.semantics.measures import get_measure
+from repro.semantics.weighted import coerce_counts
+from repro.semantics.wminhash import WEIGHTED_MINHASH_FAMILY
 from repro.service.query import (
     QueryResult,
     ShardedSimilarityIndex,
     SimilarityIndex,
     merge_shard_results,
-    size_ratio_window,
 )
 from repro.service.sharded import ShardedStore, open_store, shard_store
 from repro.service.store import IndexStore, _as_values
@@ -129,6 +132,12 @@ class SimilarityService:
         ``"quantile"`` policy).
         """
         config = config if config is not None else SimilarityConfig()
+        families = SKETCH_ESTIMATORS
+        if config.similarity == "weighted_jaccard":
+            # A weighted index gets the weighted-MinHash family on top
+            # of the plain estimators, so the cascade's sketch stage
+            # can bound the weighted score (plain sketches cannot).
+            families = families + (WEIGHTED_MINHASH_FAMILY,)
         if config.store_shards > 1:
             store: IndexStore | ShardedStore = ShardedStore.create(
                 root, m, config.store_shards,
@@ -137,6 +146,7 @@ class SimilarityService:
                 sketch_size=config.sketch_size,
                 sketch_bits=config.sketch_bits,
                 sketch_seed=config.sketch_seed,
+                families=families,
                 metadata=metadata,
                 size_hint=size_hint,
             )
@@ -147,6 +157,7 @@ class SimilarityService:
                 sketch_size=config.sketch_size,
                 sketch_bits=config.sketch_bits,
                 sketch_seed=config.sketch_seed,
+                families=families,
                 metadata=metadata,
             )
         return cls(store, machine=machine, config=config, executor=executor)
@@ -228,10 +239,17 @@ class SimilarityService:
         name: str | None = None,
         threshold: float | None = None,
         top_k: int | None = None,
+        counts=None,
     ) -> QueryResult:
-        """One threshold/top-k query, by values or by indexed name."""
+        """One threshold/top-k query, by values or by indexed name.
+
+        ``counts`` (aligned per-value abundances) only matters under
+        ``similarity="weighted_jaccard"``; name queries load the
+        stored counts automatically.
+        """
         return self.engine.query(
-            values=values, name=name, threshold=threshold, top_k=top_k
+            values=values, name=name, threshold=threshold, top_k=top_k,
+            counts=counts,
         )
 
     def query_batch(
@@ -275,12 +293,16 @@ class SimilarityService:
         if not items:
             return []
         plan = engine.plan(batched=True)
+        measure = get_measure(plan.measure)
         window = plan.stage("window") is not None
         # Validate everything up front: a bad query must not abort the
         # fan-out after some shards have already executed.
         sized = []
         for item in items:
-            vals = _as_values(item.values)
+            if item.counts is not None:
+                vals, _ = coerce_counts(item.values, item.counts)
+            else:
+                vals = _as_values(item.values)
             if vals.size and (vals[0] < 0 or vals[-1] >= store.m):
                 raise QueryError(f"query values outside [0, {store.m})")
             if item.threshold is None and item.top_k is None:
@@ -308,9 +330,15 @@ class SimilarityService:
                     window
                     and item.threshold is not None
                     and item.threshold > 0.0
+                    and not measure.weighted
                 ):
-                    lo, hi = size_ratio_window(size, item.threshold)
-                    b_lo, b_hi = store.band_range(lo, hi)
+                    # Bands are keyed by support size; the measure's
+                    # window over the query's support selects the band
+                    # range (one-sided for containment).  Weighted
+                    # Jaccard admits no support bound, so weighted
+                    # queries consult every band.
+                    w_lo, w_hi = measure.window(size, item.threshold)
+                    b_lo, b_hi = store.band_range(w_lo, w_hi)
                     bands = range(b_lo, b_hi + 1)
                 else:
                     bands = range(store.n_shards)

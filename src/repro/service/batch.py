@@ -52,7 +52,9 @@ import numpy as np
 
 from repro.core.sketch import make_sketch
 from repro.runtime.executor import SequentialExecutor, ThreadedExecutor
-from repro.service.cache import result_cache_key
+from repro.semantics.measures import get_measure
+from repro.semantics.weighted import coerce_counts
+from repro.service.cache import counts_cache_digest, result_cache_key
 from repro.service.errors import ConfigError, QueryError
 from repro.service.plan import ADMIT_KERNEL, QueryPlan, compile_plan
 from repro.service.query import (
@@ -60,8 +62,6 @@ from repro.service.query import (
     QueryMatch,
     QueryResult,
     SimilarityIndex,
-    size_ratio_mask,
-    size_ratio_window,
     sketch_estimates,
 )
 from repro.service.store import LSH_FAMILY, StoreSnapshot, _as_values
@@ -82,6 +82,9 @@ class BatchQuery:
     threshold: float | None = None
     top_k: int | None = None
     exclude_name: str | None = None
+    #: Aligned per-value abundances; only consulted under
+    #: ``similarity="weighted_jaccard"``.
+    counts: Any = None
 
 
 @dataclass
@@ -94,6 +97,7 @@ class _Request:
     exclude_name: str | None
     key: tuple
     future: Future
+    counts: np.ndarray | None = None
 
 
 @dataclass
@@ -162,13 +166,18 @@ class QueryBatcher:
         self._admit_lock = threading.Lock()
         self._exec_lock = threading.Lock()
         self._pending: _Batch | None = None
-        # Size-argsort memo: the window's sort is charged once per
+        # Extent-argsort memos: the window's sort is charged once per
         # store version, then every request pays two searchsorted
         # probes — this is what amortizes the window across a batch.
+        # Set measures sort support sizes; weighted Jaccard sorts
+        # total masses (a separate memo, same amortization).
         self._sorted_version: int | None = None
         self._size_order: np.ndarray | None = None
         self._sorted_sizes: np.ndarray | None = None
-        self._charged_sort_versions: set[int] = set()
+        self._mass_version: int | None = None
+        self._mass_order: np.ndarray | None = None
+        self._sorted_masses: np.ndarray | None = None
+        self._charged_sort_versions: set[tuple[int, bool]] = set()
         self.n_batches = 0
         self.n_requests = 0
 
@@ -180,6 +189,7 @@ class QueryBatcher:
         threshold: float | None = None,
         top_k: int | None = None,
         exclude_name: str | None = None,
+        counts=None,
     ) -> Future:
         """Admit one query; resolves to its :class:`QueryResult`.
 
@@ -187,7 +197,7 @@ class QueryBatcher:
         future completes when the request's batch executes (full batch,
         ``max_wait`` expiry, version-change flush, or :meth:`flush`).
         """
-        vals = self._validate(values, threshold, top_k)
+        vals, q_counts = self._validate(values, threshold, top_k, counts)
         future: Future = Future()
         with self._admit_lock:
             batch = self._admit_batch_locked()
@@ -195,12 +205,12 @@ class QueryBatcher:
                 _Request(
                     vals=vals, threshold=threshold, top_k=top_k,
                     exclude_name=exclude_name,
-                    key=result_cache_key(
-                        vals, threshold, top_k, batch.plan.prefilter,
-                        batch.plan.family, batch.plan.candidates,
-                        exclude_name, batch.snapshot.version,
+                    key=self._request_key(
+                        vals, q_counts, threshold, top_k, exclude_name,
+                        batch.plan, batch.snapshot.version,
                     ),
                     future=future,
+                    counts=q_counts,
                 )
             )
             self.n_requests += 1
@@ -241,20 +251,20 @@ class QueryBatcher:
             plan = compile_plan(self.config, snapshot, batched=True)
             requests = []
             for item in chunk:
-                vals = self._validate(
-                    item.values, item.threshold, item.top_k
+                vals, q_counts = self._validate(
+                    item.values, item.threshold, item.top_k, item.counts
                 )
                 requests.append(
                     _Request(
                         vals=vals, threshold=item.threshold,
                         top_k=item.top_k,
                         exclude_name=item.exclude_name,
-                        key=result_cache_key(
-                            vals, item.threshold, item.top_k,
-                            plan.prefilter, plan.family, plan.candidates,
-                            item.exclude_name, snapshot.version,
+                        key=self._request_key(
+                            vals, q_counts, item.threshold, item.top_k,
+                            item.exclude_name, plan, snapshot.version,
                         ),
                         future=Future(),
+                        counts=q_counts,
                     )
                 )
             self.n_requests += len(requests)
@@ -282,9 +292,13 @@ class QueryBatcher:
     # ---- admission internals --------------------------------------------
 
     def _validate(
-        self, values, threshold: float | None, top_k: int | None
-    ) -> np.ndarray:
-        vals = _as_values(values)
+        self, values, threshold: float | None, top_k: int | None,
+        counts=None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        if counts is not None:
+            vals, q_counts = coerce_counts(values, counts)
+        else:
+            vals, q_counts = _as_values(values), None
         m = self.index.store.m
         if vals.size and (vals[0] < 0 or vals[-1] >= m):
             raise QueryError(f"query values outside [0, {m})")
@@ -296,7 +310,29 @@ class QueryBatcher:
             )
         if top_k is not None and top_k <= 0:
             raise QueryError(f"top_k must be positive, got {top_k}")
-        return vals
+        return vals, q_counts
+
+    def _request_key(
+        self,
+        vals: np.ndarray,
+        q_counts: np.ndarray | None,
+        threshold: float | None,
+        top_k: int | None,
+        exclude_name: str | None,
+        plan: QueryPlan,
+        version: int,
+    ) -> tuple:
+        """The request's cache key — byte-identical to the single path's."""
+        return result_cache_key(
+            vals, threshold, top_k, plan.prefilter, plan.family,
+            plan.candidates, exclude_name, version,
+            similarity=plan.measure,
+            counts_digest=(
+                counts_cache_digest(q_counts)
+                if plan.measure == "weighted_jaccard"
+                else None
+            ),
+        )
 
     def _admit_batch_locked(self) -> _Batch:
         """The pending batch for the *current* store version.
@@ -409,9 +445,16 @@ class QueryBatcher:
             cands = self._sketch_stage(
                 serving, requests, misses, cands, sizes, snapshot, plan
             )
-            sims = self._verify_stage(
-                serving, requests, misses, cands, sizes, snapshot, plan
-            )
+            if plan.verify == "pairwise":
+                sims = self._verify_pairwise(
+                    serving, requests, misses, cands, sizes, snapshot,
+                    plan,
+                )
+            else:
+                sims = self._verify_stage(
+                    serving, requests, misses, cands, sizes, snapshot,
+                    plan,
+                )
             for slot, i in enumerate(misses):
                 req = requests[i]
                 cand, sim = cands[i], sims[i]
@@ -448,6 +491,8 @@ class QueryBatcher:
                     candidates=plan.candidates,
                     n_after_lsh=n_after_lsh.get(i),
                     batch_size=batch_size,
+                    similarity_measure=plan.measure,
+                    bound_type=plan.bound_type,
                 )
         # The batch's modelled cost is split evenly across the queries
         # it actually computed; cache hits ride for free.
@@ -468,6 +513,14 @@ class QueryBatcher:
             self._sorted_sizes = sizes[self._size_order]
             self._sorted_version = snapshot.version
         return self._size_order, self._sorted_sizes
+
+    def _mass_sort(self, snapshot: StoreSnapshot) -> tuple:
+        if self._mass_version != snapshot.version:
+            masses = np.asarray(snapshot.masses(), dtype=np.int64)
+            self._mass_order = np.argsort(masses, kind="stable")
+            self._sorted_masses = masses[self._mass_order]
+            self._mass_version = snapshot.version
+        return self._mass_order, self._sorted_masses
 
     def _lsh_stage(
         self, serving, requests, misses, snapshot, plan
@@ -517,16 +570,22 @@ class QueryBatcher:
     def _window_stage(
         self, serving, requests, misses, snapshot, plan, probes=None
     ) -> dict[int, np.ndarray]:
-        """Per-request candidate windows over size-sorted lengths.
+        """Per-request candidate windows over extent-sorted lengths.
 
-        Matches the single path's size-ratio mask exactly; only the
+        Matches the single path's measure window exactly; only the
         cost shape changes (one amortized argsort per store version
-        plus two log-time probes per request, instead of a full size
-        scan per query).  Under ``candidates="lsh"`` a request's
-        window is instead a direct size mask over its (much smaller)
-        probed set.
+        plus two log-time probes per request, instead of a full extent
+        scan per query).  The extent is the measure's: support sizes
+        for the set measures, total masses for weighted Jaccard.
+        Under ``candidates="lsh"`` a request's window is instead a
+        direct extent mask over its (much smaller) probed set.
         """
-        sizes = snapshot.sizes()
+        measure = get_measure(plan.measure)
+        extents = (
+            np.asarray(snapshot.masses(), dtype=np.int64)
+            if measure.weighted
+            else snapshot.sizes()
+        )
         n = snapshot.n_genomes
         windowed = plan.stage("window") is not None and n > 0
         probes = probes if probes is not None else {}
@@ -534,32 +593,36 @@ class QueryBatcher:
         charged_probes = 0
         for i in misses:
             req = requests[i]
+            q_extent = measure.extent(req.vals, req.counts)
             if plan.candidates == "lsh" and i in probes:
                 cand = probes[i]
                 if windowed and req.threshold is not None and cand.size:
                     serving.charge_compute(
                         float(cand.size), kernel=plan.kernel("window")
                     )
-                    cand = cand[
-                        size_ratio_mask(
-                            sizes[cand], int(req.vals.size), req.threshold
-                        )
-                    ]
+                    w_lo, w_hi = measure.window(q_extent, req.threshold)
+                    ext = extents[cand]
+                    cand = cand[(ext >= w_lo) & (ext <= w_hi)]
                 cands[i] = cand.astype(np.int64)
                 continue
             if windowed and req.threshold is not None:
-                order, sorted_sizes = self._size_sort(snapshot)
-                if snapshot.version not in self._charged_sort_versions:
+                order, sorted_ext = (
+                    self._mass_sort(snapshot)
+                    if measure.weighted
+                    else self._size_sort(snapshot)
+                )
+                sort_key = (snapshot.version, measure.weighted)
+                if sort_key not in self._charged_sort_versions:
                     serving.charge_compute(
                         float(n) * max(math.log2(n), 1.0),
                         kernel=plan.kernel("window"),
                     )
-                    self._charged_sort_versions.add(snapshot.version)
-                lo, hi = size_ratio_window(
-                    int(req.vals.size), req.threshold
+                    self._charged_sort_versions.add(sort_key)
+                w_lo, w_hi = measure.window(q_extent, req.threshold)
+                left = int(np.searchsorted(sorted_ext, w_lo, side="left"))
+                right = int(
+                    np.searchsorted(sorted_ext, w_hi, side="right")
                 )
-                left = int(np.searchsorted(sorted_sizes, lo, side="left"))
-                right = int(np.searchsorted(sorted_sizes, hi, side="right"))
                 cand = np.sort(order[left:right])
                 charged_probes += 1
             else:
@@ -582,10 +645,17 @@ class QueryBatcher:
     def _sketch_stage(
         self, serving, requests, misses, cands, sizes, snapshot, plan
     ) -> dict[int, np.ndarray]:
-        """Conservative sketch prune, per request (cascade plans only)."""
+        """Conservative sketch prune, per request (cascade plans only).
+
+        The stored estimate is plain Jaccard; the plan's measure
+        transforms the estimate band into conservative score bounds
+        (batched weighted plans carry no sketch stage, so ``family``
+        here is always a plain one).
+        """
         family = plan.family
         if family is None:
             return cands
+        measure = get_measure(plan.measure)
         bound = plan.error_bound
         payloads = [
             snapshot.load_sketch_payload(name, family)
@@ -604,14 +674,16 @@ class QueryBatcher:
                 snapshot.sketch_seed,
             )
             total += int(cand.size)
+            s_lo, s_hi = measure.sketch_score_bounds(
+                est, bound, int(req.vals.size), sizes[cand]
+            )
             if req.threshold is not None:
-                keep = est + bound >= req.threshold - _EPS
-                cand, est = cand[keep], est[keep]
+                keep = s_hi >= req.threshold - _EPS
+                cand, s_lo, s_hi = cand[keep], s_lo[keep], s_hi[keep]
             if req.top_k is not None and cand.size > req.top_k:
-                lower = est - bound
-                kth = np.partition(lower, -req.top_k)[-req.top_k]
-                keep = est + bound >= kth - _EPS
-                cand, est = cand[keep], est[keep]
+                kth = np.partition(s_lo, -req.top_k)[-req.top_k]
+                keep = s_hi >= kth - _EPS
+                cand = cand[keep]
             out[i] = cand
         if total:
             serving.charge_compute(
@@ -704,6 +776,10 @@ class QueryBatcher:
         else:
             inter = np.zeros((max(nq, 1), max(nc, 1)), dtype=np.int64)
 
+        # The blocked Gram yields exact intersections + sizes, which
+        # is everything jaccard / containment / cosine need: the
+        # measure maps the statistics to its score.
+        measure = get_measure(plan.measure)
         sims: dict[int, np.ndarray] = {}
         for i in misses:
             req, cand = requests[i], cands[i]
@@ -711,10 +787,54 @@ class QueryBatcher:
                 sims[i] = np.empty(0, dtype=np.float64)
                 continue
             cols = np.searchsorted(cand_union, cand)
-            ivals = inter[req_slot[i], cols].astype(np.float64)
-            denom = float(req.vals.size) + sizes[cand] - ivals
-            out = np.ones(cand.size, dtype=np.float64)  # J(0,0) = 1
-            nz = denom > 0
-            out[nz] = ivals[nz] / denom[nz]
+            ivals = inter[req_slot[i], cols].astype(np.int64)
+            sims[i] = np.asarray(
+                measure.score_from_stats(
+                    ivals, int(req.vals.size), sizes[cand]
+                ),
+                dtype=np.float64,
+            )
+        return sims
+
+    def _verify_pairwise(
+        self, serving, requests, misses, cands, sizes, snapshot, plan
+    ) -> dict[int, np.ndarray]:
+        """Exact pairwise verification (weighted plans).
+
+        Weighted Jaccard needs min/max mass accumulations over aligned
+        counts, which the popcount Gram cannot produce — survivors are
+        verified pair by pair against the snapshot's stored values and
+        counts, memoized per candidate across the batch.
+        """
+        measure = get_measure(plan.measure)
+        values_memo: dict[int, np.ndarray] = {}
+        counts_memo: dict[int, np.ndarray] = {}
+        sims: dict[int, np.ndarray] = {}
+        total = 0.0
+        for i in misses:
+            req, cand = requests[i], cands[i]
+            if not cand.size:
+                sims[i] = np.empty(0, dtype=np.float64)
+                continue
+            qc = (
+                req.counts
+                if req.counts is not None
+                else np.ones(req.vals.size, dtype=np.int64)
+            )
+            out = np.empty(cand.size, dtype=np.float64)
+            for j, c in enumerate(cand):
+                ci = int(c)
+                if ci not in values_memo:
+                    name = snapshot.names[ci]
+                    values_memo[ci] = snapshot.load_values(name)
+                    counts_memo[ci] = snapshot.load_counts(name)
+                out[j] = measure.exact_pair(
+                    req.vals, values_memo[ci], qc, counts_memo[ci]
+                )
+            total += float(
+                req.vals.size * cand.size + sizes[cand].sum()
+            )
             sims[i] = out
+        if total:
+            serving.charge_compute(total, kernel=plan.kernel("verify"))
         return sims

@@ -50,6 +50,8 @@ def result_cache_key(
     exclude_name: str | None,
     store_version: int,
     topology: tuple = SINGLE_TOPOLOGY,
+    similarity: str = "jaccard",
+    counts_digest: str | None = None,
 ) -> tuple:
     """The canonical cache key of one threshold/top-k query.
 
@@ -67,12 +69,28 @@ def result_cache_key(
     layout otherwise): the answers are exactly equal across layouts,
     but the per-shard counters a cached :class:`~repro.service.query.
     QueryResult` carries are not, so entries never cross topologies.
+
+    ``similarity`` is the measure the scores are computed under — the
+    same values score differently under jaccard vs containment, so the
+    measure is part of the key.  ``counts_digest`` is the digest of the
+    query's multiplicity vector (``None`` for an unweighted query):
+    under ``weighted_jaccard`` two queries over the same support but
+    different abundances answer differently.
     """
     return (
         hashlib.sha256(vals.tobytes()).hexdigest(),
         int(vals.size), threshold, top_k, prefilter,
         family, candidates, exclude_name, store_version, topology,
+        similarity, counts_digest,
     )
+
+
+def counts_cache_digest(counts: np.ndarray | None) -> str | None:
+    """Digest of a query's multiplicity vector (``None`` stays ``None``)."""
+    if counts is None:
+        return None
+    arr = np.ascontiguousarray(counts, dtype=np.int64)
+    return hashlib.sha256(arr.tobytes()).hexdigest()
 
 
 @dataclass(frozen=True)

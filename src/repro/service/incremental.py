@@ -36,7 +36,11 @@ from repro.runtime.codec import resolve_wire_codec
 from repro.runtime.engine import Machine
 from repro.runtime.machine import laptop
 from repro.service.sharded import ShardedEntry, ShardedStore
-from repro.service.store import IndexStore, StoreError, _as_values
+from repro.service.store import (
+    IndexStore,
+    StoreError,
+    _normalize_item,
+)
 from repro.sparse.spgemm import gram_popcount_blocked
 
 
@@ -150,11 +154,18 @@ def rebuild(
     return result
 
 
-def _validate_batch(store, named_values) -> list[tuple[str, np.ndarray]]:
-    """Coerce and validate an add batch against the whole store."""
-    clean = [(name, _as_values(values)) for name, values in named_values]
+def _validate_batch(
+    store, named_values
+) -> list[tuple[str, np.ndarray, np.ndarray | None]]:
+    """Coerce and validate an add batch against the whole store.
+
+    Items are ``(name, values)`` or ``(name, values, counts)``; the
+    returned triples carry normalized counts (``None`` when the genome
+    is multiplicity-free).
+    """
+    clean = [_normalize_item(item) for item in named_values]
     seen = set(store.names)
-    for name, vals in clean:
+    for name, vals, _ in clean:
         if name in seen:
             raise StoreError(f"genome {name!r} already present")
         seen.add(name)
@@ -167,7 +178,7 @@ def _validate_batch(store, named_values) -> list[tuple[str, np.ndarray]]:
 
 def _merge_border(
     store: IndexStore,
-    clean: list[tuple[str, np.ndarray]],
+    clean: list[tuple[str, np.ndarray, np.ndarray | None]],
     machine: Machine,
     config: SimilarityConfig,
 ) -> int:
@@ -184,7 +195,7 @@ def _merge_border(
     n_all = n_before + n_new
     source = SetSource(
         [store.load_values(n) for n in old_names]
-        + [vals for _, vals in clean],
+        + [vals for _, vals, _ in clean],
         m=store.m,
     )
     border, batches = _border_block(machine, config, source, n_all, n_new)
@@ -243,7 +254,7 @@ def add_genomes(
     cost = machine.ledger.diff(before)
     n_all = n_before + len(clean)
     return IncrementalReport(
-        added=tuple(name for name, _ in clean),
+        added=tuple(name for name, _, _ in clean),
         n_before=n_before,
         n_after=n_all,
         batches=batches,
@@ -262,11 +273,11 @@ def _add_genomes_sharded(
     with store._lock:
         n_before = store.n_genomes
         clean = _validate_batch(store, named_values)
-        groups: dict[int, list[tuple[str, np.ndarray]]] = {}
-        for name, vals in clean:
-            groups.setdefault(store.band_of(vals.size), []).append(
-                (name, vals)
-            )
+        groups: dict[
+            int, list[tuple[str, np.ndarray, np.ndarray | None]]
+        ] = {}
+        for item in clean:
+            groups.setdefault(store.band_of(item[1].size), []).append(item)
         for band in sorted(groups):
             shard = store.shards[band]
             if shard.n_genomes and not shard.gram_current:
@@ -283,12 +294,12 @@ def _add_genomes_sharded(
                 )
             store.genomes.extend(
                 ShardedEntry(name=name, band=store.band_of(vals.size))
-                for name, vals in clean
+                for name, vals, _ in clean
             )
         cost = machine.ledger.diff(before)
     n_all = n_before + len(clean)
     return IncrementalReport(
-        added=tuple(name for name, _ in clean),
+        added=tuple(name for name, _, _ in clean),
         n_before=n_before,
         n_after=n_all,
         batches=batches,

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 from repro.core.config import QUERY_CANDIDATES, QUERY_PREFILTERS
 from repro.core.sketch import SKETCH_ESTIMATORS, sketch_error_bound
+from repro.semantics.measures import get_measure
+from repro.semantics.wminhash import WEIGHTED_MINHASH_FAMILY
 from repro.service.errors import ConfigError
 from repro.service.store import LSH_FAMILY, StoreError
 
@@ -86,6 +88,12 @@ class QueryPlan:
     ``window`` stage first as a *band selector* (which shards does the
     size-ratio window overlap?) and then executes the remaining cascade
     once per selected shard.
+
+    ``measure`` names the similarity semantics the plan scores under (a
+    :data:`~repro.core.config.SIMILARITY_MEASURES` value).  The measure
+    owns the window arithmetic, the sketch score bounds, and the exact
+    verification formula, so two plans differing only in ``measure``
+    run the same stage *names* with different stage *math*.
     """
 
     prefilter: str
@@ -96,6 +104,7 @@ class QueryPlan:
     stages: tuple[PlanStage, ...]
     candidates: str = "scan"
     fanout: int = 1
+    measure: str = "jaccard"
 
     def stage(self, name: str) -> PlanStage | None:
         """The stage record for ``name``, or ``None`` if it is not run."""
@@ -115,6 +124,15 @@ class QueryPlan:
     def estimator(self) -> str:
         """What ``QueryResult.estimator`` reports for this plan."""
         return self.family if self.family is not None else "exact"
+
+    @property
+    def bound_type(self) -> str:
+        """The pruning-bound shape of the plan's measure.
+
+        ``"symmetric_window"`` (jaccard, cosine), ``"one_sided_window"``
+        (containment), or ``"mass_window"`` (weighted_jaccard).
+        """
+        return get_measure(self.measure).bound_type
 
     def describe(self) -> str:
         """A one-line human rendering of the stage pipeline.
@@ -140,6 +158,8 @@ class QueryPlan:
                 label = "lsh:audit"
             parts.append(f"{label}[{st.kernel}]")
         described = " -> ".join(parts)
+        if self.measure != "jaccard":
+            described = f"[{self.measure}] {described}"
         if self.fanout > 1:
             described += f" (x{self.fanout} shard fan-out)"
         return described
@@ -197,7 +217,25 @@ def compile_plan(
             f"query_candidates={candidates!r} needs the {LSH_FAMILY!r} "
             f"sketch family, but the store holds {tuple(store.families)}"
         )
-    uses_sketches = prefilter == "cascade" or candidates != "scan"
+    measure = config.similarity
+    if candidates == "lsh" and measure != "jaccard":
+        raise ConfigError(
+            "query_candidates='lsh' trusts the banded probe's recall, "
+            "which is calibrated for plain Jaccard collisions only; use "
+            "query_candidates='lsh_exact' (audited probe) or 'scan' with "
+            f"similarity={measure!r}"
+        )
+    wants_sketch = prefilter == "cascade"
+    if wants_sketch and measure == "weighted_jaccard":
+        # The plain families estimate unweighted J, which bounds nothing
+        # about J_w (no ordering either way) — a weighted cascade has a
+        # sketch stage only when the store holds the weighted-MinHash
+        # family, and only on the single-query path (the batched
+        # verify is a popcount Gram that a weighted plan skips anyway).
+        wants_sketch = (
+            not batched and WEIGHTED_MINHASH_FAMILY in store.families
+        )
+    uses_sketches = wants_sketch or candidates != "scan"
     if uses_sketches and config.sketch_seed != store.sketch_seed:
         raise StoreError(
             f"sketch_seed mismatch: the config says {config.sketch_seed} "
@@ -214,20 +252,38 @@ def compile_plan(
         stages.append(PlanStage("window", kernels["window"]))
     family: str | None = None
     bound: float | None = None
-    if prefilter == "cascade":
-        family = resolve_family(config.estimator, tuple(store.families))
+    if wants_sketch:
+        if measure == "weighted_jaccard":
+            family = WEIGHTED_MINHASH_FAMILY
+        else:
+            plain = tuple(
+                f for f in store.families if f != WEIGHTED_MINHASH_FAMILY
+            )
+            if not plain:
+                raise StoreError(
+                    "the cascade prefilter needs a plain sketch family, "
+                    f"but the store holds only {tuple(store.families)}"
+                )
+            family = resolve_family(config.estimator, plain)
         bound = sketch_error_bound(
             family, store.sketch_size, store.sketch_bits
         )
         stages.append(PlanStage("sketch", kernels["sketch"]))
     stages.append(PlanStage("verify", kernels["verify"]))
+    if measure == "weighted_jaccard":
+        # Mass verification needs per-value counts; the blocked popcount
+        # Gram only yields set intersections.
+        verify = "pairwise"
+    else:
+        verify = "blocked" if batched else "pairwise"
     return QueryPlan(
         prefilter=prefilter,
         family=family,
         error_bound=bound,
-        verify="blocked" if batched else "pairwise",
+        verify=verify,
         batched=batched,
         stages=tuple(stages),
         candidates=candidates,
         fanout=int(shards),
+        measure=measure,
     )

@@ -56,7 +56,18 @@ from repro.core.sketch import (
 from repro.runtime.engine import Machine
 from repro.runtime.executor import SequentialExecutor
 from repro.runtime.machine import laptop
-from repro.service.cache import CacheStats, QueryCache, result_cache_key
+from repro.semantics.measures import get_measure
+from repro.semantics.weighted import coerce_counts
+from repro.semantics.wminhash import (
+    WEIGHTED_MINHASH_FAMILY,
+    WeightedMinHashSketch,
+)
+from repro.service.cache import (
+    CacheStats,
+    QueryCache,
+    counts_cache_digest,
+    result_cache_key,
+)
 from repro.service.errors import ConfigError, QueryError
 from repro.service.plan import QueryPlan, compile_plan, resolve_family
 from repro.service.sharded import ShardedStore
@@ -163,6 +174,12 @@ class QueryResult:
     #: from (1 = the single-query path).  Excluded from equality so a
     #: batched answer compares equal to its per-query twin.
     batch_size: int = field(default=1, compare=False)
+    #: The similarity semantics the scores were computed under (a
+    #: :data:`~repro.core.config.SIMILARITY_MEASURES` value) and the
+    #: shape of its pruning bound (``"symmetric_window"``,
+    #: ``"one_sided_window"``, or ``"mass_window"``).
+    similarity_measure: str = "jaccard"
+    bound_type: str = "symmetric_window"
 
     @property
     def n_verified(self) -> int:
@@ -196,6 +213,7 @@ class QueryResult:
         )
         lines = [
             f"query [{' '.join(what)}]: {len(self.matches)} match(es), "
+            f"measure={self.similarity_measure} ({self.bound_type}), "
             f"prefilter={self.prefilter} candidates={self.candidates} "
             f"estimator={self.estimator}{bound}",
             f"cascade: {self.n_candidates} candidate(s) -> {lsh}"
@@ -264,6 +282,7 @@ class SimilarityIndex:
         self._cached_version: int | None = None
         self._payloads: dict[str, list[np.ndarray]] = {}
         self._values: dict[int, np.ndarray] = {}
+        self._counts: dict[int, np.ndarray] = {}
 
     # ---- configuration ------------------------------------------------
 
@@ -293,13 +312,23 @@ class SimilarityIndex:
         name: str | None = None,
         threshold: float | None = None,
         top_k: int | None = None,
+        counts=None,
     ) -> QueryResult:
-        """Query by values or by the name of an indexed genome."""
+        """Query by values or by the name of an indexed genome.
+
+        ``counts`` (aligned per-value abundances) only matters under
+        ``similarity="weighted_jaccard"``; name queries load the
+        genome's stored counts automatically.
+        """
         if (values is None) == (name is None):
             raise QueryError("pass exactly one of values or name")
         if name is not None:
+            if counts is not None:
+                raise QueryError("counts only apply to value queries")
             return self.query_name(name, threshold=threshold, top_k=top_k)
-        return self.query_values(values, threshold=threshold, top_k=top_k)
+        return self.query_values(
+            values, threshold=threshold, top_k=top_k, counts=counts
+        )
 
     def query_name(
         self,
@@ -308,11 +337,15 @@ class SimilarityIndex:
         top_k: int | None = None,
     ) -> QueryResult:
         """Query an indexed genome against the rest of the index."""
+        counts = None
+        if self.config.similarity == "weighted_jaccard":
+            counts = self.store.load_counts(name)
         return self.query_values(
             self.store.load_values(name),
             threshold=threshold,
             top_k=top_k,
             exclude_name=name,
+            counts=counts,
         )
 
     def query_values(
@@ -321,9 +354,13 @@ class SimilarityIndex:
         threshold: float | None = None,
         top_k: int | None = None,
         exclude_name: str | None = None,
+        counts=None,
     ) -> QueryResult:
         """Run the cascade for one query set of attribute values."""
-        vals = _as_values(values)
+        if counts is not None:
+            vals, q_counts = coerce_counts(values, counts)
+        else:
+            vals, q_counts = _as_values(values), None
         if vals.size and (vals[0] < 0 or vals[-1] >= self.store.m):
             raise QueryError(
                 f"query values outside [0, {self.store.m})"
@@ -340,13 +377,21 @@ class SimilarityIndex:
         key = result_cache_key(
             vals, threshold, top_k, plan.prefilter, plan.family,
             plan.candidates, exclude_name, self.store.version,
+            similarity=plan.measure,
+            counts_digest=(
+                counts_cache_digest(q_counts)
+                if plan.measure == "weighted_jaccard"
+                else None
+            ),
         )
         cached = self.cache.get(key)
         if cached is not None:
             return replace(
                 cached, from_cache=True, cache_stats=self.cache.stats
             )
-        result = self._run_cascade(vals, threshold, top_k, plan, exclude_name)
+        result = self._run_cascade(
+            vals, threshold, top_k, plan, exclude_name, q_counts
+        )
         self.cache.put(key, result)
         return replace(result, cache_stats=self.cache.stats)
 
@@ -359,13 +404,23 @@ class SimilarityIndex:
         top_k: int | None,
         plan: QueryPlan,
         exclude_name: str | None,
+        q_counts: np.ndarray | None = None,
     ) -> QueryResult:
         machine = self.machine
         serving = machine.world.sub([self.serving_rank])
         family = plan.family
         bound = plan.error_bound
+        measure = get_measure(plan.measure)
         names = self.store.names
         sizes = self.store.sizes()
+        # The window prunes on the measure's extent: support sizes for
+        # the set measures, total k-mer masses for weighted Jaccard.
+        extents = (
+            np.asarray(self.store.masses(), dtype=np.int64)
+            if measure.weighted
+            else sizes
+        )
+        q_extent = measure.extent(vals, q_counts)
         cand = np.arange(len(names), dtype=np.int64)
         if exclude_name is not None and exclude_name in names:
             # Absence is fine: in a sharded fan-out the excluded
@@ -390,7 +445,10 @@ class SimilarityIndex:
                 if plan.candidates == "lsh":
                     cand = hits
 
-            # Stage 1: the exact size-ratio bound (needs a threshold).
+            # Stage 1: the measure's exact extent window (needs a
+            # threshold).  Jaccard/cosine: the two-sided size-ratio
+            # window; containment: the one-sided lower bound;
+            # weighted: the two-sided mass-ratio window.
             if (
                 threshold is not None
                 and plan.stage("window") is not None
@@ -399,36 +457,71 @@ class SimilarityIndex:
                 serving.charge_compute(
                     float(cand.size), kernel=plan.kernel("window")
                 )
-                cand = cand[
-                    size_ratio_mask(sizes[cand], int(vals.size), threshold)
-                ]
+                w_lo, w_hi = measure.window(q_extent, threshold)
+                ext = extents[cand]
+                cand = cand[(ext >= w_lo) & (ext <= w_hi)]
             n_after_size = int(cand.size)
 
             # Stage 2: the sketch prefilter (conservative at 95%).
+            # Plain families estimate J and the measure transforms the
+            # estimate band into score bounds; the weighted family
+            # estimates J_w directly.
             if family is not None and cand.size:
-                est = self._sketch_estimates(vals, cand, sizes, family)
+                if family == WEIGHTED_MINHASH_FAMILY:
+                    est = self._wminhash_estimates(vals, q_counts, cand)
+                else:
+                    est = self._sketch_estimates(vals, cand, sizes, family)
                 serving.charge_compute(
                     float(cand.size) * self.store.sketch_size,
                     kernel=plan.kernel("sketch"),
                 )
+                s_lo, s_hi = measure.sketch_score_bounds(
+                    est, bound, int(vals.size), sizes[cand]
+                )
                 if threshold is not None:
-                    keep = est + bound >= threshold - _EPS
-                    cand, est = cand[keep], est[keep]
+                    keep = s_hi >= threshold - _EPS
+                    cand, s_lo, s_hi = cand[keep], s_lo[keep], s_hi[keep]
                 if top_k is not None and cand.size > top_k:
-                    lower = est - bound
-                    kth = np.partition(lower, -top_k)[-top_k]
-                    keep = est + bound >= kth - _EPS
-                    cand, est = cand[keep], est[keep]
+                    kth = np.partition(s_lo, -top_k)[-top_k]
+                    keep = s_hi >= kth - _EPS
+                    cand = cand[keep]
             n_after_sketch = int(cand.size)
 
             # Stage 3: exact verification of the survivors.
-            sims = np.array(
-                [
-                    exact_jaccard(vals, self._genome_values(int(i)))
-                    for i in cand
-                ],
-                dtype=np.float64,
-            )
+            if measure.weighted:
+                qc = (
+                    q_counts
+                    if q_counts is not None
+                    else np.ones(vals.size, dtype=np.int64)
+                )
+                sims = np.array(
+                    [
+                        measure.exact_pair(
+                            vals,
+                            self._genome_values(int(i)),
+                            qc,
+                            self._genome_counts(int(i)),
+                        )
+                        for i in cand
+                    ],
+                    dtype=np.float64,
+                )
+            elif plan.measure == "jaccard":
+                sims = np.array(
+                    [
+                        exact_jaccard(vals, self._genome_values(int(i)))
+                        for i in cand
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                sims = np.array(
+                    [
+                        measure.exact_pair(vals, self._genome_values(int(i)))
+                        for i in cand
+                    ],
+                    dtype=np.float64,
+                )
             if cand.size:
                 serving.charge_compute(
                     float(vals.size * cand.size + sizes[cand].sum()),
@@ -461,6 +554,8 @@ class SimilarityIndex:
             simulated_seconds=cost.simulated_seconds,
             candidates=plan.candidates,
             n_after_lsh=n_after_lsh,
+            similarity_measure=plan.measure,
+            bound_type=plan.bound_type,
         )
 
     # ---- sketch estimation ----------------------------------------------
@@ -469,6 +564,7 @@ class SimilarityIndex:
         if self._cached_version != self.store.version:
             self._payloads.clear()
             self._values.clear()
+            self._counts.clear()
             self._cached_version = self.store.version
 
     def _genome_values(self, index: int) -> np.ndarray:
@@ -478,6 +574,14 @@ class SimilarityIndex:
                 self.store.names[index]
             )
         return self._values[index]
+
+    def _genome_counts(self, index: int) -> np.ndarray:
+        self._refresh()
+        if index not in self._counts:
+            self._counts[index] = self.store.load_counts(
+                self.store.names[index]
+            )
+        return self._counts[index]
 
     def _family_payloads(self, family: str) -> list[np.ndarray]:
         self._refresh()
@@ -519,6 +623,30 @@ class SimilarityIndex:
             vals, cand, sizes, self._family_payloads(family), family,
             store.sketch_size, store.sketch_bits, store.sketch_seed,
         )
+
+    def _wminhash_estimates(
+        self,
+        vals: np.ndarray,
+        q_counts: np.ndarray | None,
+        cand: np.ndarray,
+    ) -> np.ndarray:
+        """Per-candidate J_w estimates from stored weighted sketches."""
+        store = self.store
+        qsk = WeightedMinHashSketch(
+            size=store.sketch_size, seed=store.sketch_seed
+        )
+        if vals.size:
+            qsk.update(vals, q_counts)
+        payloads = self._family_payloads(WEIGHTED_MINHASH_FAMILY)
+        out = np.empty(cand.size, dtype=np.float64)
+        for j, i in enumerate(cand):
+            csk = WeightedMinHashSketch(
+                size=store.sketch_size,
+                seed=store.sketch_seed,
+                hashes=payloads[int(i)],
+            )
+            out[j] = qsk.jaccard(csk)
+        return out
 
 
 # ---- sketch estimation (shared by the single and batched paths) -----------
@@ -632,6 +760,8 @@ def merge_shard_results(
         candidates=plan.candidates,
         n_after_lsh=sum(lsh_counts) if lsh_counts else None,
         batch_size=batch_size,
+        similarity_measure=plan.measure,
+        bound_type=plan.bound_type,
     )
 
 
@@ -721,13 +851,18 @@ class ShardedSimilarityIndex:
         name: str | None = None,
         threshold: float | None = None,
         top_k: int | None = None,
+        counts=None,
     ) -> QueryResult:
         """Query by values or by the name of an indexed genome."""
         if (values is None) == (name is None):
             raise QueryError("pass exactly one of values or name")
         if name is not None:
+            if counts is not None:
+                raise QueryError("counts only apply to value queries")
             return self.query_name(name, threshold=threshold, top_k=top_k)
-        return self.query_values(values, threshold=threshold, top_k=top_k)
+        return self.query_values(
+            values, threshold=threshold, top_k=top_k, counts=counts
+        )
 
     def query_name(
         self,
@@ -735,11 +870,15 @@ class ShardedSimilarityIndex:
         threshold: float | None = None,
         top_k: int | None = None,
     ) -> QueryResult:
+        counts = None
+        if self.config.similarity == "weighted_jaccard":
+            counts = self.store.load_counts(name)
         return self.query_values(
             self.store.load_values(name),
             threshold=threshold,
             top_k=top_k,
             exclude_name=name,
+            counts=counts,
         )
 
     def query_values(
@@ -748,9 +887,13 @@ class ShardedSimilarityIndex:
         threshold: float | None = None,
         top_k: int | None = None,
         exclude_name: str | None = None,
+        counts=None,
     ) -> QueryResult:
         """Fan the cascade out over the overlapping size bands."""
-        vals = _as_values(values)
+        if counts is not None:
+            vals, q_counts = coerce_counts(values, counts)
+        else:
+            vals, q_counts = _as_values(values), None
         if vals.size and (vals[0] < 0 or vals[-1] >= self.store.m):
             raise QueryError(
                 f"query values outside [0, {self.store.m})"
@@ -768,6 +911,12 @@ class ShardedSimilarityIndex:
             vals, threshold, top_k, plan.prefilter, plan.family,
             plan.candidates, exclude_name, self.store.version,
             topology=self.store.topology(),
+            similarity=plan.measure,
+            counts_digest=(
+                counts_cache_digest(q_counts)
+                if plan.measure == "weighted_jaccard"
+                else None
+            ),
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -775,7 +924,9 @@ class ShardedSimilarityIndex:
                 cached, from_cache=True, cache_stats=self.cache.stats
             )
         with self.store._lock:
-            result = self._fan_out(vals, threshold, top_k, plan, exclude_name)
+            result = self._fan_out(
+                vals, threshold, top_k, plan, exclude_name, q_counts
+            )
         self.cache.put(key, result)
         return replace(result, cache_stats=self.cache.stats)
 
@@ -788,19 +939,30 @@ class ShardedSimilarityIndex:
         top_k: int | None,
         plan: QueryPlan,
         exclude_name: str | None,
+        q_counts: np.ndarray | None = None,
     ) -> QueryResult:
         machine = self.machine
         before = machine.ledger.snapshot()
+        measure = get_measure(plan.measure)
         if (
             threshold is not None
             and threshold > 0.0
             and plan.stage("window") is not None
+            and not measure.weighted
         ):
-            lo, hi = size_ratio_window(int(vals.size), threshold)
-            b_lo, b_hi = self.store.band_range(lo, hi)
+            # The measure's extent window maps onto the band edges:
+            # jaccard/cosine select a contiguous band range, and the
+            # containment window is one-sided, so every band from the
+            # lower edge up is consulted.  Shards band by *support*
+            # size, about which weighted Jaccard admits no bound (a
+            # single huge-count value can dominate the mass), so
+            # weighted queries consult every band.
+            w_lo, w_hi = measure.window(int(vals.size), threshold)
+            b_lo, b_hi = self.store.band_range(w_lo, w_hi)
             bands = list(range(b_lo, b_hi + 1))
         else:
-            # Top-k-only (or unwindowed) queries can match any size.
+            # Top-k-only (or unwindowed, or weighted) queries can
+            # match in any band.
             bands = list(range(self.store.n_shards))
         with machine.phase("query"):
             # Band selection: one comparison per band edge, on rank 0.
@@ -814,6 +976,7 @@ class ShardedSimilarityIndex:
                     threshold=threshold,
                     top_k=top_k,
                     exclude_name=exclude_name,
+                    counts=q_counts,
                 ),
                 bands,
             )

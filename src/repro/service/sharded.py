@@ -76,6 +76,7 @@ from repro.service.store import (
     GenomeEntry,
     IndexStore,
     _as_values,
+    _normalize_item,
 )
 
 __all__ = [
@@ -453,6 +454,18 @@ class ShardedStore:
         """Live name -> global insertion position (merge tie-break)."""
         return {name: i for i, name in enumerate(self.names)}
 
+    def masses(self) -> np.ndarray:
+        """Total k-mer masses, in global insertion order."""
+        by_name = {
+            e.name: e.total_mass
+            for shard in self.shards
+            for e in shard.live_entries
+        }
+        return np.array(
+            [by_name[g.name] for g in self.genomes if not g.removed],
+            dtype=np.int64,
+        )
+
     def load_values(self, name: str) -> np.ndarray:
         return self.shards[self._entry(name).band].load_values(name)
 
@@ -460,6 +473,9 @@ class ShardedStore:
         return self.shards[self._entry(name).band].load_sketch_payload(
             name, family
         )
+
+    def load_counts(self, name: str) -> np.ndarray:
+        return self.shards[self._entry(name).band].load_counts(name)
 
     def total_bytes(self) -> int:
         return sum(shard.total_bytes() for shard in self.shards)
@@ -487,45 +503,48 @@ class ShardedStore:
         return self.append_many([(name, values)])[0]
 
     def append_many(self, named_values) -> list[GenomeEntry]:
-        """Route a batch to its bands; one two-level transaction.
+        """Route a batch of ``(name, values[, counts])`` to its bands.
 
-        Validation (unique names store-wide, in-range values) happens
-        before any band is touched; the top-level genome list records
-        the batch in input order, whatever bands it scattered to.
+        One two-level transaction.  Validation (unique names
+        store-wide, in-range values) happens before any band is
+        touched; the top-level genome list records the batch in input
+        order, whatever bands it scattered to.  Band routing is by
+        support size regardless of counts — the abundance mass rides
+        along inside the owning band's shard records.
         """
         with self._lock:
-            clean: list[tuple[str, np.ndarray]] = []
+            clean: list[tuple[str, np.ndarray, np.ndarray | None]] = []
             seen = set(self.names)
-            for name, values in named_values:
+            for item in named_values:
+                name, vals, cnts = _normalize_item(item)
                 if name in seen:
                     raise StoreError(f"genome {name!r} already present")
                 seen.add(name)
-                vals = _as_values(values)
                 if vals.size and (vals[0] < 0 or vals[-1] >= self.m):
                     raise StoreError(
                         f"genome {name!r} has values outside [0, {self.m})"
                     )
-                clean.append((name, vals))
+                clean.append((name, vals, cnts))
             if not clean:
                 return []
             by_name: dict[str, GenomeEntry] = {}
             with self._mutation():
                 bands = sorted(
-                    {self.band_of(v.size) for _, v in clean}
+                    {self.band_of(v.size) for _, v, _ in clean}
                 )
                 for band in bands:
                     group = [
-                        (n, v)
-                        for n, v in clean
-                        if self.band_of(v.size) == band
+                        item
+                        for item in clean
+                        if self.band_of(item[1].size) == band
                     ]
                     for entry in self.shards[band].append_many(group):
                         by_name[entry.name] = entry
                 self.genomes.extend(
                     ShardedEntry(name=n, band=self.band_of(v.size))
-                    for n, v in clean
+                    for n, v, _ in clean
                 )
-            return [by_name[n] for n, _ in clean]
+            return [by_name[n] for n, _, _ in clean]
 
     def remove(self, name: str) -> None:
         """Tombstone a genome in its band and the top-level list."""

@@ -71,6 +71,11 @@ import numpy as np
 
 from repro.core.sketch import SKETCH_ESTIMATORS, make_sketch, unpack_lanes
 from repro.runtime.codec import WIRE_CODECS, decode_frame, encode_frame
+from repro.semantics.weighted import coerce_counts
+from repro.semantics.wminhash import (
+    WEIGHTED_MINHASH_FAMILY,
+    WeightedMinHashSketch,
+)
 from repro.service.errors import StoreError
 from repro.service.lsh import LSHTable, plan_bands
 
@@ -88,6 +93,11 @@ GRAM_NAME = "gram.bin"
 #: The sketch family whose stored lane fingerprints the banded LSH
 #: table (:mod:`repro.service.lsh`) is built over.
 LSH_FAMILY = "bbit_minhash"
+
+#: Families a store may persist: the core sketch estimators plus the
+#: opt-in weighted-MinHash family (built from abundance counts at
+#: append time; see :mod:`repro.semantics.wminhash`).
+STORE_FAMILIES = SKETCH_ESTIMATORS + (WEIGHTED_MINHASH_FAMILY,)
 
 #: On-disk layout revision of the store itself (not the store version).
 FORMAT_VERSION = 1
@@ -187,14 +197,45 @@ def _as_values(values) -> np.ndarray:
     return np.unique(arr)
 
 
+def _normalize_item(item) -> tuple[str, np.ndarray, np.ndarray | None]:
+    """Normalize one append item: ``(name, values[, counts])``.
+
+    Returns ``(name, sorted unique values, counts | None)``; counts
+    that carry no multiplicity (all 1) normalize to ``None`` so the
+    on-disk layout of unweighted appends never changes.
+    """
+    name, values, *rest = item
+    counts = rest[0] if rest else None
+    if counts is None:
+        return name, _as_values(values), None
+    vals, cnts = coerce_counts(values, counts)
+    if not bool((cnts > 1).any()):
+        return name, vals, None
+    return name, vals, cnts
+
+
 @dataclass
 class GenomeEntry:
-    """One genome's manifest record."""
+    """One genome's manifest record.
+
+    ``mass`` is the total k-mer abundance (``sum`` of the stored
+    counts); ``None`` — and every manifest written before counts
+    existed — means "no abundance stored", in which case the mass
+    equals the support size ``n_values``.  The invariant the readers
+    rely on: a counts record exists on disk iff
+    ``total_mass != n_values``.
+    """
 
     name: str
     shard: str
     n_values: int
     removed: bool = False
+    mass: int | None = None
+
+    @property
+    def total_mass(self) -> int:
+        """Total abundance; the support size when no counts are stored."""
+        return self.n_values if self.mass is None else self.mass
 
     def to_json(self) -> dict:
         return {
@@ -202,6 +243,7 @@ class GenomeEntry:
             "shard": self.shard,
             "n_values": self.n_values,
             "removed": self.removed,
+            "mass": self.total_mass,
         }
 
     @classmethod
@@ -211,6 +253,7 @@ class GenomeEntry:
             shard=str(data["shard"]),
             n_values=int(data["n_values"]),
             removed=bool(data["removed"]),
+            mass=int(data.get("mass", data["n_values"])),
         )
 
 
@@ -293,9 +336,9 @@ class IndexStore:
             )
         families = tuple(families)
         for fam in families:
-            if fam not in SKETCH_ESTIMATORS:
+            if fam not in STORE_FAMILIES:
                 raise StoreError(
-                    f"sketch family must be one of {SKETCH_ESTIMATORS}, "
+                    f"sketch family must be one of {STORE_FAMILIES}, "
                     f"got {fam!r}"
                 )
         if not families:
@@ -557,6 +600,16 @@ class IndexStore:
             [e.n_values for e in self.live_entries], dtype=np.int64
         )
 
+    def masses(self) -> np.ndarray:
+        """Total k-mer masses of the live genomes, in order.
+
+        Read straight off the manifest (no shard I/O); equals
+        :meth:`sizes` for genomes stored without abundance counts.
+        """
+        return np.array(
+            [e.total_mass for e in self.live_entries], dtype=np.int64
+        )
+
     def _entry(self, name: str) -> GenomeEntry:
         for e in self.entries:
             if e.name == name and not e.removed:
@@ -584,6 +637,9 @@ class IndexStore:
                 _sizes=np.array(
                     [e.n_values for e in live], dtype=np.int64
                 ),
+                _masses=np.array(
+                    [e.total_mass for e in live], dtype=np.int64
+                ),
                 sketch_size=self.sketch_size,
                 sketch_bits=self.sketch_bits,
                 sketch_seed=self.sketch_seed,
@@ -604,7 +660,7 @@ class IndexStore:
         return self.append_many([(name, values)])[0]
 
     def append_many(self, named_values) -> list[GenomeEntry]:
-        """Persist a batch of ``(name, values)`` pairs as one mutation.
+        """Persist a batch of ``(name, values[, counts])`` items.
 
         The whole batch is validated (unique names, in-range values)
         before any shard is written, so a bad genome anywhere in the
@@ -612,20 +668,27 @@ class IndexStore:
         with a single version bump.  The store lock is held throughout,
         so a concurrent :meth:`snapshot` sees either none or all of the
         batch.
+
+        An optional third element carries per-value abundance counts
+        (the weighted-Jaccard inputs); counts with real multiplicity
+        are persisted as one extra record *after* the sketch records,
+        and the entry's ``mass`` records their sum.  Items without
+        counts (or with all-ones counts) produce byte-identical shards
+        to the pre-counts layout.
         """
         with self._lock:
-            clean: list[tuple[str, np.ndarray]] = []
+            clean: list[tuple[str, np.ndarray, np.ndarray | None]] = []
             seen = {e.name for e in self.entries if not e.removed}
-            for name, values in named_values:
+            for item in named_values:
+                name, vals, cnts = _normalize_item(item)
                 if name in seen:
                     raise StoreError(f"genome {name!r} already present")
                 seen.add(name)
-                vals = _as_values(values)
                 if vals.size and (vals[0] < 0 or vals[-1] >= self.m):
                     raise StoreError(
                         f"genome {name!r} has values outside [0, {self.m})"
                     )
-                clean.append((name, vals))
+                clean.append((name, vals, cnts))
             if not clean:
                 return []
             if self.has_lsh:
@@ -633,9 +696,16 @@ class IndexStore:
             with self._mutation() as stale:
                 new_entries = []
                 new_fps: list[np.ndarray] = []
-                for name, vals in clean:
+                for name, vals, cnts in clean:
                     payloads: list = [vals]
                     for fam in self.families:
+                        if fam == WEIGHTED_MINHASH_FAMILY:
+                            wsk = WeightedMinHashSketch(
+                                size=self.sketch_size, seed=self.sketch_seed
+                            )
+                            wsk.update(vals, cnts)
+                            payloads.append(wsk.hashes)
+                            continue
                         sk = make_sketch(
                             fam, self.sketch_size, self.sketch_bits,
                             self.sketch_seed,
@@ -644,10 +714,16 @@ class IndexStore:
                         if fam == LSH_FAMILY:
                             new_fps.append(sk.fingerprints())
                         payloads.append(self._sketch_payload(fam, sk))
+                    if cnts is not None:
+                        payloads.append(cnts)
                     shard = f"{SHARD_DIR}/{self.next_shard:06d}.bin"
                     write_records(self.root / shard, payloads, self.codec)
                     entry = GenomeEntry(
-                        name=name, shard=shard, n_values=int(vals.size)
+                        name=name, shard=shard, n_values=int(vals.size),
+                        mass=(
+                            int(cnts.sum()) if cnts is not None
+                            else int(vals.size)
+                        ),
                     )
                     self.entries.append(entry)
                     self.next_shard += 1
@@ -660,7 +736,7 @@ class IndexStore:
 
     @staticmethod
     def _sketch_payload(family: str, sketch) -> np.ndarray:
-        if family == "minhash":
+        if family in ("minhash", WEIGHTED_MINHASH_FAMILY):
             return sketch.hashes
         if family == "bbit_minhash":
             return sketch.packed()
@@ -682,6 +758,20 @@ class IndexStore:
             )
         idx = 1 + self.families.index(family)
         return read_record(self.root / self._entry(name).shard, idx)
+
+    def load_counts(self, name: str) -> np.ndarray:
+        """A genome's abundance counts, aligned with :meth:`load_values`.
+
+        Genomes stored without counts (``total_mass == n_values``)
+        return all-ones without touching disk; otherwise the counts
+        record (the one after the sketch records) is decoded.
+        """
+        entry = self._entry(name)
+        if entry.total_mass == entry.n_values:
+            return np.ones(entry.n_values, dtype=np.int64)
+        return read_record(
+            self.root / entry.shard, 1 + len(self.families)
+        )
 
     def remove(self, name: str) -> None:
         """Tombstone a genome; its Gram row/column is dropped exactly.
@@ -837,8 +927,12 @@ class StoreSnapshot:
     #: are immutable value objects, so the snapshot stays frozen while
     #: the store's own table moves on.
     lsh: "LSHTable | None" = None
+    #: Per-genome total masses; ``None`` (pre-counts constructions)
+    #: means every mass equals its support size.
+    _masses: np.ndarray | None = None
     _values: dict = field(default_factory=dict, repr=False, compare=False)
     _payloads: dict = field(default_factory=dict, repr=False, compare=False)
+    _counts: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def n_genomes(self) -> int:
@@ -846,6 +940,9 @@ class StoreSnapshot:
 
     def sizes(self) -> np.ndarray:
         return self._sizes
+
+    def masses(self) -> np.ndarray:
+        return self._sizes if self._masses is None else self._masses
 
     def _shard(self, name: str) -> Path:
         try:
@@ -870,3 +967,23 @@ class StoreSnapshot:
             idx = 1 + self.families.index(family)
             self._payloads[key] = read_record(self._shard(name), idx)
         return self._payloads[key]
+
+    def load_counts(self, name: str) -> np.ndarray:
+        """Abundance counts aligned with :meth:`load_values` (see
+        :meth:`IndexStore.load_counts`)."""
+        if name not in self._counts:
+            try:
+                i = self.names.index(name)
+            except ValueError:
+                raise KeyError(
+                    f"unknown genome {name!r} at version {self.version}"
+                ) from None
+            if int(self.masses()[i]) == int(self._sizes[i]):
+                self._counts[name] = np.ones(
+                    int(self._sizes[i]), dtype=np.int64
+                )
+            else:
+                self._counts[name] = read_record(
+                    self._shard(name), 1 + len(self.families)
+                )
+        return self._counts[name]

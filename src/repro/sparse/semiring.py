@@ -89,6 +89,15 @@ MAX_TIMES = Semiring("max-times", MAX, lambda a, b: a * b, 1.0)
 #: (+, popcount(and)) on packed words — the Eq. 7 Jaccard kernel.
 POPCOUNT_AND = Semiring("popcount-and", SUM, _popcount_and, 2.0)
 
+#: (+, min) over aligned abundance vectors — the weighted-Jaccard
+#: numerator ``sum_v min(a_v, b_v)`` (multiset intersection mass).
+SUM_MIN = Semiring("sum-min", SUM, lambda a, b: np.minimum(a, b), 1.0)
+
+#: (+, max) over aligned abundance vectors — the weighted-Jaccard
+#: denominator ``sum_v max(a_v, b_v)`` (multiset union mass).
+SUM_MAX = Semiring("sum-max", SUM, lambda a, b: np.maximum(a, b), 1.0)
+
 ALL_SEMIRINGS: dict[str, Semiring] = {
-    s.name: s for s in (ARITHMETIC, BOOLEAN, MAX_TIMES, POPCOUNT_AND)
+    s.name: s
+    for s in (ARITHMETIC, BOOLEAN, MAX_TIMES, POPCOUNT_AND, SUM_MIN, SUM_MAX)
 }

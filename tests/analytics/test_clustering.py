@@ -151,3 +151,100 @@ class TestOutliers:
     def test_k_validated(self, two_groups):
         with pytest.raises(ValueError, match="k_neighbors"):
             proximity_outliers(two_groups, k_neighbors=0)
+
+
+class TestThresholdClusterMeasures:
+    """threshold_clusters under non-default similarity measures."""
+
+    def _brute(self, samples, t, measure, counts=None):
+        from itertools import combinations
+
+        from repro.semantics import get_measure
+
+        m = get_measure(measure)
+        arrays = [np.array(sorted(s), dtype=np.int64) for s in samples]
+        n = len(arrays)
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in combinations(range(n), 2):
+            ci = counts[i] if counts is not None else None
+            cj = counts[j] if counts is not None else None
+            s = m.exact_pair(arrays[i], arrays[j], ci, cj)
+            if measure == "containment":
+                s = max(s, m.exact_pair(arrays[j], arrays[i]))
+            if s >= t and find(i) != find(j):
+                parent[find(j)] = find(i)
+        labels, nxt, out = {}, 0, []
+        for i in range(n):
+            r = find(i)
+            if r not in labels:
+                labels[r] = nxt
+                nxt += 1
+            out.append(labels[r])
+        return out
+
+    @pytest.mark.parametrize(
+        "measure", ["jaccard", "containment", "cosine"]
+    )
+    def test_measures_match_brute_force(self, measure):
+        rng = np.random.default_rng(5)
+        samples = [
+            set(rng.integers(0, 30, size=rng.integers(2, 15)).tolist())
+            for _ in range(18)
+        ]
+        for t in (0.2, 0.5, 0.8):
+            got = threshold_clusters(samples, t, similarity=measure)
+            assert list(got) == self._brute(samples, t, measure)
+
+    def test_weighted_with_counts_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        samples = [
+            np.unique(rng.integers(0, 30, size=rng.integers(2, 15)))
+            for _ in range(15)
+        ]
+        counts = [
+            rng.integers(1, 5, size=s.size).astype(np.int64)
+            for s in samples
+        ]
+        for t in (0.3, 0.6):
+            got = threshold_clusters(
+                samples, t, similarity="weighted_jaccard", counts=counts
+            )
+            assert list(got) == self._brute(
+                samples, t, "weighted_jaccard", counts
+            )
+
+    def test_containment_links_subset_to_superset(self):
+        # A tiny sample inside a huge one: jaccard separates them,
+        # containment's either-direction edge joins them.
+        samples = [{1, 2}, set(range(1, 200))]
+        j = threshold_clusters(samples, 0.9, similarity="jaccard")
+        c = threshold_clusters(samples, 0.9, similarity="containment")
+        assert j[0] != j[1]
+        assert c[0] == c[1]
+
+    def test_lsh_requires_jaccard(self):
+        samples = [{1, 2}, {2, 3}]
+        for mode in ("lsh", "lsh_exact"):
+            with pytest.raises(ValueError, match="plain Jaccard"):
+                threshold_clusters(
+                    samples, 0.5, candidates=mode, similarity="cosine"
+                )
+
+    def test_counts_validated(self):
+        samples = [{1, 2}, {2, 3}]
+        with pytest.raises(ValueError, match="weighted_jaccard"):
+            threshold_clusters(
+                samples, 0.5, counts=[np.ones(2, dtype=np.int64)] * 2
+            )
+        with pytest.raises(ValueError, match="counts vectors"):
+            threshold_clusters(
+                samples, 0.5, similarity="weighted_jaccard",
+                counts=[np.ones(2, dtype=np.int64)],
+            )

@@ -1,0 +1,170 @@
+"""Property tests of the similarity-measure registry (repro.semantics).
+
+Each measure's exact scoring, pruning window, and sketch-bound
+transform are checked against independent set-arithmetic references;
+the empty-set conventions and containment's asymmetry are pinned.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SIMILARITY_MEASURES
+from repro.semantics import MEASURES, get_measure
+from repro.semantics.weighted import coerce_counts
+
+sets_st = st.sets(st.integers(min_value=0, max_value=60), max_size=25)
+thresholds_st = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def ref_score(measure: str, a: set, b: set) -> float:
+    """Set-arithmetic reference of every unweighted measure."""
+    i = len(a & b)
+    if measure == "jaccard":
+        u = len(a | b)
+        return 1.0 if u == 0 else i / u
+    if measure == "containment":
+        return 1.0 if not a else i / len(a)
+    if measure == "cosine":
+        if not a and not b:
+            return 1.0
+        if not a or not b:
+            return 0.0
+        return i / math.sqrt(len(a) * len(b))
+    raise AssertionError(measure)
+
+
+def as_array(s: set) -> np.ndarray:
+    return np.array(sorted(s), dtype=np.int64)
+
+
+def test_registry_matches_config():
+    assert tuple(MEASURES) == SIMILARITY_MEASURES
+    for name in SIMILARITY_MEASURES:
+        assert get_measure(name).name == name
+
+
+def test_unknown_measure_rejected():
+    with pytest.raises(ValueError, match="similarity must be one of"):
+        get_measure("dice")
+
+
+def test_bound_types():
+    assert get_measure("jaccard").bound_type == "symmetric_window"
+    assert get_measure("cosine").bound_type == "symmetric_window"
+    assert get_measure("containment").bound_type == "one_sided_window"
+    assert get_measure("weighted_jaccard").bound_type == "mass_window"
+
+
+@pytest.mark.parametrize("measure", ["jaccard", "containment", "cosine"])
+@given(a=sets_st, b=sets_st)
+@settings(max_examples=60, deadline=None)
+def test_exact_pair_matches_reference(measure, a, b):
+    got = get_measure(measure).exact_pair(as_array(a), as_array(b))
+    assert got == pytest.approx(ref_score(measure, a, b), abs=1e-12)
+    assert 0.0 <= got <= 1.0
+
+
+@given(a=sets_st, b=sets_st)
+@settings(max_examples=60, deadline=None)
+def test_symmetric_measures_are_symmetric(a, b):
+    for name in ("jaccard", "cosine"):
+        m = get_measure(name)
+        assert m.exact_pair(as_array(a), as_array(b)) == pytest.approx(
+            m.exact_pair(as_array(b), as_array(a)), abs=1e-12
+        )
+
+
+def test_containment_asymmetry_pinned():
+    q = np.array([1, 2, 3, 4], dtype=np.int64)
+    c = np.array([3, 4, 5, 6, 7, 8], dtype=np.int64)
+    m = get_measure("containment")
+    assert m.exact_pair(q, c) == pytest.approx(0.5)
+    assert m.exact_pair(c, q) == pytest.approx(1 / 3)
+
+
+def test_empty_set_conventions():
+    empty = np.empty(0, dtype=np.int64)
+    full = np.array([1, 2], dtype=np.int64)
+    for name in SIMILARITY_MEASURES:
+        m = get_measure(name)
+        assert m.exact_pair(empty, empty) == 1.0
+        if name == "containment":
+            # The empty query is contained in everything.
+            assert m.exact_pair(empty, full) == 1.0
+        else:
+            assert m.exact_pair(empty, full) == 0.0
+        assert m.exact_pair(full, empty) == 0.0
+
+
+@pytest.mark.parametrize("measure", ["jaccard", "containment", "cosine"])
+@given(a=sets_st, b=sets_st, threshold=thresholds_st)
+@settings(max_examples=60, deadline=None)
+def test_window_is_sound(measure, a, b, threshold):
+    """Any pair scoring >= t has the candidate extent inside the window."""
+    m = get_measure(measure)
+    score = ref_score(measure, a, b)
+    lo, hi = m.window(len(a), threshold)
+    assert lo <= hi or score < threshold
+    if score >= threshold:
+        assert lo <= len(b) <= hi
+
+
+@given(a=sets_st, b=sets_st, threshold=thresholds_st)
+@settings(max_examples=60, deadline=None)
+def test_weighted_window_is_sound_over_mass(a, b, threshold):
+    rng = np.random.default_rng(len(a) * 31 + len(b))
+    av, ac = coerce_counts(
+        as_array(a), rng.integers(1, 5, size=len(a)).astype(np.int64)
+    )
+    bv, bc = coerce_counts(
+        as_array(b), rng.integers(1, 5, size=len(b)).astype(np.int64)
+    )
+    m = get_measure("weighted_jaccard")
+    score = m.exact_pair(av, bv, ac, bc)
+    lo, hi = m.window(m.extent(av, ac), threshold)
+    if score >= threshold:
+        assert lo <= m.extent(bv, bc) <= hi
+
+
+@given(a=sets_st, b=sets_st)
+@settings(max_examples=60, deadline=None)
+def test_weighted_equals_plain_on_multiplicity_free(a, b):
+    """With every count 1, J_w degenerates to plain Jaccard exactly."""
+    jw = get_measure("weighted_jaccard").exact_pair(as_array(a), as_array(b))
+    j = get_measure("jaccard").exact_pair(as_array(a), as_array(b))
+    assert jw == pytest.approx(j, abs=1e-15)
+
+
+@pytest.mark.parametrize("measure", ["jaccard", "containment", "cosine"])
+@given(
+    a=sets_st,
+    b=sets_st,
+    err=st.floats(min_value=0.0, max_value=0.3),
+    noise=st.floats(min_value=-1.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_sketch_score_bounds_bracket_truth(measure, a, b, err, noise):
+    """A true-J estimate +/- err always brackets the measure's score."""
+    m = get_measure(measure)
+    true_j = ref_score("jaccard", a, b)
+    est = np.array([np.clip(true_j + noise * err, 0.0, 1.0)])
+    c_sizes = np.array([len(b)], dtype=np.int64)
+    s_lo, s_hi = m.sketch_score_bounds(est, err, len(a), c_sizes)
+    score = ref_score(measure, a, b)
+    assert s_lo[0] <= score + 1e-9
+    assert s_hi[0] >= score - 1e-9
+
+
+def test_measure_docstring_windows_pinned():
+    assert get_measure("jaccard").window(100, 0.5) == (50, 200)
+    assert get_measure("cosine").window(100, 0.5) == (25, 400)
+    lo, hi = get_measure("containment").window(100, 0.5)
+    assert lo == 50 and hi == np.iinfo(np.int64).max

@@ -1,0 +1,93 @@
+"""Tests of the weighted MinHash sketch (expanded-multiset bottom-s).
+
+The estimator must be deterministic in ``(seed, multiset)`` — however
+the multiset was fed in — and accurate to its analytic bound on random
+abundance vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.semantics.weighted import coerce_counts, weighted_jaccard_pair
+from repro.semantics.wminhash import (
+    WEIGHTED_MINHASH_FAMILY,
+    WeightedMinHashSketch,
+)
+
+
+def random_multiset(rng, m=200, max_support=60, max_count=8):
+    support = np.unique(rng.integers(0, m, size=rng.integers(1, max_support)))
+    counts = rng.integers(1, max_count, size=support.size).astype(np.int64)
+    return support.astype(np.int64), counts
+
+
+def test_family_name():
+    assert WEIGHTED_MINHASH_FAMILY == "weighted_minhash"
+
+
+def test_deterministic_in_seed_and_multiset(rng):
+    vals, cnts = random_multiset(rng)
+    a = WeightedMinHashSketch.from_weighted(vals, cnts, size=64, seed=3)
+    b = WeightedMinHashSketch.from_weighted(vals, cnts, size=64, seed=3)
+    assert np.array_equal(a.hashes, b.hashes)
+    assert a.mass == b.mass
+    c = WeightedMinHashSketch.from_weighted(vals, cnts, size=64, seed=4)
+    assert not np.array_equal(a.hashes, c.hashes)
+
+
+def test_incremental_update_equals_batch(rng):
+    vals, cnts = random_multiset(rng)
+    batch = WeightedMinHashSketch.from_weighted(vals, cnts, size=64, seed=0)
+    inc = WeightedMinHashSketch(size=64, seed=0)
+    half = vals.size // 2
+    inc.update(vals[:half], cnts[:half])
+    inc.update(vals[half:], cnts[half:])
+    assert np.array_equal(inc.hashes, batch.hashes)
+    assert inc.mass == batch.mass
+
+
+def test_both_empty_estimate_is_one():
+    a = WeightedMinHashSketch(size=32, seed=0)
+    b = WeightedMinHashSketch(size=32, seed=0)
+    assert a.jaccard(b) == 1.0
+
+
+def test_identical_multisets_estimate_one(rng):
+    vals, cnts = random_multiset(rng)
+    a = WeightedMinHashSketch.from_weighted(vals, cnts, size=128, seed=1)
+    b = WeightedMinHashSketch.from_weighted(vals, cnts, size=128, seed=1)
+    assert a.jaccard(b) == pytest.approx(1.0)
+
+
+def test_estimates_accurate_within_bound(rng):
+    """|estimate - J_w| stays within the 95% bound on most pairs."""
+    size = 256
+    bound = 1.96 * 0.5 / np.sqrt(size)
+    misses = 0
+    trials = 30
+    for _ in range(trials):
+        av, ac = random_multiset(rng)
+        bv, bc = random_multiset(rng)
+        # Overlap the supports to get nontrivial true scores.
+        bv = np.unique(np.concatenate([bv, av[: av.size // 2]]))
+        bc = rng.integers(1, 8, size=bv.size).astype(np.int64)
+        av, ac = coerce_counts(av, ac)
+        bv, bc = coerce_counts(bv, bc)
+        true = weighted_jaccard_pair(av, ac, bv, bc)
+        sa = WeightedMinHashSketch.from_weighted(av, ac, size=size, seed=9)
+        sb = WeightedMinHashSketch.from_weighted(bv, bc, size=size, seed=9)
+        if abs(sa.jaccard(sb) - true) > bound:
+            misses += 1
+    # The bound is a 95% interval; allow a small miss budget.
+    assert misses <= max(3, int(0.15 * trials))
+
+
+def test_multiplicity_free_reduces_to_plain_membership(rng):
+    """All-ones counts hash exactly the support's replica-0 values."""
+    vals = np.unique(rng.integers(0, 500, size=40)).astype(np.int64)
+    ones = np.ones(vals.size, dtype=np.int64)
+    a = WeightedMinHashSketch.from_weighted(vals, ones, size=32, seed=5)
+    b = WeightedMinHashSketch.from_weighted(vals, None, size=32, seed=5)
+    assert np.array_equal(a.hashes, b.hashes)

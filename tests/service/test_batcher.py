@@ -30,6 +30,7 @@ from repro.service import (
     compile_plan,
     result_cache_key,
 )
+from repro.service.cache import counts_cache_digest
 from repro.service.incremental import add_genomes
 from repro.service.query import exact_jaccard
 
@@ -444,6 +445,8 @@ class TestCacheUnderBatching:
             "g0",
             11,
             ("single",),
+            "jaccard",
+            None,
         )
         # The digest covers the values, so permuted content differs.
         other = result_cache_key(
@@ -470,6 +473,31 @@ class TestCacheUnderBatching:
             topology=("sharded", 4, "quantile", (10, 20, 40, 1001)),
         )
         assert rebanded != sharded
+        # The same values score differently under another measure, so
+        # the similarity field keys distinctly...
+        contained = result_cache_key(
+            vals, 0.5, 7, "cascade", "minhash", "scan", "g0", 11,
+            similarity="containment",
+        )
+        assert contained != key
+        # ... and under weighted Jaccard the abundance vector matters:
+        # same support, different counts, different key.
+        weighted = result_cache_key(
+            vals, 0.5, 7, "cascade", None, "scan", "g0", 11,
+            similarity="weighted_jaccard",
+            counts_digest=counts_cache_digest(
+                np.array([1, 2, 3], dtype=np.int64)
+            ),
+        )
+        reweighted = result_cache_key(
+            vals, 0.5, 7, "cascade", None, "scan", "g0", 11,
+            similarity="weighted_jaccard",
+            counts_digest=counts_cache_digest(
+                np.array([1, 2, 4], dtype=np.int64)
+            ),
+        )
+        assert weighted != key
+        assert weighted != reweighted
 
 
 class TestConcurrencyStress:

@@ -57,6 +57,7 @@ class TestSemirings:
     def test_registry_complete(self):
         assert set(ALL_SEMIRINGS) == {
             "arithmetic", "boolean", "max-times", "popcount-and",
+            "sum-min", "sum-max",
         }
 
     def test_popcount_flop_weight(self):

@@ -4,7 +4,7 @@
 Each benchmark trajectory file (``BENCH_kernels.json``,
 ``BENCH_pipeline.json``, ``BENCH_wire.json``, ``BENCH_sketch.json``,
 ``BENCH_query.json``, ``BENCH_service.json``, ``BENCH_lsh.json``,
-``BENCH_shards.json``)
+``BENCH_shards.json``, ``BENCH_semantics.json``)
 records one summary per workload per run.  This gate takes the *latest*
 run with the requested label (``full`` for the committed trajectories,
 ``smoke`` for the CI harness run) and checks every metric named in
@@ -49,6 +49,7 @@ SECTIONS = {
     "service": REPO_ROOT / "BENCH_service.json",
     "lsh": REPO_ROOT / "BENCH_lsh.json",
     "shards": REPO_ROOT / "BENCH_shards.json",
+    "semantics": REPO_ROOT / "BENCH_semantics.json",
 }
 
 

@@ -20,6 +20,11 @@ over ``tests/data/smoke_fasta``:
   per-sample baseline queries, then ``index shard --shards 2``
   upgrades the flat index into size bands in place; every re-run
   query must return the identical answer through the fan-out engine.
+* ``similarity`` — the measure knob: ``index build`` + per-sample
+  ``index query --similarity containment`` runs whose ``--json``
+  payloads must report the containment measure and its one-sided
+  bound, and whose matches must agree exactly with a fresh in-process
+  containment reference computed straight from the k-mer sets.
 
 These are the cheapest whole-pipeline checks there are: FASTA parsing,
 k-mer extraction, the distributed engine, the sketch subsystem, the
@@ -50,7 +55,7 @@ FASTA_DIR = REPO_ROOT / "tests" / "data" / "smoke_fasta"
 #: The bound line ``result.summary()`` prints for sketch runs.
 BOUND_RE = re.compile(r"estimated J \+/- ([0-9.]+) at 95%")
 
-SECTIONS = ("estimator", "index", "shard")
+SECTIONS = ("estimator", "index", "shard", "similarity")
 
 
 def run_cli(args: list[str]) -> None:
@@ -282,6 +287,87 @@ def check_shard(
     )
 
 
+def check_similarity(
+    workdir: Path, threshold: float = 0.1, verbose: bool = False
+) -> str:
+    """``--similarity containment`` vs a fresh exact in-process reference."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.genomics.counting import clean_sample
+    from repro.genomics.fasta import read_fasta
+    from repro.semantics import get_measure
+
+    fastas = sorted(FASTA_DIR.glob("*.fasta"))
+    if len(fastas) < 2:
+        raise SystemExit(f"need at least two smoke FASTA files in {FASTA_DIR}")
+    index_dir = workdir / "containment_index"
+    if index_dir.exists():
+        shutil.rmtree(index_dir)
+    run_cli(
+        [
+            "index", "build", *map(str, fastas),
+            "--index", str(index_dir), "--similarity", "containment",
+        ]
+    )
+
+    # The reference uses the CLI's own k-mer front end (default -k and
+    # canonicalization) but scores with the measure object directly.
+    measure = get_measure("containment")
+    codes = {
+        p.stem: clean_sample(read_fasta(p), 31)[0] for p in fastas
+    }
+    n_checked = 0
+    for query_fasta in fastas:
+        out_json = workdir / f"containment_{query_fasta.stem}.json"
+        run_cli(
+            [
+                "index", "query", str(query_fasta), "--index", str(index_dir),
+                "--similarity", "containment",
+                "--threshold", str(threshold), "--json", str(out_json),
+            ]
+        )
+        payload = json.loads(out_json.read_text())
+        if payload.get("similarity") != "containment":
+            raise SystemExit(
+                f"--json reports similarity={payload.get('similarity')!r}, "
+                f"expected 'containment'"
+            )
+        if payload.get("bound_type") != "one_sided_window":
+            raise SystemExit(
+                f"--json reports bound_type={payload.get('bound_type')!r}, "
+                f"expected 'one_sided_window'"
+            )
+        q = codes[query_fasta.stem]
+        expected = sorted(
+            (
+                (name, measure.exact_pair(q, c))
+                for name, c in codes.items()
+                if measure.exact_pair(q, c) >= threshold
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        got = [(m["name"], m["similarity"]) for m in payload["matches"]]
+        if verbose:
+            print(f"{query_fasta.stem}: expected {expected}, got {got}")
+        if [n for n, _ in got] != [n for n, _ in expected]:
+            raise SystemExit(
+                f"containment query for {query_fasta.stem} differs from the "
+                f"fresh exact reference: {[n for n, _ in got]} vs "
+                f"{[n for n, _ in expected]}"
+            )
+        for (gn, gs), (_, es) in zip(got, expected):
+            if abs(gs - es) > 1e-9:
+                raise SystemExit(
+                    f"containment similarity for {query_fasta.stem}/{gn} "
+                    f"differs from the fresh exact reference: {gs!r} vs {es!r}"
+                )
+        n_checked += len(got)
+    return (
+        f"cli smoke ok [similarity]: containment queries over "
+        f"{len(fastas)} samples returned {n_checked} match(es) identical "
+        f"to the fresh exact reference (one-sided bound reported)"
+    )
+
+
 def check(
     workdir: Path,
     sketch_size: int,
@@ -295,6 +381,8 @@ def check(
         out.append(check_index(workdir, verbose=verbose))
     if "shard" in sections:
         out.append(check_shard(workdir, verbose=verbose))
+    if "similarity" in sections:
+        out.append(check_similarity(workdir, verbose=verbose))
     return out
 
 
